@@ -1,0 +1,129 @@
+// Micro-benchmarks of the NUMA management mechanism itself (google-benchmark).
+//
+// The paper reports the mechanism cost only in aggregate (Table 4); these micros break
+// out the host-side cost of the individual operations so regressions in the simulator
+// hot paths are visible: the translated fast path, the fault/replication path, page
+// copies, policy decisions, and full protocol transitions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/machine/machine.h"
+
+namespace {
+
+ace::Machine::Options SmallOptions() {
+  ace::Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.config.global_pages = 1024;
+  mo.config.local_pages_per_proc = 256;
+  return mo;
+}
+
+// The fast path: a mapped local reference (one translate + charge + data access).
+void BM_LocalLoadFastPath(benchmark::State& state) {
+  ace::Machine m(SmallOptions());
+  ace::Task* task = m.CreateTask("t");
+  ace::VirtAddr va = task->MapAnonymous("data", m.page_size());
+  m.StoreWord(*task, 0, va, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.LoadWord(*task, 0, va));
+  }
+}
+BENCHMARK(BM_LocalLoadFastPath);
+
+// Global (pinned) reference fast path.
+void BM_GlobalLoadFastPath(benchmark::State& state) {
+  ace::Machine m(SmallOptions());
+  ace::Task* task = m.CreateTask("t");
+  ace::VirtAddr va = task->MapAnonymous("data", m.page_size());
+  for (int i = 0; i < 12; ++i) {
+    m.StoreWord(*task, i % 2, va, 1);  // ping-pong until pinned
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.LoadWord(*task, 0, va));
+  }
+}
+BENCHMARK(BM_GlobalLoadFastPath);
+
+// First-touch fault: zero-fill + placement + mapping (a fresh page every iteration).
+void BM_ZeroFillFault(benchmark::State& state) {
+  ace::Machine m(SmallOptions());
+  ace::Task* task = m.CreateTask("t");
+  ace::VirtAddr region = task->MapAnonymous("data", 512 * m.page_size());
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    if (page >= 512) {
+      state.PauseTiming();
+      task->UnmapRegion(region, m.page_pool());
+      region = task->MapAnonymous("data", 512 * m.page_size());
+      page = 0;
+      state.ResumeTiming();
+    }
+    m.StoreWord(*task, 0, region + page * m.page_size(), 1);
+    ++page;
+  }
+}
+BENCHMARK(BM_ZeroFillFault);
+
+// Read replication: another processor faults in a read-only copy.
+void BM_ReplicationFault(benchmark::State& state) {
+  ace::Machine m(SmallOptions());
+  ace::Task* task = m.CreateTask("t");
+  ace::VirtAddr va = task->MapAnonymous("data", m.page_size());
+  m.StoreWord(*task, 0, va, 1);
+  ace::LogicalPage lp = m.DebugLogicalPage(*task, va);
+  int reader = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.LoadWord(*task, reader, va));
+    state.PauseTiming();
+    m.pmap().manager().HandleRequest(lp, ace::AccessKind::kStore, 0,
+                                     ace::Protection::kReadWrite);  // reclaim ownership
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ReplicationFault);
+
+// A full ownership migration (write fault on a page owned elsewhere).
+void BM_OwnershipMigration(benchmark::State& state) {
+  ace::Machine::Options mo = SmallOptions();
+  mo.policy = ace::PolicySpec::MoveLimit(1 << 30);  // never pin
+  ace::Machine m(mo);
+  ace::Task* task = m.CreateTask("t");
+  ace::VirtAddr va = task->MapAnonymous("data", m.page_size());
+  m.StoreWord(*task, 0, va, 1);
+  int writer = 0;
+  for (auto _ : state) {
+    writer ^= 1;
+    m.StoreWord(*task, writer, va, 2);
+  }
+}
+BENCHMARK(BM_OwnershipMigration);
+
+// Raw page copy between frames.
+void BM_PageCopy(benchmark::State& state) {
+  ace::MachineConfig config;
+  config.num_processors = 2;
+  config.global_pages = 16;
+  config.local_pages_per_proc = 16;
+  ace::PhysicalMemory phys(config);
+  ace::FrameRef local = phys.AllocLocal(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phys.CopyPage(ace::FrameRef::Global(0), local, 0));
+  }
+}
+BENCHMARK(BM_PageCopy);
+
+// Policy decision cost.
+void BM_PolicyDecision(benchmark::State& state) {
+  ace::MoveLimitPolicy policy(1024, ace::MoveLimitPolicy::Options{4}, nullptr);
+  ace::LogicalPage lp = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.CachePolicy(lp, ace::AccessKind::kFetch, 0));
+    lp = (lp + 1) % 1024;
+  }
+}
+BENCHMARK(BM_PolicyDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// The paper's missing comparison: Tnuma vs. Toptimal.
+//
+// Section 3.1: "We would have liked to compare Tnuma to Toptimal but had no way to
+// measure the latter, so we compared to Tlocal instead. Tlocal is less than Toptimal
+// because references to shared data in global memory cannot be made at local memory
+// speeds." The paper's headline claim — "our simple page placement strategy worked
+// about as well as any operating system level strategy could have" — is therefore
+// asserted but never measured.
+//
+// This bench measures it: each application runs under the automatic policy with
+// reference tracing enabled; the per-page write-epoch streams feed a
+// perfect-knowledge placement optimizer (src/trace/optimal.h), giving a (slightly
+// optimistic) Toptimal estimate. The claim is confirmed if
+//     Tnuma + dS  ~  Toptimal_est   (ratio close to 1)
+// with Tlocal < Toptimal_est for sharing-heavy applications.
+//
+// Usage: bench_optimal [num_threads] [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/metrics/experiment.h"
+#include "src/metrics/table.h"
+#include "src/trace/ref_trace.h"
+
+namespace {
+
+struct TracedRun {
+  double user_sec = 0.0;
+  double system_sec = 0.0;
+  double compute_sec = 0.0;  // placement-invariant computation time
+  ace::OptimalEstimate optimal;
+  bool ok = false;
+};
+
+// Memory-reference time actually charged during the run, from the per-class counters.
+double MemTimeSec(const ace::MachineStats& stats, const ace::LatencyModel& lat) {
+  ace::ProcRefCounts t = stats.TotalRefs();
+  double ns = static_cast<double>(t.fetch_local) * lat.local_fetch_ns +
+              static_cast<double>(t.store_local) * lat.local_store_ns +
+              static_cast<double>(t.fetch_global) * lat.global_fetch_ns +
+              static_cast<double>(t.store_global) * lat.global_store_ns +
+              static_cast<double>(t.fetch_remote) * lat.remote_fetch_ns +
+              static_cast<double>(t.store_remote) * lat.remote_store_ns;
+  return ns * 1e-9;
+}
+
+TracedRun RunTraced(const char* app_name, const ace::ExperimentOptions& options) {
+  ace::Machine::Options mo;
+  mo.config = options.config;
+  ace::Machine machine(mo);
+  ace::RefTracer tracer(&machine);
+  tracer.EnableEpochTracking();
+
+  std::unique_ptr<ace::App> app = ace::CreateAppByName(app_name);
+  ace::AppConfig cfg;
+  cfg.num_threads = options.num_threads;
+  cfg.scale = options.scale;
+  ace::AppResult result = app->Run(machine, cfg);
+
+  TracedRun run;
+  run.ok = result.ok;
+  run.user_sec = machine.clocks().TotalUser() * 1e-9;
+  run.system_sec = machine.clocks().TotalSystem() * 1e-9;
+  run.compute_sec = run.user_sec - MemTimeSec(machine.stats(), machine.config().latency);
+  run.optimal = tracer.EstimateOptimal();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ace::ExperimentOptions options;
+  options.num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
+  options.scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  options.config.num_processors = options.num_threads;
+
+  std::printf("Tnuma vs Toptimal — quantifying \"about as well as any OS strategy could\"\n");
+  std::printf("(%d threads; Toptimal estimated per page by a perfect-knowledge placement\n",
+              options.num_threads);
+  std::printf("optimizer over the recorded reference trace; slightly optimistic)\n\n");
+
+  ace::TextTable table({"Application", "Tlocal", "Topt(est)", "Tnuma+dS", "Tnuma/Topt",
+                        "user-only", "pages", "best=global", "verified"});
+  for (const char* name :
+       {"Gfetch", "IMatMult", "Primes1", "Primes2", "Primes3", "FFT", "PlyTrace"}) {
+    TracedRun traced = RunTraced(name, options);
+
+    // dS isolates NUMA-management system time (Table 4's method).
+    std::unique_ptr<ace::App> app = ace::CreateAppByName(name);
+    ace::PlacementRun global = ace::RunPlacement(*app, options, ace::PolicySpec::AllGlobal(),
+                                                 options.num_threads, options.num_threads);
+    ace::PlacementRun local = ace::RunPlacement(*app, options, ace::PolicySpec::MoveLimit(4),
+                                                1, 1);
+    double delta_s = traced.system_sec - global.system_sec;
+    double numa_total = traced.user_sec + (delta_s > 0 ? delta_s : 0);
+    // The estimator prices only memory references and movement; add back the
+    // placement-invariant computation time so all columns are commensurable.
+    double optimal_total = traced.optimal.total_sec + traced.compute_sec;
+
+    table.AddRow({
+        name,
+        ace::Fmt("%.3f", local.user_sec),
+        ace::Fmt("%.3f", optimal_total),
+        ace::Fmt("%.3f", numa_total),
+        ace::Fmt("%.2f", numa_total / optimal_total),
+        ace::Fmt("%.2f",
+                 traced.user_sec / (traced.optimal.user_sec + traced.compute_sec)),
+        std::to_string(traced.optimal.pages),
+        std::to_string(traced.optimal.pages_best_global),
+        traced.ok && global.app.ok && local.app.ok ? "ok" : "FAILED",
+    });
+  }
+  table.Print();
+  std::printf(
+      "\n\"best=global\" counts pages whose *optimal* plan is global placement — the\n"
+      "legitimately shared data the paper could previously identify only by ad hoc\n"
+      "inspection. \"user-only\" compares user times alone (the paper's measurement):\n"
+      "ratios near 1 confirm the headline claim that the simple policy places pages\n"
+      "about as well as any OS strategy could. The larger Tnuma/Topt gaps (Gfetch by\n"
+      "design, PlyTrace) are thrash-before-pin warm-up *movement* cost, significant\n"
+      "only because these scaled runs are short relative to a page copy.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Section 4.3 / 5 extension — reconsidering pinning decisions.
+//
+// "Our system never reconsiders a pinning decision (unless the pinned page is paged
+// out and back in). Our sample applications showed no cases in which reconsideration
+// would have led to a significant improvement in performance, but one can imagine
+// situations in which it would." ... "It may in some applications be worthwhile
+// periodically to reconsider the decision to pin a page in global memory."
+//
+// This bench constructs exactly such a situation: a phase-change workload whose pages
+// are writably shared during a short setup phase (and get pinned), then become
+// strictly per-thread for a long compute phase. MoveLimitPolicy leaves them in global
+// memory forever; ReconsiderPolicy unpins them after the configured interval and wins.
+// It also re-runs the standard suite to reproduce the paper's observation that the
+// sample applications gain nothing from reconsideration.
+//
+// Usage: bench_reconsider [num_threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/metrics/experiment.h"
+#include "src/metrics/table.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace {
+
+// The phase-change workload: pages ping-pong during setup, then each page is used by
+// exactly one thread for many passes.
+double RunPhaseChange(ace::PolicySpec policy, int num_threads, std::uint64_t* unpins) {
+  ace::Machine::Options mo;
+  mo.config.num_processors = num_threads;
+  mo.policy = policy;
+  ace::Machine m(mo);
+  ace::Task* task = m.CreateTask("phase-change");
+
+  const std::uint32_t page_words = m.page_size() / 4;
+  const std::uint32_t pages = static_cast<std::uint32_t>(2 * num_threads);
+  ace::VirtAddr data_va = task->MapAnonymous("data", static_cast<std::uint64_t>(pages) * m.page_size());
+  ace::VirtAddr bar_va = task->MapAnonymous("barrier", m.page_size());
+  ace::Barrier barrier(bar_va, num_threads);
+
+  ace::Runtime rt(&m, task);
+  rt.Run(num_threads, [&](int tid, ace::Env& env) {
+    std::uint32_t sense = 0;
+    ace::SimSpan<std::uint32_t> data(env, data_va,
+                                     static_cast<std::size_t>(pages) * page_words);
+    // Phase 1 (setup): every thread writes one word of every page -> all pages become
+    // writably shared and are pinned in global memory.
+    for (std::uint32_t round = 0; round < 6; ++round) {
+      for (std::uint32_t p = 0; p < pages; ++p) {
+        if ((p + round) % static_cast<std::uint32_t>(num_threads) ==
+            static_cast<std::uint32_t>(tid)) {
+          data[static_cast<std::size_t>(p) * page_words + round] = tid + 1;
+        }
+      }
+    }
+    barrier.Wait(env, &sense);
+
+    // Phase 2 (steady state): each thread repeatedly reads and writes only its own
+    // pages. With reconsideration the pins expire and these become local again.
+    // Thread 0 doubles as the "reconsideration daemon": periodically it drops the
+    // mappings of global pages so the policy is re-consulted (the pageout analogue the
+    // paper mentions — pinned pages never fault on their own).
+    std::uint32_t my_first = static_cast<std::uint32_t>(tid) * 2;
+    for (int pass = 0; pass < 120; ++pass) {
+      if (tid == 0 && pass % 20 == 19) {
+        m.ReexamineGlobalPages(env.proc());
+      }
+      for (std::uint32_t p = my_first; p < my_first + 2; ++p) {
+        for (std::uint32_t w = 8; w < page_words; w += 16) {
+          std::size_t idx = static_cast<std::size_t>(p) * page_words + w;
+          data[idx] = data.Get(idx) + 1;
+        }
+      }
+    }
+  });
+
+  if (unpins != nullptr) {
+    *unpins = m.reconsider_policy() != nullptr ? m.reconsider_policy()->unpin_events() : 0;
+  }
+  return static_cast<double>(m.clocks().TotalUser()) * 1e-9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
+  std::printf("Pin-reconsideration extension (paper sections 4.3/5), %d threads\n\n", num_threads);
+
+  std::uint64_t unpins = 0;
+  double t_fixed = RunPhaseChange(ace::PolicySpec::MoveLimit(4), num_threads, nullptr);
+  double t_recon = RunPhaseChange(
+      ace::PolicySpec::Reconsider(4, /*after_ns=*/20'000'000), num_threads, &unpins);
+
+  std::printf("phase-change workload (writably shared setup, then per-thread steady state):\n");
+  ace::TextTable table({"Policy", "Total user time (s)", "Unpin events"});
+  table.AddRow({"move-limit (never reconsider)", ace::Fmt("%.4f", t_fixed), "0"});
+  table.AddRow({"reconsider (20 ms)", ace::Fmt("%.4f", t_recon), std::to_string(unpins)});
+  table.Print();
+  std::printf("speedup from reconsideration: %.2fx\n\n", t_fixed / t_recon);
+
+  std::printf("standard suite under both policies (paper: no significant improvement):\n");
+  ace::TextTable suite({"Application", "Tnuma move-limit", "Tnuma reconsider", "ratio"});
+  for (const char* name : {"IMatMult", "Primes2", "Primes3", "FFT", "PlyTrace"}) {
+    ace::ExperimentOptions options;
+    options.num_threads = num_threads;
+    options.config.num_processors = num_threads;
+    std::unique_ptr<ace::App> app = ace::CreateAppByName(name);
+    ace::PlacementRun fixed = ace::RunPlacement(*app, options, ace::PolicySpec::MoveLimit(4),
+                                                num_threads, num_threads);
+    ace::PlacementRun recon = ace::RunPlacement(
+        *app, options, ace::PolicySpec::Reconsider(4, 20'000'000), num_threads, num_threads);
+    suite.AddRow({name, ace::Fmt("%.3f", fixed.user_sec), ace::Fmt("%.3f", recon.user_sec),
+                  ace::Fmt("%.2fx", fixed.user_sec / recon.user_sec)});
+  }
+  suite.Print();
+  return 0;
+}

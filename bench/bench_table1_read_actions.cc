@@ -1,0 +1,19 @@
+// Reproduction of Table 1: "NUMA Manager Actions for Read Requests".
+//
+// Expected (paper section 2.3.1):
+//   LOCAL  x Read-Only          : copy to local                     -> Read-Only
+//   LOCAL  x Global-Writable    : unmap all; copy to local          -> Read-Only
+//   LOCAL  x LW (own node)      : no action                         -> Local-Writable
+//   LOCAL  x LW (other node)    : sync&flush other; copy to local   -> Read-Only
+//   GLOBAL x Read-Only          : flush all                         -> Global-Writable
+//   GLOBAL x Global-Writable    : no action                         -> Global-Writable
+//   GLOBAL x LW (own node)      : sync&flush own                    -> Global-Writable
+//   GLOBAL x LW (other node)    : sync&flush other                  -> Global-Writable
+
+#include "bench/protocol_tables.h"
+
+int main() {
+  ace::PrintProtocolTable(ace::AccessKind::kFetch,
+                          "Table 1 reproduction — NUMA manager actions for READ requests");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduction of Table 2: "NUMA Manager Actions for Write Requests".
+//
+// Expected (paper section 2.3.1):
+//   LOCAL  x Read-Only          : flush other; copy to local        -> Local-Writable
+//   LOCAL  x Global-Writable    : unmap all; copy to local          -> Local-Writable
+//   LOCAL  x LW (own node)      : no action                         -> Local-Writable
+//   LOCAL  x LW (other node)    : sync&flush other; copy to local   -> Local-Writable
+//   GLOBAL x Read-Only          : flush all                         -> Global-Writable
+//   GLOBAL x Global-Writable    : no action                         -> Global-Writable
+//   GLOBAL x LW (own node)      : sync&flush own                    -> Global-Writable
+//   GLOBAL x LW (other node)    : sync&flush other                  -> Global-Writable
+
+#include "bench/protocol_tables.h"
+
+int main() {
+  ace::PrintProtocolTable(ace::AccessKind::kStore,
+                          "Table 2 reproduction — NUMA manager actions for WRITE requests");
+  return 0;
+}

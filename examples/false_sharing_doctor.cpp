@@ -1,0 +1,75 @@
+// Diagnose and repair false sharing with the reference tracer.
+//
+// Paper section 4.2: objects that are not writably shared but sit on writably shared
+// pages are *falsely shared*; the page gets pinned in global memory and every access
+// pays the global-memory penalty. The paper fixed such programs by hand ("we forced
+// separation by adding page-sized padding around objects") and calls for tools that
+// automate the diagnosis. This example is such a tool:
+//
+//   1. run a workload with per-thread counters packed into one page,
+//   2. let the RefTracer classify pages and objects and report the false sharing,
+//   3. apply the paper's fix (pad each counter to its own page) and show the win.
+//
+//   ./build/examples/false_sharing_doctor
+
+#include <cstdio>
+#include <string>
+
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+#include "src/trace/ref_trace.h"
+
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kPasses = 400;
+
+// Each thread increments its own counter; `stride_words` controls whether the
+// counters share a page (stride 1) or get one page each (stride page_words).
+double RunCounters(std::uint32_t stride_words, bool report) {
+  ace::Machine::Options options;
+  options.config.num_processors = kThreads;
+  ace::Machine machine(options);
+  ace::Task* task = machine.CreateTask("counters");
+  ace::VirtAddr base = task->MapAnonymous(
+      "counters", static_cast<std::uint64_t>(kThreads) * stride_words * 4);
+
+  ace::RefTracer tracer(&machine);
+  for (int t = 0; t < kThreads; ++t) {
+    tracer.AddObject("counter[" + std::to_string(t) + "]",
+                     base + static_cast<ace::VirtAddr>(t) * stride_words * 4, 4);
+  }
+
+  ace::Runtime runtime(&machine, task);
+  runtime.Run(kThreads, [&](int tid, ace::Env& env) {
+    ace::VirtAddr my_counter = base + static_cast<ace::VirtAddr>(tid) * stride_words * 4;
+    for (int i = 0; i < kPasses; ++i) {
+      env.Store(my_counter, env.Load(my_counter) + 1);
+      env.Compute(5'000);  // some per-iteration work
+    }
+  });
+
+  if (report) {
+    std::printf("%s", tracer.Report().c_str());
+  }
+  return machine.clocks().TotalUser() * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Run 1: four per-thread counters packed into one page ===\n");
+  double packed = RunCounters(/*stride_words=*/1, /*report=*/true);
+
+  std::printf("\nDiagnosis: every counter is private to one thread, yet the page is\n");
+  std::printf("writably shared — textbook false sharing. Applying the paper's fix\n");
+  std::printf("(page-sized padding around each object)...\n\n");
+
+  std::printf("=== Run 2: one page per counter ===\n");
+  double padded = RunCounters(/*stride_words=*/1024, /*report=*/true);
+
+  std::printf("\nuser time packed: %.4f s, padded: %.4f s -> %.2fx faster\n", packed, padded,
+              packed / padded);
+  return 0;
+}

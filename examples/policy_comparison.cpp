@@ -1,0 +1,63 @@
+// Compare NUMA placement policies on a real workload.
+//
+// Runs the paper's IMatMult application under four policies — the automatic move-limit
+// policy (with its default threshold of 4), all-global placement, pure
+// migration/replication with no pinning, and the reconsidering variant — and reports
+// user time, locality, and page-movement work for each.
+//
+//   ./build/examples/policy_comparison [app] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/table.h"
+
+namespace {
+
+void RunOne(const std::string& app_name, ace::PolicySpec policy, const char* label,
+            int threads, ace::TextTable& table) {
+  ace::ExperimentOptions options;
+  options.num_threads = threads;
+  options.config.num_processors = threads;
+  std::unique_ptr<ace::App> app = ace::CreateAppByName(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown application '%s'\n", app_name.c_str());
+    std::exit(1);
+  }
+  ace::PlacementRun run = ace::RunPlacement(*app, options, policy, threads, threads);
+  table.AddRow({
+      label,
+      ace::Fmt("%.3f", run.user_sec),
+      ace::Fmt("%.3f", run.system_sec),
+      ace::Fmt("%.3f", run.measured_alpha),
+      std::to_string(run.stats.page_copies + run.stats.page_syncs),
+      std::to_string(run.pages_pinned),
+      run.app.ok ? "ok" : "FAILED",
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "IMatMult";
+  int threads = argc > 2 ? std::atoi(argv[2]) : 7;
+
+  std::printf("Policy comparison — %s on %d processors\n\n", app.c_str(), threads);
+  ace::TextTable table({"Policy", "user s", "system s", "local frac", "page moves",
+                        "pinned", "verified"});
+  RunOne(app, ace::PolicySpec::MoveLimit(4), "move-limit (threshold 4, paper default)",
+         threads, table);
+  RunOne(app, ace::PolicySpec::AllGlobal(), "all-global (no caching)", threads, table);
+  RunOne(app, ace::PolicySpec::MoveLimit(1 << 30), "never pin (pure migration)", threads,
+         table);
+  RunOne(app, ace::PolicySpec::Reconsider(4, 20'000'000), "reconsider (unpin after 20ms)",
+         threads, table);
+  table.Print();
+  std::printf(
+      "\nThe move-limit policy gets the locality of pure migration without its\n"
+      "thrashing, at a fraction of the page-movement work.\n");
+  return 0;
+}

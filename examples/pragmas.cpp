@@ -1,0 +1,85 @@
+// Placement pragmas: telling the kernel what you know (paper section 4.3).
+//
+// "For data that are known to be writably shared ..., thrashing overhead may be
+// reduced by providing placement pragmas to application programs. We have considered
+// pragmas that would cause a region of virtual memory to be marked cacheable and
+// placed in local memory or marked noncacheable and placed in global memory."
+//
+// This example maps the same writably-shared buffer three ways — default automatic
+// placement, a `noncacheable` pragma, and a (mistaken) `cacheable` pragma — and shows
+// that the noncacheable hint removes the warm-up thrashing the automatic policy pays
+// before pinning, while forcing cacheable on genuinely shared data thrashes forever.
+//
+//   ./build/examples/pragmas
+
+#include <cstdio>
+
+#include "src/machine/machine.h"
+#include "src/metrics/table.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+
+namespace {
+
+constexpr int kThreads = 4;
+
+struct RunResult {
+  double user_sec;
+  double system_sec;
+  std::uint64_t page_moves;
+};
+
+RunResult RunShared(ace::PlacementPragma pragma) {
+  ace::Machine::Options options;
+  options.config.num_processors = kThreads;
+  ace::Machine machine(options);
+  ace::Task* task = machine.CreateTask("pragmas");
+  // 16 pages of genuinely writably-shared data.
+  ace::VirtAddr buf = task->MapAnonymous("shared", 16 * machine.page_size(),
+                                         ace::Protection::kReadWrite, pragma);
+  const std::uint32_t words = 16 * machine.page_size() / 4;
+
+  ace::Runtime runtime(&machine, task);
+  runtime.Run(kThreads, [&](int tid, ace::Env& env) {
+    ace::SimSpan<std::uint32_t> data(env, buf, words);
+    // Every thread writes a strided slice of every page, repeatedly.
+    for (int pass = 0; pass < 6; ++pass) {
+      for (std::uint32_t w = static_cast<std::uint32_t>(tid); w < words;
+           w += kThreads * 64) {
+        data[w] = data.Get(w) + 1;
+      }
+    }
+  });
+
+  return RunResult{machine.clocks().TotalUser() * 1e-9,
+                   machine.clocks().TotalSystem() * 1e-9,
+                   machine.stats().page_copies + machine.stats().page_syncs};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Placement pragmas on a writably-shared buffer (%d writers)\n\n", kThreads);
+  ace::TextTable table({"Mapping", "user s", "system s", "page moves"});
+
+  RunResult automatic = RunShared(ace::PlacementPragma::kDefault);
+  table.AddRow({"default (automatic policy)", ace::Fmt("%.4f", automatic.user_sec),
+                ace::Fmt("%.4f", automatic.system_sec), std::to_string(automatic.page_moves)});
+
+  RunResult hinted = RunShared(ace::PlacementPragma::kNoncacheable);
+  table.AddRow({"pragma: noncacheable (go straight to global)",
+                ace::Fmt("%.4f", hinted.user_sec), ace::Fmt("%.4f", hinted.system_sec),
+                std::to_string(hinted.page_moves)});
+
+  RunResult wrong = RunShared(ace::PlacementPragma::kCacheable);
+  table.AddRow({"pragma: cacheable (mistaken hint -> thrash)",
+                ace::Fmt("%.4f", wrong.user_sec), ace::Fmt("%.4f", wrong.system_sec),
+                std::to_string(wrong.page_moves)});
+  table.Print();
+
+  std::printf(
+      "\nThe noncacheable pragma skips the automatic policy's warm-up moves entirely\n"
+      "(zero page movement); a wrong cacheable hint shows why the automatic pin\n"
+      "threshold exists.\n");
+  return 0;
+}

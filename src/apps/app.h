@@ -1,0 +1,81 @@
+// The application suite interface.
+//
+// Paper section 3.2: "Our application mix consists of a fast Fourier transform (FFT),
+// a graphics rendering program (PlyTrace), three prime finders (Primes1-3) and an
+// integer matrix multiplier (IMatMult), as well as a program designed to spend all of
+// its time referencing shared memory (Gfetch) and one designed not to reference shared
+// memory at all (ParMult)."
+//
+// Each application computes a real result through simulated memory and verifies it, so
+// a consistency-protocol bug fails the run. Workloads are fixed-size regardless of
+// thread count (the paper's evaluation method requires it) and deterministic.
+
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/sim/machine_config.h"
+#include "src/threads/runtime.h"
+
+namespace ace {
+
+struct AppConfig {
+  int num_threads = 7;
+  // Scales the default workload size (1.0 = the repo's calibrated default, already
+  // much smaller than the paper's 1989 runs; see DESIGN.md on scaling).
+  double scale = 1.0;
+  // Application-specific variant selector:
+  //   primes2:  0 = private divisor copies (the paper's fixed version, Table 3)
+  //             1 = shared divisor vector (the "initial version" with false sharing)
+  //   plytrace: 0 = unpadded framebuffer tiles, 1 = page-padded tiles
+  int variant = 0;
+  // Runtime scheduling options (affinity by default, as the paper's modified Mach).
+  Runtime::Options runtime;
+};
+
+struct AppResult {
+  bool ok = false;
+  std::string detail;            // human-readable verification summary
+  std::uint64_t work_units = 0;  // app-defined size metric (primes found, ops done...)
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual const char* name() const = 0;
+
+  // Execute the workload on `machine` (creating its own task) and verify the result.
+  virtual AppResult Run(Machine& machine, const AppConfig& config) = 0;
+
+  // G/L ratio to use in the analytic model for this application. Paper Table 3
+  // footnote: "Since Gfetch and IMatMult do almost all fetches and no stores, their
+  // computations were done using 2.3 for G/L. The other applications used G/L as 2."
+  virtual double ModelGL(const LatencyModel& latency) const { return latency.MixRatio(0.45); }
+};
+
+using AppFactory = std::function<std::unique_ptr<App>()>;
+
+// Factories for every application in the suite.
+std::unique_ptr<App> CreateParMult();
+std::unique_ptr<App> CreateGfetch();
+std::unique_ptr<App> CreateIMatMult();
+std::unique_ptr<App> CreatePrimes1();
+std::unique_ptr<App> CreatePrimes2();
+std::unique_ptr<App> CreatePrimes3();
+std::unique_ptr<App> CreateFft();
+std::unique_ptr<App> CreatePlyTrace();
+
+// The Table 3 suite, in the paper's row order.
+std::vector<AppFactory> AllAppFactories();
+std::unique_ptr<App> CreateAppByName(const std::string& name);
+
+}  // namespace ace
+
+#endif  // SRC_APPS_APP_H_

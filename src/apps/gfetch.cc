@@ -1,0 +1,111 @@
+// Gfetch — the all-sharing extreme of the application spectrum.
+//
+// Paper section 3.2: "The Gfetch program does nothing but fetch from shared virtual
+// memory. Loop control and workload allocation costs are too small to be seen. Its
+// beta is thus 1 and its alpha 0."
+//
+// To make alpha 0 under the automatic policy, the shared buffer must end up in global
+// memory: an initialization phase has the threads take turns writing every page, so
+// each page sees more ownership moves than the pin threshold. (With a single thread —
+// the Tlocal measurement — there are no moves and the buffer stays local, exactly the
+// contrast the paper's gamma = 2.27 reflects.)
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/apps/costs.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+constexpr std::uint32_t kInitRounds = 6;  // distinct writers per page during init
+
+class Gfetch : public App {
+ public:
+  const char* name() const override { return "Gfetch"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const std::uint32_t page_words = machine.page_size() / 4;
+    const std::uint32_t pages = static_cast<std::uint32_t>(48 * config.scale) + 1;
+    const std::uint32_t words = pages * page_words;
+    const std::uint32_t passes = 3;
+
+    Task* task = machine.CreateTask("gfetch");
+    VirtAddr buf_va = task->MapAnonymous("shared-buffer", words * 4);
+    VirtAddr bar_va = task->MapAnonymous("barrier", machine.page_size());
+    VirtAddr pile_va = task->MapAnonymous("workpile", machine.page_size());
+    Barrier barrier(bar_va, config.num_threads);
+
+    std::vector<std::uint64_t> sums(static_cast<std::size_t>(config.num_threads), 0);
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(config.num_threads, [&](int tid, Env& env) {
+      std::uint32_t sense = 0;
+      SimSpan<std::uint32_t> buf(env, buf_va, words);
+
+      // Init: round r writes word r of every page; pages are striped across threads
+      // differently each round, so every page accumulates kInitRounds distinct writers
+      // (and therefore enough ownership moves to be pinned — except in single-thread
+      // runs, where everything stays local). One barrier separates init from fetching.
+      for (std::uint32_t r = 0; r < kInitRounds; ++r) {
+        for (std::uint32_t p = 0; p < pages; ++p) {
+          if ((p + r) % static_cast<std::uint32_t>(config.num_threads) ==
+              static_cast<std::uint32_t>(tid)) {
+            buf[p * page_words + r] = p * 16 + r;
+          }
+        }
+      }
+      barrier.Wait(env, &sense);
+
+      // Fetch phase: a tight, effectively unrolled fetch loop (the paper: loop control
+      // costs "too small to be seen" — no per-iteration compute charge).
+      for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        WorkPile pile(pile_va + static_cast<VirtAddr>(pass) * 4, words, page_words);
+        std::uint64_t sum = 0;
+        for (;;) {
+          WorkPile::Chunk c = pile.Grab(env);
+          if (c.empty()) {
+            break;
+          }
+          for (std::uint64_t i = c.begin; i < c.end; ++i) {
+            sum += buf.Get(static_cast<std::size_t>(i));
+          }
+        }
+        sums[static_cast<std::size_t>(tid)] += sum;
+      }
+    });
+
+    // Expected: per pass, sum over pages of sum_{r<kInitRounds} (p*16+r).
+    std::uint64_t expected_pass = 0;
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      for (std::uint32_t r = 0; r < kInitRounds; ++r) {
+        expected_pass += p * 16 + r;
+      }
+    }
+    std::uint64_t expected = expected_pass * passes;
+    std::uint64_t total = 0;
+    for (auto s : sums) {
+      total += s;
+    }
+
+    AppResult result;
+    result.ok = total == expected;
+    result.work_units = static_cast<std::uint64_t>(words) * passes;
+    result.detail = "fetches=" + std::to_string(result.work_units) +
+                    (result.ok ? " sum ok" : " SUM MISMATCH");
+    machine.DestroyTask(task);
+    return result;
+  }
+
+  // Almost all fetches: the paper's model uses the fetch-only G/L ratio (2.3).
+  double ModelGL(const LatencyModel& latency) const override { return latency.FetchRatio(); }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreateGfetch() { return std::make_unique<Gfetch>(); }
+
+}  // namespace ace

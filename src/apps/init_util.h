@@ -1,0 +1,42 @@
+// Initialization helpers for the application suite.
+//
+// Parallel initialization must not create page-interleaved writes: if two threads'
+// init ranges share a page, their stores interleave in time and the page ping-pongs
+// enough to be pinned — destroying the read-only replication the workload depends on.
+// PageAlignedSlice splits a word array across threads on page boundaries so every page
+// has exactly one initializing writer.
+
+#ifndef SRC_APPS_INIT_UTIL_H_
+#define SRC_APPS_INIT_UTIL_H_
+
+#include <cstdint>
+
+namespace ace {
+
+struct WordRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // exclusive
+};
+
+inline WordRange PageAlignedSlice(std::uint64_t total_words, std::uint32_t page_words,
+                                  int tid, int num_threads) {
+  std::uint64_t pages = (total_words + page_words - 1) / page_words;
+  std::uint64_t first_page = pages * static_cast<std::uint64_t>(tid) /
+                             static_cast<std::uint64_t>(num_threads);
+  std::uint64_t last_page = pages * (static_cast<std::uint64_t>(tid) + 1) /
+                            static_cast<std::uint64_t>(num_threads);
+  WordRange r;
+  r.lo = first_page * page_words;
+  r.hi = last_page * page_words;
+  if (r.hi > total_words) {
+    r.hi = total_words;
+  }
+  if (r.lo > total_words) {
+    r.lo = total_words;
+  }
+  return r;
+}
+
+}  // namespace ace
+
+#endif  // SRC_APPS_INIT_UTIL_H_

@@ -1,0 +1,79 @@
+// ParMult — the no-sharing extreme of the application spectrum.
+//
+// Paper section 3.2: "The ParMult program does nothing but integer multiplication. Its
+// only data references are for workload allocation and are too infrequent to be
+// visible through measurement error. Its beta is thus 0 and its alpha irrelevant."
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/apps/costs.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+class ParMult : public App {
+ public:
+  const char* name() const override { return "ParMult"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const OpCosts& costs = DefaultOpCosts();
+    const std::uint64_t total_mults = static_cast<std::uint64_t>(60'000 * config.scale);
+
+    Task* task = machine.CreateTask("parmult");
+    VirtAddr pile_va = task->MapAnonymous("workpile", machine.page_size());
+    // Big chunks: workload-allocation references must be "too infrequent to be
+    // visible".
+    std::uint32_t chunk =
+        static_cast<std::uint32_t>(total_mults / (8 * static_cast<std::uint64_t>(config.num_threads)) + 1);
+    WorkPile pile(pile_va, total_mults, chunk);
+
+    // Order-independent checksum accumulated in host "registers" per thread.
+    std::vector<std::uint32_t> checksums(static_cast<std::size_t>(config.num_threads), 0);
+    std::vector<std::uint64_t> done(static_cast<std::size_t>(config.num_threads), 0);
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(config.num_threads, [&](int tid, Env& env) {
+      for (;;) {
+        WorkPile::Chunk c = pile.Grab(env);
+        if (c.empty()) {
+          break;
+        }
+        for (std::uint64_t i = c.begin; i < c.end; ++i) {
+          // One integer multiply per work item; the product lives in registers.
+          std::uint32_t product = static_cast<std::uint32_t>(i) * 2654435761u;
+          checksums[static_cast<std::size_t>(tid)] ^= product;
+          env.Compute(costs.int_mul + costs.loop_iter);
+        }
+        done[static_cast<std::size_t>(tid)] += c.end - c.begin;
+      }
+    });
+
+    std::uint32_t checksum = 0;
+    std::uint64_t total_done = 0;
+    for (int t = 0; t < config.num_threads; ++t) {
+      checksum ^= checksums[static_cast<std::size_t>(t)];
+      total_done += done[static_cast<std::size_t>(t)];
+    }
+    std::uint32_t expected = 0;
+    for (std::uint64_t i = 0; i < total_mults; ++i) {
+      expected ^= static_cast<std::uint32_t>(i) * 2654435761u;
+    }
+
+    AppResult result;
+    result.ok = total_done == total_mults && checksum == expected;
+    result.work_units = total_done;
+    result.detail = "mults=" + std::to_string(total_done) +
+                    (result.ok ? " checksum ok" : " CHECKSUM MISMATCH");
+    machine.DestroyTask(task);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreateParMult() { return std::make_unique<ParMult>(); }
+
+}  // namespace ace

@@ -1,0 +1,187 @@
+// PlyTrace — polygon rendering with a work-pile (Garcia's renderer).
+//
+// Paper section 3.2: "PlyTrace is a floating-point intensive C-threads program for
+// rendering artificial images in which surfaces are approximated by polygons. One of
+// its phases is parallelized by using as a work pile its queue of lists of polygons to
+// be rendered." Table 3: alpha = .96, beta = .50, gamma = 1.02.
+//
+// Model: a read-only scene of polygons (replicated once initialized), a shared
+// framebuffer of per-polygon tiles, and a private scanline workspace per thread. Each
+// polygon is fetched from the (replicated) scene, transformed and shaded with
+// floating-point computation into the private workspace, then blitted to its tile.
+// Tiles are disjoint, but many tiles share a page — the classic *false sharing*
+// pattern of section 4.2: the framebuffer pages migrate a few times and end up pinned
+// in global memory even though no word is ever written by two processors.
+//   variant 0 — tiles packed densely (false sharing present; the Table 3 shape)
+//   variant 1 — tiles padded to page boundaries (false sharing removed)
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/apps/costs.h"
+#include "src/apps/init_util.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+constexpr std::uint32_t kVertsPerPoly = 4;
+constexpr std::uint32_t kAttrWords = 16;   // 4 vertices x (x,y,z) + color + 3 params
+constexpr std::uint32_t kTileWords = 64;   // rendered samples per polygon
+constexpr std::uint32_t kSubSamples = 8;   // private shading samples per output sample
+
+float SceneAttr(std::uint32_t poly, std::uint32_t k) {
+  std::uint32_t h = poly * 2246822519u + k * 3266489917u;
+  h ^= h >> 15;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  return static_cast<float>(static_cast<double>(h % 10000u) / 10000.0);
+}
+
+// The deterministic "rendering" of sample s of polygon p — a small shading expression
+// over the polygon attributes, reproducible on the host for verification.
+float ShadeSample(const float* attrs, std::uint32_t s) {
+  float acc = 0.0f;
+  for (std::uint32_t v = 0; v < kVertsPerPoly; ++v) {
+    float x = attrs[v * 3];
+    float y = attrs[v * 3 + 1];
+    float z = attrs[v * 3 + 2];
+    float t = static_cast<float>(s + 1) * 0.015625f;
+    acc += (x * t + y * (1.0f - t)) * 0.5f + z * t * (1.0f - t);
+  }
+  return acc * attrs[12] + attrs[13];
+}
+
+class PlyTrace : public App {
+ public:
+  const char* name() const override { return "PlyTrace"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const OpCosts& costs = DefaultOpCosts();
+    const std::uint32_t polys = static_cast<std::uint32_t>(224 * config.scale) + 8;
+    const bool padded = config.variant == 1;
+    const std::uint32_t page_words = machine.page_size() / 4;
+    const std::uint32_t tile_stride = padded ? page_words : kTileWords;
+
+    Task* task = machine.CreateTask("plytrace");
+    VirtAddr scene_va = task->MapAnonymous(
+        "scene", static_cast<std::uint64_t>(polys) * kAttrWords * 4);
+    VirtAddr fb_va = task->MapAnonymous(
+        "framebuffer", static_cast<std::uint64_t>(polys) * tile_stride * 4);
+    VirtAddr bar_va = task->MapAnonymous("barrier", machine.page_size());
+    VirtAddr pile_va = task->MapAnonymous("workpile", machine.page_size());
+    // Per-thread scanline workspace, page-aligned and sized for all sub-samples.
+    const std::uint64_t ws_stride =
+        ((static_cast<std::uint64_t>(kTileWords) * kSubSamples * 4 + machine.page_size() - 1) /
+         machine.page_size()) *
+        machine.page_size();
+    VirtAddr ws_va = task->MapAnonymous(
+        "scanline-buffers", static_cast<std::uint64_t>(config.num_threads) * ws_stride);
+
+    Barrier barrier(bar_va, config.num_threads);
+    WorkPile pile(pile_va, polys, 2);
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(config.num_threads, [&](int tid, Env& env) {
+      std::uint32_t sense = 0;
+      SimSpan<float> scene(env, scene_va, static_cast<std::size_t>(polys) * kAttrWords);
+      SimSpan<float> fb(env, fb_va, static_cast<std::size_t>(polys) * tile_stride);
+      SimSpan<float> scanline(env, ws_va + static_cast<VirtAddr>(tid) * ws_stride,
+                              kTileWords * kSubSamples);
+
+      // Load the scene in page-aligned parallel slices (one writer per scene page);
+      // the polygon data is then read-only and replicates into every local memory.
+      {
+        WordRange r = PageAlignedSlice(static_cast<std::uint64_t>(polys) * kAttrWords,
+                                       page_words, tid, config.num_threads);
+        for (std::uint64_t w = r.lo; w < r.hi; ++w) {
+          scene[w] = SceneAttr(static_cast<std::uint32_t>(w / kAttrWords),
+                               static_cast<std::uint32_t>(w % kAttrWords));
+          env.Compute(costs.loop_iter);
+        }
+      }
+      barrier.Wait(env, &sense);
+
+      for (;;) {
+        WorkPile::Chunk c = pile.Grab(env);
+        if (c.empty()) {
+          break;
+        }
+        for (std::uint64_t p = c.begin; p < c.end; ++p) {
+          // Fetch polygon attributes (replicated read-only scene -> local fetches).
+          float attrs[kAttrWords];
+          for (std::uint32_t k = 0; k < kAttrWords; ++k) {
+            attrs[k] = scene.Get(static_cast<std::size_t>(p) * kAttrWords + k);
+          }
+          // Transform: floating-point matrix work, register-resident.
+          env.Compute(16 * costs.float_mul + 12 * costs.float_add);
+
+          // Shade sub-samples into the private scanline buffer (local stores), then
+          // resolve each output sample by averaging its sub-samples (local fetches).
+          for (std::uint32_t s = 0; s < kTileWords; ++s) {
+            for (std::uint32_t q = 0; q < kSubSamples; ++q) {
+              float val = ShadeSample(attrs, s) + static_cast<float>(q) * 1e-7f;
+              scanline[static_cast<std::size_t>(s) * kSubSamples + q] = val;
+              env.Compute(costs.float_mul);
+            }
+          }
+          for (std::uint32_t s = 0; s < kTileWords; ++s) {
+            float acc = 0.0f;
+            for (std::uint32_t q = 0; q < kSubSamples; ++q) {
+              acc += scanline.Get(static_cast<std::size_t>(s) * kSubSamples + q);
+              env.Compute(costs.float_add);
+            }
+            // Blit the resolved sample to this polygon's framebuffer tile (disjoint
+            // words, but tiles share pages unless padded).
+            fb[static_cast<std::size_t>(p) * tile_stride + s] = acc / kSubSamples;
+            env.Compute(costs.float_mul);
+          }
+        }
+      }
+    });
+
+    // Verify the framebuffer against a host rendering.
+    double max_err = 0.0;
+    for (std::uint32_t p = 0; p < polys; ++p) {
+      float attrs[kAttrWords];
+      for (std::uint32_t k = 0; k < kAttrWords; ++k) {
+        attrs[k] = SceneAttr(p, k);
+      }
+      for (std::uint32_t s = 0; s < kTileWords; ++s) {
+        float expected = 0.0f;
+        for (std::uint32_t q = 0; q < kSubSamples; ++q) {
+          expected += ShadeSample(attrs, s) + static_cast<float>(q) * 1e-7f;
+        }
+        expected /= kSubSamples;
+        std::uint32_t raw = machine.DebugRead(
+            *task, fb_va + (static_cast<VirtAddr>(p) * tile_stride + s) * 4);
+        float got;
+        std::memcpy(&got, &raw, 4);
+        double err = std::abs(static_cast<double>(got) - expected);
+        if (err > max_err) {
+          max_err = err;
+        }
+      }
+    }
+
+    AppResult result;
+    result.ok = max_err < 1e-4;
+    result.work_units = polys;
+    result.detail = std::string(padded ? "padded" : "packed") +
+                    " tiles, polys=" + std::to_string(polys) +
+                    " max_err=" + std::to_string(max_err) + (result.ok ? " ok" : " TOO LARGE");
+    machine.DestroyTask(task);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreatePlyTrace() { return std::make_unique<PlyTrace>(); }
+
+}  // namespace ace

@@ -1,0 +1,97 @@
+// Primes1 — trial division by all odd numbers (Beck & Olien style).
+//
+// Paper section 3.2: "Primes1 determines if an odd number is prime by dividing it by
+// all odd numbers less than its square root and checking for remainders. It computes
+// heavily (division is expensive on the ACE) and most of its memory references are to
+// the stack during subroutine linkage." Table 3: alpha = 1.0, beta = .06, gamma = 1.00.
+//
+// Each simulated division goes through a "subroutine" whose linkage stores and reloads
+// state on the thread's private stack region — those stack pages are the app's only
+// data references, are written by a single processor, and stay in local memory under
+// the automatic policy (but land in global memory under the Tglobal baseline).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/apps/costs.h"
+#include "src/apps/primes_common.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+class Primes1 : public App {
+ public:
+  const char* name() const override { return "Primes1"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const OpCosts& costs = DefaultOpCosts();
+    const std::uint32_t limit = static_cast<std::uint32_t>(20'000 * config.scale);
+
+    Task* task = machine.CreateTask("primes1");
+    VirtAddr pile_va = task->MapAnonymous("workpile", machine.page_size());
+    VirtAddr count_va = task->MapAnonymous("count", machine.page_size());
+    // One private stack page per thread (separate pages: stacks are per-process).
+    VirtAddr stacks_va = task->MapAnonymous(
+        "stacks", static_cast<std::uint64_t>(config.num_threads) * machine.page_size());
+
+    // Candidates are the odd numbers 3,5,... <= limit; work item i is 2i+3.
+    const std::uint64_t candidates = (limit - 1) / 2;
+    WorkPile pile(pile_va, candidates, 16);
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(config.num_threads, [&](int tid, Env& env) {
+      VirtAddr stack = stacks_va + static_cast<VirtAddr>(tid) * machine.page_size();
+      SimSpan<std::uint32_t> frame(env, stack, 16);
+      std::uint32_t found = 0;
+      for (;;) {
+        WorkPile::Chunk c = pile.Grab(env);
+        if (c.empty()) {
+          break;
+        }
+        for (std::uint64_t item = c.begin; item < c.end; ++item) {
+          std::uint32_t n = static_cast<std::uint32_t>(2 * item + 3);
+          bool prime = true;
+          for (std::uint32_t d = 3; d * d <= n; d += 2) {
+            // Subroutine linkage: push the argument, call the (expensive) divide
+            // routine, reload the result — one store + one fetch on the private stack.
+            frame[0] = n;
+            env.Compute(costs.trial_div + costs.func_call + costs.loop_iter);
+            std::uint32_t arg = frame.Get(0);
+            if (arg % d == 0) {
+              prime = false;
+              break;
+            }
+          }
+          if (prime) {
+            ++found;
+          }
+          env.Compute(costs.loop_iter);
+        }
+      }
+      // Publish the per-thread count once at the end.
+      env.FetchAdd(count_va, found);
+    });
+
+    std::uint32_t total = machine.DebugRead(*task, count_va);
+    // The simulated program tests odd numbers >= 3; add the prime 2.
+    std::uint32_t expected = HostPrimeCount(limit) - 1;
+
+    AppResult result;
+    result.ok = total == expected;
+    result.work_units = total;
+    result.detail = "limit=" + std::to_string(limit) + " odd primes=" + std::to_string(total) +
+                    (result.ok ? " ok" : " MISMATCH expected=" + std::to_string(expected));
+    machine.DestroyTask(task);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreatePrimes1() { return std::make_unique<Primes1>(); }
+
+}  // namespace ace

@@ -1,0 +1,174 @@
+// Primes2 — trial division by previously found primes (Carriero & Gelernter style).
+//
+// Paper section 3.2: "Primes2 divides each prime candidate by all previously found
+// primes less than its square root. Each thread keeps a private list of primes to be
+// used as divisors, so virtually all data references are local." Table 3:
+// alpha = .99, beta = .16, gamma = 1.00.
+//
+// Section 4.2 tells the history: the *initial* version used the shared output vector
+// of found primes directly as the divisor source. The output vector is written by any
+// processor that finds a prime, so its pages are writably shared and end up pinned in
+// global memory, making every divisor fetch a global reference — alpha was 0.66. The
+// fix copies the needed divisors into a private vector per thread, raising alpha to
+// 1.00. Both versions are implemented:
+//   variant 0 — private divisor copies (the Table 3 version)
+//   variant 1 — divisors fetched from the shared output vector (the initial version)
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/apps/costs.h"
+#include "src/apps/primes_common.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+class Primes2 : public App {
+ public:
+  const char* name() const override { return "Primes2"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const OpCosts& costs = DefaultOpCosts();
+    const std::uint32_t limit = static_cast<std::uint32_t>(40'000 * config.scale);
+    const std::uint32_t root = IntSqrt(limit);
+    const bool private_divisors = config.variant == 0;
+
+    Task* task = machine.CreateTask("primes2");
+    const std::uint32_t max_primes = limit / 4 + 64;
+    // Output vector: count/ticket word followed by the found primes.
+    VirtAddr out_va = task->MapAnonymous("output", (static_cast<std::uint64_t>(max_primes) + 2) * 4);
+    VirtAddr bar_va = task->MapAnonymous("barrier", machine.page_size());
+    VirtAddr pile_va = task->MapAnonymous("workpile", machine.page_size());
+    VirtAddr stacks_va = task->MapAnonymous(
+        "stacks", static_cast<std::uint64_t>(config.num_threads) * machine.page_size());
+    // Private divisor copies, one page-aligned slice per thread.
+    std::uint64_t priv_words_per_thread = machine.page_size() / 4;
+    VirtAddr priv_va = task->MapAnonymous(
+        "private-divisors",
+        static_cast<std::uint64_t>(config.num_threads) * machine.page_size());
+
+    Barrier barrier(bar_va, config.num_threads);
+
+    // Candidates are odd numbers in (root..limit]; base primes <= root are found
+    // serially by thread 0 first (they seed the output vector).
+    std::uint32_t first_candidate = root + 1 + ((root + 1) % 2 == 0 ? 1 : 0);
+    const std::uint64_t candidates = (limit - first_candidate) / 2 + 1;
+    WorkPile pile(pile_va, candidates, 16);
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(config.num_threads, [&](int tid, Env& env) {
+      std::uint32_t sense = 0;
+      SimSpan<std::uint32_t> out(env, out_va, max_primes + 2);
+      VirtAddr stack = stacks_va + static_cast<VirtAddr>(tid) * machine.page_size();
+      SimSpan<std::uint32_t> frame(env, stack, 16);
+
+      // Phase 1: thread 0 finds the base primes (3..root, odd trial division) and
+      // seeds the shared output vector. out[0] is the count; primes follow.
+      if (tid == 0) {
+        std::uint32_t count = 0;
+        out[1 + count] = 2;
+        ++count;
+        for (std::uint32_t n = 3; n <= root; n += 2) {
+          bool prime = true;
+          for (std::uint32_t d = 3; d * d <= n; d += 2) {
+            env.Compute(costs.int_div + costs.loop_iter);
+            if (n % d == 0) {
+              prime = false;
+              break;
+            }
+          }
+          if (prime) {
+            out[1 + count] = n;
+            ++count;
+          }
+        }
+        out[0] = count;
+      }
+      barrier.Wait(env, &sense);
+
+      std::uint32_t base_count = out.Get(0);
+
+      // Phase 2 setup: the fixed version copies the divisors it needs from the shared
+      // output vector into a private vector (paper section 4.2).
+      SimSpan<std::uint32_t> divisors =
+          private_divisors
+              ? SimSpan<std::uint32_t>(env, priv_va + static_cast<VirtAddr>(tid) *
+                                                          priv_words_per_thread * 4,
+                                       base_count)
+              : out.Sub(1, base_count);
+      if (private_divisors) {
+        for (std::uint32_t i = 0; i < base_count; ++i) {
+          divisors[i] = out.Get(1 + i);
+        }
+      }
+
+      // Phase 3: test candidates, dividing by previously found primes <= sqrt(c).
+      for (;;) {
+        WorkPile::Chunk c = pile.Grab(env);
+        if (c.empty()) {
+          break;
+        }
+        for (std::uint64_t item = c.begin; item < c.end; ++item) {
+          std::uint32_t n = static_cast<std::uint32_t>(first_candidate + 2 * item);
+          bool prime = true;
+          // Skip divisor 2 (candidates are odd).
+          for (std::uint32_t di = 1; di < base_count; ++di) {
+            std::uint32_t d = divisors.Get(di);
+            if (static_cast<std::uint64_t>(d) * d > n) {
+              break;
+            }
+            // Subroutine linkage on the private stack, then the divide.
+            frame[0] = n;
+            env.Compute(costs.int_div + costs.loop_iter);
+            std::uint32_t arg = frame.Get(0);
+            if (arg % d == 0) {
+              prime = false;
+              break;
+            }
+          }
+          if (prime) {
+            // Lock-free append: reserve a slot with an atomic fetch-and-add, then
+            // store. (The paper notes none of the applications spend much time
+            // contending for locks; a single lock here would convoy all seven threads.)
+            std::uint32_t idx = env.FetchAdd(out_va, 1);
+            out[1 + idx] = n;
+          }
+          env.Compute(costs.loop_iter);
+        }
+      }
+    });
+
+    std::uint32_t total = machine.DebugRead(*task, out_va);
+    std::uint32_t expected = HostPrimeCount(limit);
+
+    // Verify the contents, not just the count: every entry must be prime and distinct.
+    std::vector<std::uint32_t> got;
+    got.reserve(total);
+    for (std::uint32_t i = 0; i < total; ++i) {
+      got.push_back(machine.DebugRead(*task, out_va + 4 + static_cast<VirtAddr>(i) * 4));
+    }
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> host = HostPrimesUpTo(limit);
+    bool contents_ok = got == host;
+
+    AppResult result;
+    result.ok = total == expected && contents_ok;
+    result.work_units = total;
+    result.detail = std::string(private_divisors ? "private" : "shared") +
+                    " divisors, primes=" + std::to_string(total) +
+                    (result.ok ? " ok" : " MISMATCH expected=" + std::to_string(expected));
+    machine.DestroyTask(task);
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreatePrimes2() { return std::make_unique<Primes2>(); }
+
+}  // namespace ace

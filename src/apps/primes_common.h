@@ -1,0 +1,41 @@
+// Shared helpers for the three prime-finder applications.
+
+#ifndef SRC_APPS_PRIMES_COMMON_H_
+#define SRC_APPS_PRIMES_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ace {
+
+// Host-side reference sieve: primes in [2, n].
+inline std::vector<std::uint32_t> HostPrimesUpTo(std::uint32_t n) {
+  std::vector<bool> composite(static_cast<std::size_t>(n) + 1, false);
+  std::vector<std::uint32_t> primes;
+  for (std::uint32_t i = 2; i <= n; ++i) {
+    if (!composite[i]) {
+      primes.push_back(i);
+      for (std::uint64_t j = static_cast<std::uint64_t>(i) * i; j <= n; j += i) {
+        composite[static_cast<std::size_t>(j)] = true;
+      }
+    }
+  }
+  return primes;
+}
+
+inline std::uint32_t HostPrimeCount(std::uint32_t n) {
+  return static_cast<std::uint32_t>(HostPrimesUpTo(n).size());
+}
+
+// Largest integer d with d*d <= v.
+inline std::uint32_t IntSqrt(std::uint32_t v) {
+  std::uint32_t d = 0;
+  while ((d + 1) * static_cast<std::uint64_t>(d + 1) <= v) {
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace ace
+
+#endif  // SRC_APPS_PRIMES_COMMON_H_

@@ -1,0 +1,23 @@
+#include "src/apps/app.h"
+
+namespace ace {
+
+std::vector<AppFactory> AllAppFactories() {
+  // Table 3 row order.
+  return {
+      CreateParMult, CreateGfetch,  CreateIMatMult, CreatePrimes1,
+      CreatePrimes2, CreatePrimes3, CreateFft,      CreatePlyTrace,
+  };
+}
+
+std::unique_ptr<App> CreateAppByName(const std::string& name) {
+  for (const AppFactory& factory : AllAppFactories()) {
+    std::unique_ptr<App> app = factory();
+    if (name == app->name()) {
+      return app;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ace

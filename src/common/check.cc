@@ -1,0 +1,11 @@
+#include "src/common/check.h"
+
+namespace ace {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "ACE_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ace

@@ -1,0 +1,40 @@
+// Internal invariant checking.
+//
+// ACE_CHECK is always on (simulation correctness depends on these invariants; the cost
+// is negligible next to the simulated work). ACE_DCHECK compiles out in NDEBUG builds.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ace {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace ace
+
+#define ACE_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ace::CheckFailed(__FILE__, __LINE__, #expr, nullptr);  \
+    }                                                          \
+  } while (0)
+
+#define ACE_CHECK_MSG(expr, msg)                            \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::ace::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACE_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ACE_DCHECK(expr) ACE_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,65 @@
+// A small fixed-capacity set of processor ids, used for replica directories.
+//
+// The NUMA manager's directory (paper section 2.3.1) tracks which processors hold a
+// cached copy of each logical page. With at most 16 processors a bitmask suffices.
+
+#ifndef SRC_COMMON_PROC_SET_H_
+#define SRC_COMMON_PROC_SET_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace ace {
+
+class ProcSet {
+ public:
+  constexpr ProcSet() = default;
+
+  static constexpr ProcSet Single(ProcId p) {
+    ProcSet s;
+    s.Add(p);
+    return s;
+  }
+
+  constexpr void Add(ProcId p) { bits_ |= Bit(p); }
+  constexpr void Remove(ProcId p) { bits_ &= ~Bit(p); }
+  constexpr void Clear() { bits_ = 0; }
+
+  constexpr bool Contains(ProcId p) const { return (bits_ & Bit(p)) != 0; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+
+  // Lowest-numbered member, or kNoProc if empty.
+  constexpr ProcId First() const {
+    return bits_ == 0 ? kNoProc : static_cast<ProcId>(std::countr_zero(bits_));
+  }
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  constexpr bool operator==(const ProcSet&) const = default;
+
+  // Iterate members in increasing processor order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::uint32_t b = bits_;
+    while (b != 0) {
+      ProcId p = static_cast<ProcId>(std::countr_zero(b));
+      b &= b - 1;
+      fn(p);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t Bit(ProcId p) {
+    return std::uint32_t{1} << static_cast<std::uint32_t>(p);
+  }
+
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace ace
+
+#endif  // SRC_COMMON_PROC_SET_H_

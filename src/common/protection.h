@@ -1,0 +1,55 @@
+// Page protections.
+//
+// Mach's pmap interface passes protections to pmap_enter / pmap_protect. The paper's
+// second pmap extension (section 2.3.3) distinguishes the *maximum* (loosest)
+// permission the user is allowed from the *minimum* (strictest) permission needed to
+// resolve the current fault, letting the NUMA layer provisionally map writable pages
+// read-only so they can be replicated.
+
+#ifndef SRC_COMMON_PROTECTION_H_
+#define SRC_COMMON_PROTECTION_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace ace {
+
+enum class Protection : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kReadWrite = 2,
+};
+
+inline bool Allows(Protection prot, AccessKind kind) {
+  if (kind == AccessKind::kFetch) {
+    return prot != Protection::kNone;
+  }
+  return prot == Protection::kReadWrite;
+}
+
+// The strictest protection needed to satisfy an access of the given kind.
+inline Protection MinProtFor(AccessKind kind) {
+  return kind == AccessKind::kFetch ? Protection::kRead : Protection::kReadWrite;
+}
+
+// True if `a` is at most as permissive as `b`.
+inline bool ProtLeq(Protection a, Protection b) {
+  return static_cast<std::uint8_t>(a) <= static_cast<std::uint8_t>(b);
+}
+
+inline const char* ProtName(Protection p) {
+  switch (p) {
+    case Protection::kNone:
+      return "none";
+    case Protection::kRead:
+      return "read";
+    case Protection::kReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+}  // namespace ace
+
+#endif  // SRC_COMMON_PROTECTION_H_

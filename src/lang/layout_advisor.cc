@@ -1,0 +1,69 @@
+#include "src/lang/layout_advisor.h"
+
+namespace ace {
+
+LayoutPlan AdviseLayout(const RefTracer& tracer) {
+  LayoutPlan plan;
+  std::vector<FalseSharingFinding> findings = tracer.FindFalseSharing();
+  auto falsely_shared = [&](const std::string& name) {
+    for (const FalseSharingFinding& f : findings) {
+      if (f.object_name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const TracedObject& object : tracer.objects()) {
+    ObjectAdvice advice;
+    advice.name = object.name;
+    advice.bytes = object.bytes;
+    advice.was_falsely_shared = falsely_shared(object.name);
+    switch (object.counts.Classify()) {
+      case SharingClass::kUnreferenced:
+      case SharingClass::kPrivate: {
+        advice.cls = DataClass::kPrivate;
+        ProcId owner = object.counts.Referencers().First();
+        advice.owner_tid = owner == kNoProc ? 0 : owner;
+        break;
+      }
+      case SharingClass::kReadShared:
+        advice.cls = DataClass::kReadShared;
+        break;
+      case SharingClass::kWritablyShared: {
+        // The paper's IMatMult lesson: "data that is writable, but that is never
+        // written" (after initialization) should replicate. An object with a single
+        // writing processor and an overwhelmingly read-dominated mix is init-then-read:
+        // classify it read-shared so it is not colocated with genuinely shared data.
+        const RefCounts& c = object.counts;
+        bool read_mostly = c.writers.Count() == 1 &&
+                           c.stores * 20 < c.fetches + c.stores;  // < 5% stores
+        advice.cls = read_mostly ? DataClass::kReadShared : DataClass::kWritablyShared;
+        break;
+      }
+    }
+    if (advice.was_falsely_shared) {
+      plan.falsely_shared++;
+    }
+    plan.objects.push_back(std::move(advice));
+  }
+  return plan;
+}
+
+std::string FormatPlan(const LayoutPlan& plan) {
+  std::string out = "layout plan (" + std::to_string(plan.objects.size()) + " objects, " +
+                    std::to_string(plan.falsely_shared) + " falsely shared):\n";
+  for (const ObjectAdvice& o : plan.objects) {
+    out += "  " + o.name + ": " + DataClassName(o.cls);
+    if (o.cls == DataClass::kPrivate) {
+      out += " (thread " + std::to_string(o.owner_tid) + ")";
+    }
+    if (o.was_falsely_shared) {
+      out += "  <- falsely shared; will be segregated";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ace

@@ -1,0 +1,246 @@
+#include "src/machine/machine.h"
+
+namespace ace {
+
+namespace {
+// An access can fault at most twice before succeeding (no-mapping then protection, or
+// a Rosetta displacement refault); more retries indicate a protocol livelock.
+constexpr int kMaxFaultRetries = 4;
+}  // namespace
+
+Machine::Machine(Options options)
+    : options_(std::move(options)),
+      page_shift_(options_.config.PageShift()),
+      clocks_(options_.config.num_processors),
+      bus_(options_.bus),
+      phys_(options_.config) {
+  options_.config.Validate();
+  if (options_.custom_policy != nullptr) {
+    active_policy_ = options_.custom_policy;
+  } else {
+    switch (options_.policy.kind) {
+    case PolicySpec::Kind::kMoveLimit:
+      policy_ = std::make_unique<MoveLimitPolicy>(
+          options_.config.global_pages,
+          MoveLimitPolicy::Options{options_.policy.move_threshold}, &stats_);
+      break;
+    case PolicySpec::Kind::kAllGlobal:
+      policy_ = std::make_unique<AllGlobalPolicy>();
+      break;
+    case PolicySpec::Kind::kAllLocal:
+      policy_ = std::make_unique<AllLocalPolicy>();
+      break;
+    case PolicySpec::Kind::kReconsider:
+      policy_ = std::make_unique<ReconsiderPolicy>(
+          options_.config.global_pages,
+          ReconsiderPolicy::Options{options_.policy.move_threshold,
+                                    options_.policy.reconsider_after_ns},
+          &stats_, &clocks_);
+      break;
+    case PolicySpec::Kind::kRemoteHome:
+      policy_ = std::make_unique<RemoteHomePolicy>(
+          options_.config.global_pages,
+          RemoteHomePolicy::Options{options_.policy.move_threshold}, &stats_);
+      break;
+    }
+    active_policy_ = policy_.get();
+  }
+  pmap_ = std::make_unique<PmapAce>(options_.config, &phys_, &clocks_, &stats_, &bus_,
+                                    active_policy_);
+  pool_ = std::make_unique<PagePool>(options_.config.global_pages, pmap_.get());
+  if (options_.enable_pager) {
+    pager_ = std::make_unique<AcePager>(options_.pager, pmap_.get(), pool_.get(), &clocks_,
+                                        options_.config.page_size);
+    pmap_->SetFreeListener(
+        [](void* ctx, LogicalPage lp) { static_cast<AcePager*>(ctx)->NoteFreed(lp); },
+        pager_.get());
+  }
+  fault_handler_ = std::make_unique<FaultHandler>(pmap_.get(), pool_.get(), pager_.get());
+}
+
+Machine::~Machine() {
+  for (auto& task : tasks_) {
+    if (task != nullptr) {
+      task->ReleaseAll(*pool_);
+    }
+  }
+  tasks_.clear();
+  pool_->Drain();
+}
+
+Task* Machine::CreateTask(const std::string& name) {
+  ++task_counter_;
+  VirtAddr va_base = (task_counter_ << 32) | 0x10000;
+  tasks_.push_back(std::make_unique<Task>(name, pmap_.get(), options_.config.page_size, va_base));
+  return tasks_.back().get();
+}
+
+void Machine::DestroyTask(Task* task) {
+  for (auto& slot : tasks_) {
+    if (slot.get() == task) {
+      slot->ReleaseAll(*pool_);
+      slot.reset();
+      return;
+    }
+  }
+  ACE_CHECK_MSG(false, "DestroyTask: unknown task");
+}
+
+AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
+                             std::uint32_t* value) {
+  ACE_DCHECK(proc >= 0 && proc < options_.config.num_processors);
+  ACE_DCHECK(va % kWordBytes == 0);
+  VirtPage vpage = va >> page_shift_;
+  for (int attempt = 0; attempt < kMaxFaultRetries; ++attempt) {
+    TranslateResult t = pmap_->Translate(proc, vpage, kind);
+    if (t.ok()) {
+      MemoryClass cls = t.frame.ClassFor(proc);
+      TimeNs cost = options_.config.latency.Cost(cls, kind);
+      if (cls != MemoryClass::kLocal && bus_.options().model_contention) {
+        // Bus contention dilates every transaction that crosses the IPC bus.
+        cost = static_cast<TimeNs>(static_cast<double>(cost) * bus_.DilationFactor());
+      }
+      clocks_.ChargeUser(proc, cost);
+      stats_.RecordRef(proc, cls, kind);
+      if (cls != MemoryClass::kLocal) {
+        bus_.RecordTransfer(kWordBytes, clocks_.now(proc));
+      }
+      std::uint32_t offset = static_cast<std::uint32_t>(va & (options_.config.page_size - 1));
+      if (kind == AccessKind::kFetch) {
+        *value = phys_.ReadWord(t.frame, offset);
+      } else {
+        phys_.WriteWord(t.frame, offset, *value);
+      }
+      if (ref_observer_ != nullptr) {
+        ref_observer_(ref_observer_ctx_, proc, va, kind, cls);
+      }
+      return AccessStatus::kOk;
+    }
+    // Page fault: trap into the kernel and resolve through the machine-independent VM.
+    stats_.page_faults++;
+    clocks_.ChargeSystem(proc, options_.config.kernel.fault_base_ns);
+    pmap_->SetCurrentProc(proc);
+    FaultStatus fs = fault_handler_->Handle(task, va, kind, proc);
+    switch (fs) {
+      case FaultStatus::kResolved:
+        continue;
+      case FaultStatus::kBadAddress:
+        return AccessStatus::kBadAddress;
+      case FaultStatus::kProtectionViolation:
+        return AccessStatus::kProtectionViolation;
+      case FaultStatus::kOutOfMemory:
+        return AccessStatus::kOutOfMemory;
+    }
+  }
+  ACE_CHECK_MSG(false, "access livelock: fault did not establish a usable mapping");
+}
+
+std::uint32_t Machine::LoadWord(Task& task, ProcId proc, VirtAddr va) {
+  std::uint32_t value = 0;
+  AccessStatus s = Access(task, proc, va, AccessKind::kFetch, &value);
+  ACE_CHECK_MSG(s == AccessStatus::kOk, "LoadWord failed");
+  return value;
+}
+
+void Machine::StoreWord(Task& task, ProcId proc, VirtAddr va, std::uint32_t value) {
+  AccessStatus s = Access(task, proc, va, AccessKind::kStore, &value);
+  ACE_CHECK_MSG(s == AccessStatus::kOk, "StoreWord failed");
+}
+
+std::uint32_t Machine::TestAndSet(Task& task, ProcId proc, VirtAddr va,
+                                  std::uint32_t new_value) {
+  // One fiber runs at a time, so read-then-write is atomic at simulation level; both
+  // halves are charged (the hardware primitive performs a bus read-modify-write).
+  std::uint32_t old_value = LoadWord(task, proc, va);
+  StoreWord(task, proc, va, new_value);
+  return old_value;
+}
+
+std::uint32_t Machine::FetchAdd(Task& task, ProcId proc, VirtAddr va, std::uint32_t delta) {
+  std::uint32_t old_value = LoadWord(task, proc, va);
+  StoreWord(task, proc, va, old_value + delta);
+  return old_value;
+}
+
+std::uint32_t Machine::FetchOr(Task& task, ProcId proc, VirtAddr va, std::uint32_t bits) {
+  std::uint32_t old_value = LoadWord(task, proc, va);
+  StoreWord(task, proc, va, old_value | bits);
+  return old_value;
+}
+
+AccessStatus Machine::TryAccess(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
+                                std::uint32_t* value) {
+  return Access(task, proc, va, kind, value);
+}
+
+LogicalPage Machine::ResolveDebugPage(Task& task, VirtAddr va, bool materialize) {
+  const Region* region = task.FindRegion(va);
+  ACE_CHECK_MSG(region != nullptr, "debug access outside any region");
+  // Copy-on-write regions: a private shadow copy, when present, is the current page.
+  if (region->shadow != nullptr) {
+    std::uint64_t shadow_page = (va - region->start) / options_.config.page_size;
+    LogicalPage lp = region->shadow->PageAt(shadow_page);
+    if (lp != kNoLogicalPage) {
+      return lp;
+    }
+  }
+  std::uint64_t object_page =
+      (region->object_offset + (va - region->start)) / options_.config.page_size;
+  if (materialize) {
+    return region->object->GetOrCreatePage(object_page, *pool_, *pmap_);
+  }
+  return region->object->PageAt(object_page);
+}
+
+std::uint32_t Machine::DebugRead(Task& task, VirtAddr va) {
+  LogicalPage lp = ResolveDebugPage(task, va, /*materialize=*/false);
+  if (lp == kNoLogicalPage) {
+    return 0;  // untouched anonymous memory reads as zero
+  }
+  std::uint32_t offset = static_cast<std::uint32_t>(va & (options_.config.page_size - 1));
+  return pmap_->manager().DebugReadWord(lp, offset);
+}
+
+void Machine::DebugWrite(Task& task, VirtAddr va, std::uint32_t value) {
+  LogicalPage lp = ResolveDebugPage(task, va, /*materialize=*/true);
+  ACE_CHECK_MSG(lp != kNoLogicalPage, "DebugWrite: out of logical pages");
+  std::uint32_t offset = static_cast<std::uint32_t>(va & (options_.config.page_size - 1));
+  pmap_->manager().DebugWriteWord(lp, offset, value);
+}
+
+std::uint32_t Machine::ReexamineGlobalPages(ProcId proc) {
+  NumaManager& manager = pmap_->manager();
+  std::uint32_t count = 0;
+  for (LogicalPage lp = 0; lp < manager.num_pages(); ++lp) {
+    if (manager.PageInfo(lp).state == PageState::kGlobalWritable) {
+      pmap_->RemoveAll(lp);
+      clocks_.ChargeSystem(proc, options_.config.kernel.consistency_op_ns);
+      ++count;
+    }
+  }
+  return count;
+}
+
+MoveLimitPolicy* Machine::move_limit_policy() {
+  if (options_.custom_policy != nullptr ||
+      options_.policy.kind != PolicySpec::Kind::kMoveLimit) {
+    return nullptr;
+  }
+  return static_cast<MoveLimitPolicy*>(policy_.get());
+}
+
+ReconsiderPolicy* Machine::reconsider_policy() {
+  if (options_.custom_policy != nullptr ||
+      options_.policy.kind != PolicySpec::Kind::kReconsider) {
+    return nullptr;
+  }
+  return static_cast<ReconsiderPolicy*>(policy_.get());
+}
+
+const NumaPageInfo& Machine::PageInfoFor(Task& task, VirtAddr va) {
+  LogicalPage lp = ResolveDebugPage(task, va, /*materialize=*/true);
+  ACE_CHECK(lp != kNoLogicalPage);
+  return pmap_->manager().PageInfo(lp);
+}
+
+}  // namespace ace

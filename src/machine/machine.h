@@ -1,0 +1,221 @@
+// The assembled simulated ACE: the public entry point of the library.
+//
+// A Machine wires together the physical memory, per-processor MMUs, the Mach-like VM
+// (tasks, logical page pool, fault handler) and the ACE pmap layer (NUMA manager +
+// policy), and exposes the reference path that simulated programs use:
+//
+//     ace::Machine m(ace::Machine::Options{});
+//     ace::Task* task = m.CreateTask("app");
+//     ace::VirtAddr va = task->MapAnonymous("data", 64 * 1024);
+//     m.StoreWord(*task, /*proc=*/0, va, 42);
+//     std::uint32_t v = m.LoadWord(*task, /*proc=*/1, va);
+//
+// Every load/store is translated by the accessing processor's MMU; misses fault into
+// the VM layer, which calls pmap_enter; the NUMA policy and manager decide placement
+// and maintain consistency. User time is charged per reference at the latency of the
+// memory class that actually served it; kernel work charges system time.
+
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/protection.h"
+#include "src/common/types.h"
+#include "src/numa/numa_manager.h"
+#include "src/numa/pmap_ace.h"
+#include "src/numa/policies.h"
+#include "src/numa/policy.h"
+#include "src/sim/bus.h"
+#include "src/sim/clocks.h"
+#include "src/sim/machine_config.h"
+#include "src/sim/physical_memory.h"
+#include "src/sim/stats.h"
+#include "src/machine/pageout.h"
+#include "src/vm/fault.h"
+#include "src/vm/page_pool.h"
+#include "src/vm/task.h"
+
+namespace ace {
+
+// Which NUMA policy the machine boots with.
+struct PolicySpec {
+  enum class Kind {
+    kMoveLimit,   // the paper's policy (default)
+    kAllGlobal,   // Tglobal baseline
+    kAllLocal,    // Tlocal measurement / thrashing demonstration
+    kReconsider,  // future-work extension: pins expire
+    kRemoteHome,  // section 4.4 extension: home pages remotely instead of pinning
+  };
+
+  Kind kind = Kind::kMoveLimit;
+  int move_threshold = 4;
+  TimeNs reconsider_after_ns = 50'000'000;
+
+  static PolicySpec MoveLimit(int threshold = 4) {
+    return PolicySpec{Kind::kMoveLimit, threshold, 0};
+  }
+  static PolicySpec AllGlobal() { return PolicySpec{Kind::kAllGlobal, 0, 0}; }
+  static PolicySpec AllLocal() { return PolicySpec{Kind::kAllLocal, 0, 0}; }
+  static PolicySpec Reconsider(int threshold, TimeNs after_ns) {
+    return PolicySpec{Kind::kReconsider, threshold, after_ns};
+  }
+  static PolicySpec RemoteHome(int threshold = 4) {
+    return PolicySpec{Kind::kRemoteHome, threshold, 0};
+  }
+
+  const char* Name() const {
+    switch (kind) {
+      case Kind::kMoveLimit:
+        return "move-limit";
+      case Kind::kAllGlobal:
+        return "all-global";
+      case Kind::kAllLocal:
+        return "all-local";
+      case Kind::kReconsider:
+        return "reconsider";
+      case Kind::kRemoteHome:
+        return "remote-home";
+    }
+    return "?";
+  }
+};
+
+enum class AccessStatus {
+  kOk = 0,
+  kBadAddress = 1,
+  kProtectionViolation = 2,
+  kOutOfMemory = 3,
+};
+
+class Machine {
+ public:
+  struct Options {
+    MachineConfig config;
+    PolicySpec policy;
+    IpcBus::Options bus;
+    // When set, use this policy instead of constructing one from `policy`. Not owned;
+    // must outlive the machine. Intended for tests and custom-policy experiments.
+    NumaPolicy* custom_policy = nullptr;
+    // When true, exhaustion of the logical page pool pages a victim out to simulated
+    // backing store instead of failing the fault (and pages it back in on next touch,
+    // resetting its placement decisions — the paper's section 4.3 footnote).
+    bool enable_pager = false;
+    PagerOptions pager;
+  };
+
+  explicit Machine(Options options);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- tasks -------------------------------------------------------------------------
+  Task* CreateTask(const std::string& name);
+  void DestroyTask(Task* task);
+
+  // --- the reference path --------------------------------------------------------------
+  // 32-bit load/store as issued by processor `proc`. Aborts (ACE_CHECK) on bad
+  // addresses — simulated programs are expected to be correct; use TryAccess for
+  // fault-status tests.
+  std::uint32_t LoadWord(Task& task, ProcId proc, VirtAddr va);
+  void StoreWord(Task& task, ProcId proc, VirtAddr va, std::uint32_t value);
+
+  // Atomic read-modify-write (the ACE's test-and-set style primitive): writes
+  // `new_value` and returns the previous value, charging one fetch + one store.
+  std::uint32_t TestAndSet(Task& task, ProcId proc, VirtAddr va, std::uint32_t new_value);
+  // Atomic fetch-and-add; returns the previous value.
+  std::uint32_t FetchAdd(Task& task, ProcId proc, VirtAddr va, std::uint32_t delta);
+  // Atomic fetch-and-or (bit masking without lost updates); returns the previous value.
+  std::uint32_t FetchOr(Task& task, ProcId proc, VirtAddr va, std::uint32_t bits);
+
+  // Non-aborting access (for tests of fault semantics).
+  AccessStatus TryAccess(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
+                         std::uint32_t* value);
+
+  // Pure computation: charge `ns` of user time to `proc` without touching memory.
+  void Compute(ProcId proc, TimeNs ns) { clocks_.ChargeUser(proc, ns); }
+
+  // Drop all mappings of global-writable pages, forcing the next reference to each to
+  // fault and re-consult the NUMA policy. Pinned pages are otherwise mapped with
+  // maximum permissions and never fault again, so a reconsidering policy would never
+  // get asked — the paper notes a pin is only revisited if "the pinned page is paged
+  // out and back in"; this is the hook a reconsideration daemon uses. Charges system
+  // time to `proc`. Returns the number of pages re-examined.
+  std::uint32_t ReexamineGlobalPages(ProcId proc);
+
+  // --- debug access (no clock/stat side effects) ----------------------------------------
+  std::uint32_t DebugRead(Task& task, VirtAddr va);
+  void DebugWrite(Task& task, VirtAddr va, std::uint32_t value);
+
+  // --- introspection --------------------------------------------------------------------
+  const MachineConfig& config() const { return options_.config; }
+  ProcClocks& clocks() { return clocks_; }
+  const ProcClocks& clocks() const { return clocks_; }
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+  IpcBus& bus() { return bus_; }
+  PhysicalMemory& physical_memory() { return phys_; }
+  PagePool& page_pool() { return *pool_; }
+  PmapAce& pmap() { return *pmap_; }
+  NumaManager& numa_manager() { return pmap_->manager(); }
+  NumaPolicy& policy() { return *active_policy_; }
+  // The pageout daemon, or nullptr when the machine runs without backing store.
+  AcePager* pager() { return pager_.get(); }
+  const PolicySpec& policy_spec() const { return options_.policy; }
+
+  // Typed policy accessors (nullptr if the machine runs a different policy).
+  MoveLimitPolicy* move_limit_policy();
+  ReconsiderPolicy* reconsider_policy();
+
+  // NUMA state of the page backing `va` in `task` (page must be materialized).
+  const NumaPageInfo& PageInfoFor(Task& task, VirtAddr va);
+  // The logical page backing `va` (materializing it if needed).
+  LogicalPage DebugLogicalPage(Task& task, VirtAddr va) {
+    return ResolveDebugPage(task, va, /*materialize=*/true);
+  }
+
+  std::uint32_t page_size() const { return options_.config.page_size; }
+  int num_processors() const { return options_.config.num_processors; }
+
+  // Optional observer of every data reference (used by the trace module). The hook
+  // sees (proc, va, kind, memory class served from). At most one observer.
+  using RefObserver = void (*)(void* ctx, ProcId proc, VirtAddr va, AccessKind kind,
+                               MemoryClass cls);
+  void SetRefObserver(RefObserver observer, void* ctx) {
+    ref_observer_ = observer;
+    ref_observer_ctx_ = ctx;
+  }
+
+ private:
+  AccessStatus Access(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
+                      std::uint32_t* value);
+  LogicalPage ResolveDebugPage(Task& task, VirtAddr va, bool materialize);
+
+  Options options_;
+  std::uint32_t page_shift_;
+
+  MachineStats stats_;
+  ProcClocks clocks_;
+  IpcBus bus_;
+  PhysicalMemory phys_;
+  std::unique_ptr<NumaPolicy> policy_;       // owned policy (when not custom)
+  NumaPolicy* active_policy_ = nullptr;      // the policy actually in use
+  std::unique_ptr<PmapAce> pmap_;
+  std::unique_ptr<PagePool> pool_;
+  std::unique_ptr<AcePager> pager_;
+  std::unique_ptr<FaultHandler> fault_handler_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::uint64_t task_counter_ = 0;
+
+  RefObserver ref_observer_ = nullptr;
+  void* ref_observer_ctx_ = nullptr;
+};
+
+}  // namespace ace
+
+#endif  // SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,56 @@
+#include "src/metrics/experiment.h"
+
+#include "src/common/check.h"
+
+namespace ace {
+
+PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec policy,
+                          int num_processors, int num_threads) {
+  Machine::Options mo;
+  mo.config = options.config;
+  mo.config.num_processors = num_processors;
+  mo.policy = policy;
+  mo.bus.model_contention = options.bus_contention;
+  Machine machine(mo);
+
+  AppConfig cfg;
+  cfg.num_threads = num_threads;
+  cfg.scale = options.scale;
+  cfg.variant = options.variant;
+  cfg.runtime.scheduler = options.scheduler;
+
+  PlacementRun run;
+  run.app = app.Run(machine, cfg);
+  run.user_sec = static_cast<double>(machine.clocks().TotalUser()) * 1e-9;
+  run.system_sec = static_cast<double>(machine.clocks().TotalSystem()) * 1e-9;
+  run.stats = machine.stats();
+  run.measured_alpha = machine.stats().MeasuredAlpha();
+  run.pages_pinned = machine.stats().pages_pinned;
+  return run;
+}
+
+ExperimentResult RunExperiment(const std::string& app_name, const ExperimentOptions& options) {
+  std::unique_ptr<App> app = CreateAppByName(app_name);
+  ACE_CHECK_MSG(app != nullptr, "unknown application");
+
+  ExperimentResult result;
+  result.app_name = app_name;
+  result.gl_ratio = app->ModelGL(options.config.latency);
+
+  // Tnuma: the automatic policy with the configured move threshold.
+  result.numa = RunPlacement(*app, options, PolicySpec::MoveLimit(options.move_threshold),
+                             options.config.num_processors, options.num_threads);
+  // Tglobal: all data pages in global memory.
+  result.global = RunPlacement(*app, options, PolicySpec::AllGlobal(),
+                               options.config.num_processors, options.num_threads);
+  // Tlocal: one thread on a one-processor machine; with a single processor the
+  // automatic policy never moves a page, so all data stays local.
+  result.local = RunPlacement(*app, options, PolicySpec::MoveLimit(options.move_threshold),
+                              /*num_processors=*/1, /*num_threads=*/1);
+
+  result.model = SolveModel(result.numa.user_sec, result.global.user_sec,
+                            result.local.user_sec, result.gl_ratio);
+  return result;
+}
+
+}  // namespace ace

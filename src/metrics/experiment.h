@@ -1,0 +1,64 @@
+// The Table 3 / Table 4 experiment runner.
+//
+// Reproduces the paper's measurement procedure (section 3.1):
+//   Tnuma   — total user time across all processors under the automatic policy;
+//   Tglobal — total user time with a modified policy placing all data pages in global
+//             memory;
+//   Tlocal  — total user time of a single-threaded run on a single-processor system,
+//             where all data is necessarily local;
+//   Snuma / Sglobal — the corresponding total system times (Table 4).
+// Alpha, beta, gamma are then derived with the analytic model.
+
+#ifndef SRC_METRICS_EXPERIMENT_H_
+#define SRC_METRICS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/machine/machine.h"
+#include "src/metrics/model.h"
+
+namespace ace {
+
+struct ExperimentOptions {
+  MachineConfig config;         // base machine (processor count = parallel runs)
+  int num_threads = 7;          // worker threads for the numa/global runs
+  double scale = 1.0;           // workload scale
+  int variant = 0;              // app variant
+  int move_threshold = 4;       // MoveLimit pin threshold for the numa run
+  SchedulerKind scheduler = SchedulerKind::kAffinity;
+  bool bus_contention = false;
+};
+
+// One placement run of one application.
+struct PlacementRun {
+  double user_sec = 0.0;
+  double system_sec = 0.0;
+  AppResult app;
+  MachineStats stats;
+  double measured_alpha = 0.0;  // directly counted locality fraction
+  std::uint64_t pages_pinned = 0;
+};
+
+struct ExperimentResult {
+  std::string app_name;
+  PlacementRun numa;
+  PlacementRun global;
+  PlacementRun local;
+  ModelParams model;  // derived from the three user times
+  double gl_ratio = 2.0;
+
+  bool AllOk() const { return numa.app.ok && global.app.ok && local.app.ok; }
+};
+
+// Run one application under one policy/machine combination.
+PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec policy,
+                          int num_processors, int num_threads);
+
+// Run the full three-placement experiment for `app_name`.
+ExperimentResult RunExperiment(const std::string& app_name, const ExperimentOptions& options);
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_EXPERIMENT_H_

@@ -1,0 +1,70 @@
+// Minimal fixed-width text table formatter for the reproduction benches.
+
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) {
+          widths[c] = row[c].size();
+        }
+      }
+    }
+    PrintRow(out, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) {
+        rule += "+";
+      }
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(out, row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(std::FILE* out, const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::fprintf(out, " %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      if (c + 1 < widths.size()) {
+        std::fprintf(out, "|");
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Printf-style float formatting helpers used by the benches.
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_TABLE_H_

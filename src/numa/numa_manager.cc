@@ -1,0 +1,593 @@
+#include "src/numa/numa_manager.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+NumaManager::NumaManager(const MachineConfig& config, PhysicalMemory* phys, ProcClocks* clocks,
+                         MachineStats* stats, IpcBus* bus, NumaPolicy* policy,
+                         MappingControl* mappings)
+    : phys_(phys),
+      clocks_(clocks),
+      stats_(stats),
+      bus_(bus),
+      policy_(policy),
+      mappings_(mappings),
+      kernel_(config.kernel),
+      page_size_(config.page_size),
+      pages_(config.global_pages) {}
+
+NumaPageInfo& NumaManager::Info(LogicalPage lp) {
+  ACE_CHECK(lp < pages_.size());
+  return pages_[lp];
+}
+
+const NumaPageInfo& NumaManager::PageInfo(LogicalPage lp) const {
+  ACE_CHECK(lp < pages_.size());
+  return pages_[lp];
+}
+
+void NumaManager::TraceCleanup(const char* what) {
+  if (trace_actions_) {
+    last_trace_.cleanup.emplace_back(what);
+  }
+}
+
+void NumaManager::MarkZeroPending(LogicalPage lp) {
+  NumaPageInfo& info = Info(lp);
+  ACE_CHECK_MSG(info.state == PageState::kReadOnly && info.copies.Empty(),
+                "ZeroPage on a page that already has cache state");
+  info.zero_pending = true;
+}
+
+void NumaManager::SetPragma(LogicalPage lp, PlacementPragma pragma) {
+  Info(lp).pragma = pragma;
+  policy_->NoteAdvice(lp, pragma);
+}
+
+// --- consistency primitives ----------------------------------------------------------
+
+void NumaManager::SyncOwner(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  ACE_CHECK((info.state == PageState::kLocalWritable ||
+             info.state == PageState::kRemoteHomed) &&
+            info.owner != kNoProc);
+  std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+  ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
+  FrameRef local = FrameRef::Local(info.owner, frame_idx);
+  FrameRef global = FrameRef::Global(lp);
+  TimeNs cost = phys_->CopyPage(local, global, proc);
+  ChargeSystem(proc, cost + kernel_.consistency_op_ns);
+  bus_->RecordTransfer(page_size_, clocks_->now(proc));
+  stats_->page_syncs++;
+}
+
+void NumaManager::FlushCopy(LogicalPage lp, ProcId holder, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  ACE_CHECK(info.copies.Contains(holder));
+  mappings_->RemoveMappingsOn(lp, holder);
+  std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(holder)];
+  ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
+  phys_->FreeLocal(FrameRef::Local(holder, frame_idx));
+  info.local_frame[static_cast<std::size_t>(holder)] = NumaPageInfo::kNoFrame;
+  info.copies.Remove(holder);
+  ChargeSystem(proc, kernel_.consistency_op_ns);
+  stats_->page_flushes++;
+}
+
+void NumaManager::FlushAllCopies(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  info.copies.ForEach([&](ProcId holder) { FlushCopy(lp, holder, proc); });
+}
+
+void NumaManager::FlushCopiesExcept(LogicalPage lp, ProcId keep, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  info.copies.ForEach([&](ProcId holder) {
+    if (holder != keep) {
+      FlushCopy(lp, holder, proc);
+    }
+  });
+}
+
+void NumaManager::UnmapAll(LogicalPage lp, ProcId proc) {
+  mappings_->RemoveAllMappings(lp);
+  ChargeSystem(proc, kernel_.consistency_op_ns);
+  stats_->page_unmaps++;
+}
+
+bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  if (info.copies.Contains(proc)) {
+    return true;
+  }
+  FrameRef frame = phys_->AllocLocal(proc);
+  if (!frame.valid()) {
+    stats_->local_alloc_failures++;
+    return false;
+  }
+  TimeNs cost;
+  if (info.zero_pending) {
+    // Lazy zero-fill lands directly in the destination local memory — the optimization
+    // of paper section 2.3.1 (avoid zeroing global memory and immediately copying).
+    cost = phys_->ZeroPage(frame, proc);
+    stats_->zero_fills++;
+  } else {
+    cost = phys_->CopyPage(FrameRef::Global(lp), frame, proc);
+    bus_->RecordTransfer(page_size_, clocks_->now(proc));
+    stats_->page_copies++;
+  }
+  ChargeSystem(proc, cost);
+  info.local_frame[static_cast<std::size_t>(proc)] = frame.index;
+  info.copies.Add(proc);
+  if (trace_actions_) {
+    last_trace_.copied_to_local = true;
+  }
+  return true;
+}
+
+void NumaManager::MaterializeGlobalZero(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  if (!info.zero_pending) {
+    return;
+  }
+  TimeNs cost = phys_->ZeroPage(FrameRef::Global(lp), proc);
+  ChargeSystem(proc, cost);
+  bus_->RecordTransfer(page_size_, clocks_->now(proc));
+  stats_->zero_fills++;
+  info.zero_pending = false;
+}
+
+void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  ACE_CHECK(info.copies.Contains(proc));
+  info.state = PageState::kLocalWritable;
+  info.owner = proc;
+  // The local frame is about to receive stores through a writable mapping; the page's
+  // logical content is no longer guaranteed zero.
+  info.zero_pending = false;
+  if (info.last_owner != kNoProc && info.last_owner != proc) {
+    stats_->ownership_moves++;
+    policy_->NoteOwnershipMove(lp);
+  }
+  info.last_owner = proc;
+}
+
+// --- request resolution ----------------------------------------------------------------
+
+Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId proc,
+                                      Protection max_prot) {
+  NumaPageInfo& info = Info(lp);
+  Placement decision = policy_->CachePolicy(lp, kind, proc);
+
+  // If the policy wants LOCAL but this processor's local memory is exhausted, fall
+  // back to global placement for this request (the policy is not told; the page is not
+  // pinned). Counted so experiments can detect cache pressure.
+  if ((decision == Placement::kLocal || decision == Placement::kRemoteHome) &&
+      !info.copies.Contains(proc) && info.state != PageState::kRemoteHomed &&
+      phys_->FreeLocalFrames(proc) == 0) {
+    stats_->local_alloc_failures++;
+    decision = Placement::kGlobal;
+  }
+
+  if (trace_actions_) {
+    last_trace_ = ActionTrace{};
+    last_trace_.old_state = info.state;
+    last_trace_.decision = decision;
+    last_trace_.kind = kind;
+    last_trace_.owner_was_requester =
+        info.state == PageState::kLocalWritable && info.owner == proc;
+  }
+
+  Resolution r;
+  if (decision == Placement::kRemoteHome) {
+    r = ResolveRemote(lp, proc, max_prot);
+  } else {
+    r = kind == AccessKind::kFetch ? ResolveRead(lp, proc, max_prot, decision)
+                                   : ResolveWrite(lp, proc, max_prot, decision);
+  }
+
+  if (trace_actions_) {
+    last_trace_.new_state = Info(lp).state;
+    if (last_trace_.cleanup.empty() && !last_trace_.copied_to_local) {
+      last_trace_.cleanup.emplace_back("No action");
+    }
+  }
+  return r;
+}
+
+Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_prot,
+                                    Placement decision) {
+  NumaPageInfo& info = Info(lp);
+  if (decision == Placement::kLocal) {
+    switch (info.state) {
+      case PageState::kReadOnly: {
+        // Table 1 [LOCAL x Read-Only]: copy to local; stays Read-Only.
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        break;
+      }
+      case PageState::kGlobalWritable: {
+        // Table 1 [LOCAL x Global-Writable]: unmap all; copy to local; Read-Only.
+        TraceCleanup("unmap all");
+        UnmapAll(lp, proc);
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        info.state = PageState::kReadOnly;
+        info.owner = kNoProc;
+        break;
+      }
+      case PageState::kRemoteHomed: {
+        // Section 4.4 extension: leaving the remote-homed state. All processors may
+        // hold (remote) mappings to the home frame, so drop every mapping first.
+        TraceCleanup("unmap all");
+        UnmapAll(lp, proc);
+        if (info.owner == proc) {
+          // The home reclaims the page as plain local-writable.
+          info.state = PageState::kLocalWritable;
+          std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(proc)];
+          return Resolution{FrameRef::Local(proc, frame_idx),
+                            max_prot == Protection::kReadWrite ? Protection::kReadWrite
+                                                               : Protection::kRead};
+        }
+        TraceCleanup("sync&flush home");
+        SyncOwner(lp, proc);
+        FlushCopy(lp, info.owner, proc);
+        info.state = PageState::kReadOnly;
+        info.owner = kNoProc;
+        stats_->ownership_moves++;
+        policy_->NoteOwnershipMove(lp);
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        break;
+      }
+      case PageState::kLocalWritable: {
+        if (info.owner == proc) {
+          // Table 1 [LOCAL x Local-Writable on own node]: no action.
+          std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(proc)];
+          return Resolution{FrameRef::Local(proc, frame_idx),
+                            max_prot == Protection::kReadWrite ? Protection::kReadWrite
+                                                               : Protection::kRead};
+        }
+        // Table 1 [LOCAL x Local-Writable on other node]: sync&flush other; copy to
+        // local; Read-Only. This transfers the page between local memories, so it
+        // counts as a "move" for the policy (in Li's ownership protocol a read
+        // request takes ownership too). Without this, a page with one writer and
+        // several readers thrashes between local memories indefinitely and is never
+        // pinned. last_owner is kept, so a subsequent write by the original owner
+        // starts another countable cycle.
+        TraceCleanup("sync&flush other");
+        SyncOwner(lp, proc);
+        FlushCopy(lp, info.owner, proc);
+        info.state = PageState::kReadOnly;
+        info.owner = kNoProc;
+        stats_->ownership_moves++;
+        policy_->NoteOwnershipMove(lp);
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        break;
+      }
+    }
+    // New state Read-Only: the mapping must be read-only even if the user may write,
+    // so that replication is preserved until an actual write fault (pmap extension 2).
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(proc)];
+    return Resolution{FrameRef::Local(proc, frame_idx), Protection::kRead};
+  }
+
+  // decision == kGlobal
+  switch (info.state) {
+    case PageState::kReadOnly:
+      // Table 1 [GLOBAL x Read-Only]: flush all; Global-Writable.
+      if (!info.copies.Empty()) {
+        TraceCleanup("flush all");
+      }
+      FlushAllCopies(lp, proc);
+      break;
+    case PageState::kGlobalWritable:
+      // Table 1 [GLOBAL x Global-Writable]: no action.
+      break;
+    case PageState::kLocalWritable:
+      // Table 1 [GLOBAL x Local-Writable]: sync&flush own/other; Global-Writable.
+      TraceCleanup(info.owner == proc ? "sync&flush own" : "sync&flush other");
+      SyncOwner(lp, proc);
+      FlushCopy(lp, info.owner, proc);
+      info.owner = kNoProc;
+      break;
+    case PageState::kRemoteHomed:
+      // Remote mappings exist on arbitrary processors; drop them all, then write the
+      // home copy back and free it.
+      TraceCleanup("unmap all; sync&flush home");
+      UnmapAll(lp, proc);
+      SyncOwner(lp, proc);
+      FlushCopy(lp, info.owner, proc);
+      info.owner = kNoProc;
+      break;
+  }
+  info.state = PageState::kGlobalWritable;
+  info.owner = kNoProc;
+  MaterializeGlobalZero(lp, proc);
+  // Global pages are mapped with maximum permissions: there is no consistency state to
+  // protect, and mapping loose avoids future faults.
+  return Resolution{FrameRef::Global(lp), max_prot};
+}
+
+Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max_prot,
+                                     Placement decision) {
+  ACE_CHECK_MSG(max_prot == Protection::kReadWrite, "write request needs writable region");
+  NumaPageInfo& info = Info(lp);
+  if (decision == Placement::kLocal) {
+    switch (info.state) {
+      case PageState::kReadOnly: {
+        // Table 2 [LOCAL x Read-Only]: flush other; copy to local; Local-Writable.
+        bool had_others = info.copies.Count() > (info.copies.Contains(proc) ? 1 : 0);
+        if (had_others) {
+          TraceCleanup("flush other");
+        }
+        FlushCopiesExcept(lp, proc, proc);
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        BecomeOwner(lp, proc);
+        break;
+      }
+      case PageState::kGlobalWritable: {
+        // Table 2 [LOCAL x Global-Writable]: unmap all; copy to local; Local-Writable.
+        TraceCleanup("unmap all");
+        UnmapAll(lp, proc);
+        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        BecomeOwner(lp, proc);
+        break;
+      }
+      case PageState::kRemoteHomed: {
+        TraceCleanup("unmap all");
+        UnmapAll(lp, proc);
+        if (info.owner != proc) {
+          TraceCleanup("sync&flush home");
+          SyncOwner(lp, proc);
+          FlushCopy(lp, info.owner, proc);
+          info.state = PageState::kReadOnly;  // transiently, until we take ownership
+          info.owner = kNoProc;
+          ACE_CHECK(EnsureLocalCopy(lp, proc));
+          BecomeOwner(lp, proc);
+        } else {
+          info.state = PageState::kLocalWritable;
+        }
+        break;
+      }
+      case PageState::kLocalWritable: {
+        if (info.owner != proc) {
+          // Table 2 [LOCAL x Local-Writable on other node]: sync&flush other; copy to
+          // local; Local-Writable.
+          TraceCleanup("sync&flush other");
+          SyncOwner(lp, proc);
+          FlushCopy(lp, info.owner, proc);
+          info.state = PageState::kReadOnly;  // transiently, until we take ownership
+          info.owner = kNoProc;
+          ACE_CHECK(EnsureLocalCopy(lp, proc));
+          BecomeOwner(lp, proc);
+        }
+        // else Table 2 [LOCAL x Local-Writable on own node]: no action.
+        break;
+      }
+    }
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(proc)];
+    return Resolution{FrameRef::Local(proc, frame_idx), Protection::kReadWrite};
+  }
+
+  // decision == kGlobal — identical cleanup to the read case (Table 2 GLOBAL row).
+  switch (info.state) {
+    case PageState::kReadOnly:
+      if (!info.copies.Empty()) {
+        TraceCleanup("flush all");
+      }
+      FlushAllCopies(lp, proc);
+      break;
+    case PageState::kGlobalWritable:
+      break;
+    case PageState::kLocalWritable:
+      TraceCleanup(info.owner == proc ? "sync&flush own" : "sync&flush other");
+      SyncOwner(lp, proc);
+      FlushCopy(lp, info.owner, proc);
+      info.owner = kNoProc;
+      break;
+    case PageState::kRemoteHomed:
+      TraceCleanup("unmap all; sync&flush home");
+      UnmapAll(lp, proc);
+      SyncOwner(lp, proc);
+      FlushCopy(lp, info.owner, proc);
+      info.owner = kNoProc;
+      break;
+  }
+  info.state = PageState::kGlobalWritable;
+  info.owner = kNoProc;
+  MaterializeGlobalZero(lp, proc);
+  return Resolution{FrameRef::Global(lp), max_prot};
+}
+
+Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot) {
+  NumaPageInfo& info = Info(lp);
+  switch (info.state) {
+    case PageState::kReadOnly: {
+      // Home the page at the requester: keep/obtain its copy, drop other replicas and
+      // all read-only mappings (everyone refaults into a remote mapping of the home).
+      bool had_others = info.copies.Count() > (info.copies.Contains(proc) ? 1 : 0);
+      if (had_others) {
+        TraceCleanup("flush other");
+      }
+      FlushCopiesExcept(lp, proc, proc);
+      ACE_CHECK(EnsureLocalCopy(lp, proc));
+      UnmapAll(lp, proc);
+      if (info.last_owner != kNoProc && info.last_owner != proc) {
+        stats_->ownership_moves++;
+        policy_->NoteOwnershipMove(lp);
+      }
+      info.state = PageState::kRemoteHomed;
+      info.owner = proc;
+      info.last_owner = proc;
+      info.zero_pending = false;
+      break;
+    }
+    case PageState::kGlobalWritable: {
+      TraceCleanup("unmap all");
+      UnmapAll(lp, proc);
+      MaterializeGlobalZero(lp, proc);
+      ACE_CHECK(EnsureLocalCopy(lp, proc));
+      if (info.last_owner != kNoProc && info.last_owner != proc) {
+        stats_->ownership_moves++;
+        policy_->NoteOwnershipMove(lp);
+      }
+      info.state = PageState::kRemoteHomed;
+      info.owner = proc;
+      info.last_owner = proc;
+      break;
+    }
+    case PageState::kLocalWritable: {
+      // Keep the data where it is: the current owner becomes the home, even when the
+      // requester is a different processor (which then maps it remotely).
+      info.state = PageState::kRemoteHomed;
+      break;
+    }
+    case PageState::kRemoteHomed:
+      break;  // no action
+  }
+  std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+  ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
+  // Remote-homed pages are mapped with maximum permissions on every processor (like
+  // global-writable pages, there is no replica state to protect).
+  return Resolution{FrameRef::Local(info.owner, frame_idx), max_prot};
+}
+
+// --- lifecycle -------------------------------------------------------------------------
+
+void NumaManager::ResetPage(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  // Mappings were already dropped by the pmap manager; release cache frames.
+  info.copies.ForEach([&](ProcId holder) {
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(holder)];
+    ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
+    phys_->FreeLocal(FrameRef::Local(holder, frame_idx));
+  });
+  ChargeSystem(proc, kernel_.consistency_op_ns);
+  info.Reset();
+  policy_->NotePageFreed(lp);
+}
+
+void NumaManager::CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc) {
+  NumaPageInfo& src_info = Info(src);
+  NumaPageInfo& dst_info = Info(dst);
+  ACE_CHECK_MSG(dst_info.state == PageState::kReadOnly && dst_info.copies.Empty(),
+                "pmap_copy_page destination must be fresh");
+  if (src_info.zero_pending) {
+    // Copy of an all-zero page is itself lazily zero.
+    dst_info.zero_pending = true;
+    return;
+  }
+  if (src_info.state == PageState::kLocalWritable ||
+      src_info.state == PageState::kRemoteHomed) {
+    SyncOwner(src, proc);
+  }
+  TimeNs cost = phys_->CopyPage(FrameRef::Global(src), FrameRef::Global(dst), proc);
+  ChargeSystem(proc, cost);
+  bus_->RecordTransfer(2 * static_cast<std::uint64_t>(page_size_), clocks_->now(proc));
+  stats_->page_copies++;
+  dst_info.zero_pending = false;
+}
+
+std::uint32_t NumaManager::MigrateResidentPages(ProcId from, ProcId to) {
+  std::uint32_t moved = 0;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    NumaPageInfo& info = pages_[lp];
+    if (info.state == PageState::kLocalWritable && info.owner == from) {
+      mappings_->RemoveAllMappings(lp);
+      SyncOwner(lp, to);
+      FlushCopy(lp, from, to);
+      info.state = PageState::kReadOnly;
+      info.owner = kNoProc;
+      if (EnsureLocalCopy(lp, to)) {
+        info.state = PageState::kLocalWritable;
+        info.owner = to;
+        info.last_owner = to;  // deliberate relocation: the move count is not touched
+        ++moved;
+      }
+      // else: left read-only with its content in the global frame; the next touch
+      // re-places it through the normal fault path.
+    } else if (info.state == PageState::kReadOnly && info.copies.Contains(from)) {
+      // Drop the old home's replica; the thread will fault a fresh one in at `to`.
+      FlushCopy(lp, from, to);
+    }
+  }
+  return moved;
+}
+
+const std::uint8_t* NumaManager::PrepareForPageout(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  mappings_->RemoveAllMappings(lp);
+  if (info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) {
+    SyncOwner(lp, proc);
+  }
+  FlushAllCopies(lp, proc);
+  if (info.zero_pending) {
+    MaterializeGlobalZero(lp, proc);
+  }
+  info.state = PageState::kReadOnly;
+  info.owner = kNoProc;
+  return phys_->FrameData(FrameRef::Global(lp));
+}
+
+void NumaManager::LoadPageContent(LogicalPage lp, const std::uint8_t* bytes, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  ACE_CHECK_MSG(info.state == PageState::kReadOnly && info.copies.Empty() &&
+                    !info.zero_pending,
+                "LoadPageContent requires a fresh page");
+  std::memcpy(phys_->FrameData(FrameRef::Global(lp)), bytes, phys_->page_size());
+  ChargeSystem(proc, kernel_.consistency_op_ns);
+}
+
+std::uint32_t NumaManager::DebugReadWord(LogicalPage lp, std::uint32_t offset) const {
+  const NumaPageInfo& info = PageInfo(lp);
+  if (info.zero_pending) {
+    return 0;
+  }
+  if (info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) {
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+    return phys_->ReadWord(FrameRef::Local(info.owner, frame_idx), offset);
+  }
+  return phys_->ReadWord(FrameRef::Global(lp), offset);
+}
+
+void NumaManager::DebugWriteWord(LogicalPage lp, std::uint32_t offset, std::uint32_t value) {
+  NumaPageInfo& info = Info(lp);
+  if (info.zero_pending) {
+    // Materialize the zeros everywhere a frame exists, then proceed with the write.
+    std::memset(phys_->FrameData(FrameRef::Global(lp)), 0, phys_->page_size());
+    info.copies.ForEach([&](ProcId holder) {
+      std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(holder)];
+      std::memset(phys_->FrameData(FrameRef::Local(holder, frame_idx)), 0, phys_->page_size());
+    });
+    info.zero_pending = false;
+  }
+  if (info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) {
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+    phys_->WriteWord(FrameRef::Local(info.owner, frame_idx), offset, value);
+    return;
+  }
+  // Read-only replicas must stay identical; write the global copy and every replica.
+  phys_->WriteWord(FrameRef::Global(lp), offset, value);
+  info.copies.ForEach([&](ProcId holder) {
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(holder)];
+    phys_->WriteWord(FrameRef::Local(holder, frame_idx), offset, value);
+  });
+}
+
+void NumaManager::SyncForInspection(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  if (info.zero_pending) {
+    // Inspection must see zeros; materialize them in the global frame. This is a
+    // debug-only path and intentionally does not charge clocks or bump stats.
+    std::memset(phys_->FrameData(FrameRef::Global(lp)), 0, phys_->page_size());
+    return;
+  }
+  if (info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) {
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+    std::memcpy(phys_->FrameData(FrameRef::Global(lp)),
+                phys_->FrameData(FrameRef::Local(info.owner, frame_idx)), phys_->page_size());
+  }
+  (void)proc;
+}
+
+}  // namespace ace

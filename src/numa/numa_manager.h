@@ -1,0 +1,168 @@
+// The NUMA manager: consistency of pages cached in local memories.
+//
+// Implements the action tables of paper section 2.3.1 (Tables 1 and 2). Given the
+// policy's LOCAL/GLOBAL decision and the page's current state, it cleans up previous
+// cache state ("sync", "flush", "unmap" over "own"/"other"/"all" processors), decides
+// whether the page is copied into the requesting processor's local memory, and moves
+// the page to its new state. Local memories are strictly a cache over global memory:
+// the current content of a local-writable page must be copied back to its global page
+// before the page changes state.
+
+#ifndef SRC_NUMA_NUMA_MANAGER_H_
+#define SRC_NUMA_NUMA_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/protection.h"
+#include "src/common/types.h"
+#include "src/numa/page_state.h"
+#include "src/numa/policy.h"
+#include "src/sim/bus.h"
+#include "src/sim/clocks.h"
+#include "src/sim/machine_config.h"
+#include "src/sim/physical_memory.h"
+#include "src/sim/stats.h"
+
+namespace ace {
+
+// Dropping virtual mappings is the pmap manager's business (it owns the MMUs and the
+// mapping directory); the NUMA manager asks for it through this interface. This is the
+// seam between the "NUMA manager" and "pmap manager" boxes of the paper's Figure 2.
+class MappingControl {
+ public:
+  virtual ~MappingControl() = default;
+  // Drop all virtual mappings of `lp` on processor `proc`.
+  virtual void RemoveMappingsOn(LogicalPage lp, ProcId proc) = 0;
+  // Drop all virtual mappings of `lp` everywhere.
+  virtual void RemoveAllMappings(LogicalPage lp) = 0;
+};
+
+// What the manager decided for one request: the frame to map and the protection to map
+// it with (possibly tighter than the user's maximum, to drive replication).
+struct Resolution {
+  FrameRef frame;
+  Protection prot = Protection::kNone;
+};
+
+// A record of the actions one request triggered; used by the Table 1/2 reproduction
+// benches and by unit tests. Collection is enabled explicitly (off in the hot path).
+struct ActionTrace {
+  PageState old_state = PageState::kReadOnly;
+  PageState new_state = PageState::kReadOnly;
+  Placement decision = Placement::kLocal;
+  AccessKind kind = AccessKind::kFetch;
+  bool owner_was_requester = false;  // for LW states: was it "on own node"?
+  std::vector<std::string> cleanup;  // e.g. "sync&flush other", "flush all", "unmap all"
+  bool copied_to_local = false;
+};
+
+class NumaManager {
+ public:
+  NumaManager(const MachineConfig& config, PhysicalMemory* phys, ProcClocks* clocks,
+              MachineStats* stats, IpcBus* bus, NumaPolicy* policy, MappingControl* mappings);
+
+  NumaManager(const NumaManager&) = delete;
+  NumaManager& operator=(const NumaManager&) = delete;
+
+  // Resolve a request: processor `proc` needs `kind` access to logical page `lp`,
+  // whose region allows at most `max_prot`. Performs all consistency actions (charging
+  // `proc`'s system clock) and returns the mapping to install.
+  Resolution HandleRequest(LogicalPage lp, AccessKind kind, ProcId proc, Protection max_prot);
+
+  // Mark a fresh page as logically zero; the zero-fill is evaluated lazily.
+  void MarkZeroPending(LogicalPage lp);
+
+  // Record placement advice and forward it to the policy.
+  void SetPragma(LogicalPage lp, PlacementPragma pragma);
+
+  // Release all cache resources of `lp` and reset its state (the completion half of
+  // the lazy pmap_free_page). The caller must already have dropped the mappings.
+  void ResetPage(LogicalPage lp, ProcId proc);
+
+  // Copy logical page `src` to logical page `dst` (pmap_copy_page): makes src's
+  // current content the global content of dst. `dst` must be fresh.
+  void CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc);
+
+  // Synchronize `lp`'s global frame with its current content without changing state
+  // (used when reading a page's content from outside the cache protocol, e.g. debug).
+  void SyncForInspection(LogicalPage lp, ProcId proc);
+
+  // Process-migration support (paper section 4.7: "we will need to migrate processes
+  // to new homes and move their local pages with them"). Moves every page that is
+  // local-writable on `from` into `to`'s local memory (bulk, no faults, not counted
+  // against the move limit — this is a deliberate relocation, not protocol thrash) and
+  // drops `from`'s read-only replicas (they re-replicate at the new home on demand).
+  // Pages that cannot be placed at `to` (local memory full) are left in their global
+  // frames to be re-placed on the next touch. Charges `to`'s system clock. Returns the
+  // number of pages moved.
+  std::uint32_t MigrateResidentPages(ProcId from, ProcId to);
+
+  // Pageout support: collapse the page's cache state so its current content sits in
+  // its global frame (drop mappings, sync a local-writable/remote-homed copy back,
+  // flush replicas, materialize pending zeros), charging `proc` system time. Returns a
+  // pointer to the page-sized global content, valid until the next operation on `lp`.
+  const std::uint8_t* PrepareForPageout(LogicalPage lp, ProcId proc);
+
+  // Pagein support: install `bytes` (page-sized) as the content of freshly allocated
+  // page `lp` (content lands in the global frame; placement decisions start over).
+  void LoadPageContent(LogicalPage lp, const std::uint8_t* bytes, ProcId proc);
+
+  // Debug accessors operating on the *current* content of a page (owner copy for
+  // local-writable pages, zeros for pending zero-fills, global otherwise). They do not
+  // charge clocks or bump statistics.
+  std::uint32_t DebugReadWord(LogicalPage lp, std::uint32_t offset) const;
+  void DebugWriteWord(LogicalPage lp, std::uint32_t offset, std::uint32_t value);
+
+  const NumaPageInfo& PageInfo(LogicalPage lp) const;
+  NumaPolicy& policy() { return *policy_; }
+
+  // Action tracing for the Table 1/2 benches and tests.
+  void set_trace_actions(bool on) { trace_actions_ = on; }
+  const ActionTrace& last_trace() const { return last_trace_; }
+
+  std::uint32_t num_pages() const { return static_cast<std::uint32_t>(pages_.size()); }
+
+ private:
+  NumaPageInfo& Info(LogicalPage lp);
+
+  // --- consistency actions (each charges system time to `proc`) ---------------------
+  void SyncOwner(LogicalPage lp, ProcId proc);                       // "sync"
+  void FlushCopy(LogicalPage lp, ProcId holder, ProcId proc);        // "flush" one copy
+  void FlushAllCopies(LogicalPage lp, ProcId proc);                  // "flush all"
+  void FlushCopiesExcept(LogicalPage lp, ProcId keep, ProcId proc);  // "flush other"
+  void UnmapAll(LogicalPage lp, ProcId proc);                        // "unmap all"
+  // Ensure `proc` has a local copy with current content; false if local memory full.
+  bool EnsureLocalCopy(LogicalPage lp, ProcId proc);
+  // Zero the global frame if a lazy zero-fill is pending (entering global-writable).
+  void MaterializeGlobalZero(LogicalPage lp, ProcId proc);
+  void BecomeOwner(LogicalPage lp, ProcId proc);
+
+  void ChargeSystem(ProcId proc, TimeNs ns) { clocks_->ChargeSystem(proc, ns); }
+  void TraceCleanup(const char* what);
+
+  Resolution ResolveRead(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
+  Resolution ResolveWrite(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
+  // Section 4.4 extension: place/keep the page in one processor's local memory with
+  // remote mappings from everyone else.
+  Resolution ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot);
+
+  PhysicalMemory* phys_;
+  ProcClocks* clocks_;
+  MachineStats* stats_;
+  IpcBus* bus_;
+  NumaPolicy* policy_;
+  MappingControl* mappings_;
+  KernelCostModel kernel_;
+  std::uint32_t page_size_;
+
+  std::vector<NumaPageInfo> pages_;
+
+  bool trace_actions_ = false;
+  ActionTrace last_trace_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_NUMA_NUMA_MANAGER_H_

@@ -1,0 +1,86 @@
+// Per-logical-page NUMA state.
+//
+// Paper section 2.3.1: a logical page is in one of three states —
+//   read-only       — may be replicated in zero or more local memories; every mapping
+//                     must be read-only; the global copy is current;
+//   local-writable  — cached in exactly one local memory, possibly writable there; the
+//                     local copy is current and the global copy may be stale;
+//   global-writable — lives in global memory, writable by any processor; never cached.
+
+#ifndef SRC_NUMA_PAGE_STATE_H_
+#define SRC_NUMA_PAGE_STATE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/proc_set.h"
+#include "src/common/types.h"
+#include "src/vm/pmap.h"
+
+namespace ace {
+
+// kRemoteHomed is this repository's implementation of the paper's section 4.4
+// extension: "our pmap manager could accommodate both global and remote references
+// with minimal modification. The necessary cache transition rules are a
+// straightforward extension of the algorithm presented in Section 2." A remote-homed
+// page lives in its home processor's local memory and is mapped (writably) by every
+// processor; non-home references are remote. It behaves like local-writable for
+// consistency purposes (the home copy is current, global may be stale) but permits
+// remote mappings.
+enum class PageState : std::uint8_t {
+  kReadOnly = 0,
+  kLocalWritable = 1,
+  kGlobalWritable = 2,
+  kRemoteHomed = 3,
+};
+
+inline const char* PageStateName(PageState s) {
+  switch (s) {
+    case PageState::kReadOnly:
+      return "Read-Only";
+    case PageState::kLocalWritable:
+      return "Local-Writable";
+    case PageState::kGlobalWritable:
+      return "Global-Writable";
+    case PageState::kRemoteHomed:
+      return "Remote-Homed";
+  }
+  return "?";
+}
+
+struct NumaPageInfo {
+  static constexpr std::uint32_t kNoFrame = ~std::uint32_t{0};
+
+  // Fresh pages are cacheable: "we assume when a program begins executing that every
+  // page is cacheable, and may be placed in local memory" (paper section 1).
+  PageState state = PageState::kReadOnly;
+
+  // Processors holding a local copy. In kReadOnly this is the replica set; in
+  // kLocalWritable it contains exactly the owner; in kGlobalWritable it is empty.
+  ProcSet copies;
+
+  // Owner, valid iff state == kLocalWritable.
+  ProcId owner = kNoProc;
+
+  // Last processor that held the page local-writable; used to detect ownership
+  // transfers ("moves") for the policy's move count.
+  ProcId last_owner = kNoProc;
+
+  // Local frame index per processor (kNoFrame when that processor holds no copy).
+  std::array<std::uint32_t, kMaxProcessors> local_frame{};
+
+  // Lazy zero-fill: logical content is all-zero but no frame has been zeroed yet
+  // (paper section 2.3.1). Cleared when the page first becomes writable.
+  bool zero_pending = false;
+
+  // Placement advice from the application (section 4.3 pragmas).
+  PlacementPragma pragma = PlacementPragma::kDefault;
+
+  NumaPageInfo() { local_frame.fill(kNoFrame); }
+
+  void Reset() { *this = NumaPageInfo{}; }
+};
+
+}  // namespace ace
+
+#endif  // SRC_NUMA_PAGE_STATE_H_

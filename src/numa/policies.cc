@@ -1,0 +1,89 @@
+#include "src/numa/policies.h"
+
+#include "src/common/check.h"
+
+namespace ace {
+
+Placement MoveLimitPolicy::CachePolicy(LogicalPage lp, AccessKind kind, ProcId proc) {
+  (void)kind;
+  (void)proc;
+  ACE_CHECK(lp < page_.size());
+  PerPage& p = page_[lp];
+  // Pragmas override the automatic decision (paper section 4.3).
+  if (p.pragma == PlacementPragma::kNoncacheable) {
+    return Placement::kGlobal;
+  }
+  if (p.pragma == PlacementPragma::kCacheable) {
+    return Placement::kLocal;
+  }
+  if (p.pinned) {
+    return Placement::kGlobal;
+  }
+  if (p.moves >= options_.move_threshold) {
+    p.pinned = true;
+    pinned_pages_++;
+    if (stats_ != nullptr) {
+      stats_->pages_pinned++;
+    }
+    return Placement::kGlobal;
+  }
+  return Placement::kLocal;
+}
+
+Placement RemoteHomePolicy::CachePolicy(LogicalPage lp, AccessKind kind, ProcId proc) {
+  (void)kind;
+  (void)proc;
+  ACE_CHECK(lp < page_.size());
+  PerPage& p = page_[lp];
+  if (p.pragma == PlacementPragma::kNoncacheable) {
+    return Placement::kGlobal;
+  }
+  if (p.pragma == PlacementPragma::kCacheable) {
+    return Placement::kLocal;
+  }
+  if (p.homed) {
+    return Placement::kRemoteHome;
+  }
+  if (p.moves >= options_.move_threshold) {
+    p.homed = true;
+    if (stats_ != nullptr) {
+      stats_->pages_pinned++;  // homed pages count as permanently placed
+    }
+    return Placement::kRemoteHome;
+  }
+  return Placement::kLocal;
+}
+
+Placement ReconsiderPolicy::CachePolicy(LogicalPage lp, AccessKind kind, ProcId proc) {
+  (void)kind;
+  ACE_CHECK(lp < page_.size());
+  PerPage& p = page_[lp];
+  if (p.pragma == PlacementPragma::kNoncacheable) {
+    return Placement::kGlobal;
+  }
+  if (p.pragma == PlacementPragma::kCacheable) {
+    return Placement::kLocal;
+  }
+  if (p.pinned) {
+    TimeNs now = clocks_->now(proc);
+    if (now - p.pinned_at_ns >= options_.reconsider_after_ns) {
+      // Give the page another chance: unpin and restart the move count.
+      p.pinned = false;
+      p.moves = 0;
+      unpin_events_++;
+    } else {
+      return Placement::kGlobal;
+    }
+  }
+  if (p.moves >= options_.move_threshold) {
+    p.pinned = true;
+    p.pinned_at_ns = clocks_->now(proc);
+    if (stats_ != nullptr) {
+      stats_->pages_pinned++;
+    }
+    return Placement::kGlobal;
+  }
+  return Placement::kLocal;
+}
+
+}  // namespace ace

@@ -1,0 +1,67 @@
+// The NUMA policy interface.
+//
+// Paper section 2.3.1: "The interface provided to the NUMA manager by the NUMA policy
+// module consists of a single function, cache_policy, that takes a logical page and
+// protection and returns a location: LOCAL or GLOBAL." The manager then performs the
+// actions of Tables 1 and 2.
+//
+// Policies additionally observe ownership moves (their raw material) and page frees
+// (which reset per-page decisions: "our system never reconsiders a pinning decision
+// unless the pinned page is paged out and back in", section 4.3 footnote).
+
+#ifndef SRC_NUMA_POLICY_H_
+#define SRC_NUMA_POLICY_H_
+
+#include "src/common/types.h"
+#include "src/vm/pmap.h"
+
+namespace ace {
+
+enum class Placement : std::uint8_t {
+  kLocal = 0,
+  kGlobal = 1,
+  // Section 4.4 extension: place the page in one processor's local memory and let
+  // other processors reference it remotely. Not used by the paper's own policy (the
+  // ACE team "chose not to use this facility") but supported by the manager so the
+  // global-vs-remote trade-off can be measured.
+  kRemoteHome = 2,
+};
+
+inline const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kLocal:
+      return "LOCAL";
+    case Placement::kGlobal:
+      return "GLOBAL";
+    case Placement::kRemoteHome:
+      return "REMOTE";
+  }
+  return "?";
+}
+
+class NumaPolicy {
+ public:
+  virtual ~NumaPolicy() = default;
+
+  // The paper's cache_policy(page, protection). `kind` distinguishes read requests
+  // (Table 1) from write requests (Table 2); `proc` is the requesting processor.
+  virtual Placement CachePolicy(LogicalPage lp, AccessKind kind, ProcId proc) = 0;
+
+  // The NUMA manager transferred ownership of `lp` between local memories.
+  virtual void NoteOwnershipMove(LogicalPage lp) { (void)lp; }
+
+  // `lp` was freed and its cache state reset; forget per-page decisions.
+  virtual void NotePageFreed(LogicalPage lp) { (void)lp; }
+
+  // Application placement advice for `lp` (section 4.3 pragmas).
+  virtual void NoteAdvice(LogicalPage lp, PlacementPragma pragma) {
+    (void)lp;
+    (void)pragma;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ace
+
+#endif  // SRC_NUMA_POLICY_H_

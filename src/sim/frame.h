@@ -1,0 +1,55 @@
+// Physical frame references.
+//
+// ACE physical memory comes in two flavours: global memory boards on the IPC bus and
+// the per-processor local memories. A FrameRef names one physical page frame in either.
+
+#ifndef SRC_SIM_FRAME_H_
+#define SRC_SIM_FRAME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+
+namespace ace {
+
+// node == kGlobalNode: frame lives in global memory; index is the global frame number.
+// node >= 0: frame lives in processor `node`'s local memory.
+struct FrameRef {
+  static constexpr ProcId kGlobalNode = -1;
+  static constexpr std::uint32_t kInvalidIndex = ~std::uint32_t{0};
+
+  ProcId node = kGlobalNode;
+  std::uint32_t index = kInvalidIndex;
+
+  static constexpr FrameRef Global(std::uint32_t index) { return FrameRef{kGlobalNode, index}; }
+  static constexpr FrameRef Local(ProcId proc, std::uint32_t index) {
+    return FrameRef{proc, index};
+  }
+  static constexpr FrameRef Invalid() { return FrameRef{}; }
+
+  constexpr bool valid() const { return index != kInvalidIndex; }
+  constexpr bool is_global() const { return node == kGlobalNode; }
+  constexpr bool is_local() const { return node >= 0; }
+
+  // How processor `accessor` experiences a reference to this frame.
+  constexpr MemoryClass ClassFor(ProcId accessor) const {
+    if (is_global()) {
+      return MemoryClass::kGlobal;
+    }
+    return node == accessor ? MemoryClass::kLocal : MemoryClass::kRemote;
+  }
+
+  constexpr bool operator==(const FrameRef&) const = default;
+};
+
+struct FrameRefHash {
+  std::size_t operator()(const FrameRef& f) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.node)) << 32) |
+                                      f.index);
+  }
+};
+
+}  // namespace ace
+
+#endif  // SRC_SIM_FRAME_H_

@@ -1,0 +1,109 @@
+#include "src/sim/physical_memory.h"
+
+#include <cstring>
+
+namespace ace {
+
+PhysicalMemory::PhysicalMemory(const MachineConfig& config)
+    : page_size_(config.page_size),
+      words_per_page_(config.WordsPerPage()),
+      global_pages_(config.global_pages),
+      local_pages_per_proc_(config.local_pages_per_proc),
+      num_processors_(config.num_processors),
+      latency_(config.latency),
+      copy_efficiency_(config.kernel.copy_efficiency) {
+  config.Validate();
+  global_data_.resize(static_cast<std::size_t>(global_pages_) * page_size_, 0);
+  local_data_.resize(static_cast<std::size_t>(num_processors_));
+  local_free_.resize(static_cast<std::size_t>(num_processors_));
+  for (int p = 0; p < num_processors_; ++p) {
+    local_data_[static_cast<std::size_t>(p)].resize(
+        static_cast<std::size_t>(local_pages_per_proc_) * page_size_, 0);
+    auto& free_list = local_free_[static_cast<std::size_t>(p)];
+    free_list.reserve(local_pages_per_proc_);
+    // Push in reverse so that frames are handed out in increasing index order.
+    for (std::uint32_t i = local_pages_per_proc_; i > 0; --i) {
+      free_list.push_back(i - 1);
+    }
+  }
+}
+
+FrameRef PhysicalMemory::AllocLocal(ProcId proc) {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  auto& free_list = local_free_[static_cast<std::size_t>(proc)];
+  if (free_list.empty()) {
+    return FrameRef::Invalid();
+  }
+  std::uint32_t index = free_list.back();
+  free_list.pop_back();
+  return FrameRef::Local(proc, index);
+}
+
+void PhysicalMemory::FreeLocal(FrameRef frame) {
+  ACE_CHECK(frame.valid() && frame.is_local());
+  ACE_CHECK(frame.node < num_processors_);
+  ACE_CHECK(frame.index < local_pages_per_proc_);
+  local_free_[static_cast<std::size_t>(frame.node)].push_back(frame.index);
+}
+
+std::uint32_t PhysicalMemory::FreeLocalFrames(ProcId proc) const {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  return static_cast<std::uint32_t>(local_free_[static_cast<std::size_t>(proc)].size());
+}
+
+std::size_t PhysicalMemory::FrameOffset(FrameRef frame) const {
+  ACE_DCHECK(frame.valid());
+  if (frame.is_global()) {
+    ACE_DCHECK(frame.index < global_pages_);
+  } else {
+    ACE_DCHECK(frame.node < num_processors_);
+    ACE_DCHECK(frame.index < local_pages_per_proc_);
+  }
+  return static_cast<std::size_t>(frame.index) * page_size_;
+}
+
+std::uint8_t* PhysicalMemory::FrameData(FrameRef frame) {
+  std::size_t offset = FrameOffset(frame);
+  if (frame.is_global()) {
+    return global_data_.data() + offset;
+  }
+  return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
+}
+
+const std::uint8_t* PhysicalMemory::FrameData(FrameRef frame) const {
+  std::size_t offset = FrameOffset(frame);
+  if (frame.is_global()) {
+    return global_data_.data() + offset;
+  }
+  return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
+}
+
+std::uint32_t PhysicalMemory::ReadWord(FrameRef frame, std::uint32_t offset) const {
+  ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
+  std::uint32_t value;
+  std::memcpy(&value, FrameData(frame) + offset, kWordBytes);
+  return value;
+}
+
+void PhysicalMemory::WriteWord(FrameRef frame, std::uint32_t offset, std::uint32_t value) {
+  ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
+  std::memcpy(FrameData(frame) + offset, &value, kWordBytes);
+}
+
+TimeNs PhysicalMemory::CopyPage(FrameRef src, FrameRef dst, ProcId copier) {
+  ACE_CHECK(src.valid() && dst.valid());
+  ACE_CHECK(!(src == dst));
+  std::memcpy(FrameData(dst), FrameData(src), page_size_);
+  TimeNs per_word = latency_.Cost(src.ClassFor(copier), AccessKind::kFetch) +
+                    latency_.Cost(dst.ClassFor(copier), AccessKind::kStore);
+  return static_cast<TimeNs>(static_cast<double>(per_word) * words_per_page_ * copy_efficiency_);
+}
+
+TimeNs PhysicalMemory::ZeroPage(FrameRef frame, ProcId zeroer) {
+  ACE_CHECK(frame.valid());
+  std::memset(FrameData(frame), 0, page_size_);
+  TimeNs per_word = latency_.Cost(frame.ClassFor(zeroer), AccessKind::kStore);
+  return static_cast<TimeNs>(static_cast<double>(per_word) * words_per_page_ * copy_efficiency_);
+}
+
+}  // namespace ace

@@ -1,0 +1,85 @@
+// Simulated physical memory: global memory boards plus per-processor local memories.
+//
+// Frames hold real bytes. Page migration and replication move actual data between
+// frames, so a consistency-protocol bug shows up as corrupted application output —
+// the test suite relies on this end-to-end property.
+//
+// Global frames back the Mach logical page pool and are allocated/freed by the VM
+// layer; local frames are the NUMA manager's cache resource, allocated per processor.
+
+#ifndef SRC_SIM_PHYSICAL_MEMORY_H_
+#define SRC_SIM_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/sim/frame.h"
+#include "src/sim/machine_config.h"
+
+namespace ace {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(const MachineConfig& config);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // --- Frame allocation ------------------------------------------------------------
+
+  // Global frames are identity-managed by the logical page pool (logical page i is
+  // global frame i, paper section 2.3.1), so there is no global allocator here; the
+  // pool lives in src/vm.
+
+  // Allocate a frame from processor `proc`'s local memory. Returns an invalid FrameRef
+  // if that local memory is exhausted (the caller falls back to global placement).
+  FrameRef AllocLocal(ProcId proc);
+  void FreeLocal(FrameRef frame);
+
+  std::uint32_t FreeLocalFrames(ProcId proc) const;
+  std::uint32_t local_pages_per_proc() const { return local_pages_per_proc_; }
+  std::uint32_t global_pages() const { return global_pages_; }
+
+  // --- Data access -----------------------------------------------------------------
+
+  // Raw bytes of a frame; valid until the memory object is destroyed.
+  std::uint8_t* FrameData(FrameRef frame);
+  const std::uint8_t* FrameData(FrameRef frame) const;
+
+  std::uint32_t ReadWord(FrameRef frame, std::uint32_t offset) const;
+  void WriteWord(FrameRef frame, std::uint32_t offset, std::uint32_t value);
+
+  // Copy a whole page between frames. Returns the kernel-time cost of the copy: one
+  // fetch from the source plus one store to the destination per 32-bit word, scaled by
+  // the configured copy efficiency. (The copying processor is charged by the caller.)
+  TimeNs CopyPage(FrameRef src, FrameRef dst, ProcId copier);
+
+  // Zero a frame. Returns the kernel-time cost (one store per word at the target).
+  TimeNs ZeroPage(FrameRef frame, ProcId zeroer);
+
+  std::uint32_t page_size() const { return page_size_; }
+
+ private:
+  std::size_t FrameOffset(FrameRef frame) const;
+
+  std::uint32_t page_size_;
+  std::uint32_t words_per_page_;
+  std::uint32_t global_pages_;
+  std::uint32_t local_pages_per_proc_;
+  int num_processors_;
+  LatencyModel latency_;
+  double copy_efficiency_;
+
+  // Backing stores: one slab for global memory, one per processor for local memory.
+  std::vector<std::uint8_t> global_data_;
+  std::vector<std::vector<std::uint8_t>> local_data_;
+
+  // Per-processor free lists of local frame indices.
+  std::vector<std::vector<std::uint32_t>> local_free_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_SIM_PHYSICAL_MEMORY_H_

@@ -1,0 +1,207 @@
+#include "src/threads/runtime.h"
+
+namespace ace {
+
+Runtime* Runtime::active_ = nullptr;
+
+// --- Env ---------------------------------------------------------------------------------
+
+Machine& Env::machine() { return runtime_->machine(); }
+Task& Env::task() { return runtime_->task(); }
+
+std::uint32_t Env::Load(VirtAddr va) {
+  std::uint32_t v = runtime_->machine_->LoadWord(runtime_->task(), proc_, va);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+  return v;
+}
+
+void Env::Store(VirtAddr va, std::uint32_t value) {
+  runtime_->machine_->StoreWord(runtime_->task(), proc_, va, value);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+}
+
+std::uint32_t Env::TestAndSet(VirtAddr va, std::uint32_t new_value) {
+  std::uint32_t v = runtime_->machine_->TestAndSet(runtime_->task(), proc_, va, new_value);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+  return v;
+}
+
+std::uint32_t Env::FetchAdd(VirtAddr va, std::uint32_t delta) {
+  std::uint32_t v = runtime_->machine_->FetchAdd(runtime_->task(), proc_, va, delta);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+  return v;
+}
+
+std::uint32_t Env::FetchOr(VirtAddr va, std::uint32_t bits) {
+  std::uint32_t v = runtime_->machine_->FetchOr(runtime_->task(), proc_, va, bits);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+  return v;
+}
+
+void Env::Compute(TimeNs ns) {
+  runtime_->machine_->Compute(proc_, ns);
+  runtime_->MaybeYield(*this, /*voluntary=*/false);
+}
+
+void Env::Yield() { runtime_->MaybeYield(*this, /*voluntary=*/true); }
+
+void Env::MigrateTo(ProcId new_proc, bool move_pages) {
+  ACE_CHECK(new_proc >= 0 && new_proc < runtime_->machine_->num_processors());
+  if (new_proc == proc_) {
+    return;
+  }
+  ProcId old_proc = proc_;
+  // Keep causality: pad the destination with idle time if it is behind (it may have
+  // been sitting empty while this thread worked).
+  TimeNs skew = runtime_->ProcNow(old_proc) - runtime_->ProcNow(new_proc);
+  if (skew > 0) {
+    runtime_->machine_->clocks().ChargeIdle(new_proc, skew);
+  }
+  if (move_pages) {
+    runtime_->machine_->numa_manager().MigrateResidentPages(old_proc, new_proc);
+  }
+  proc_ = new_proc;
+  Runtime::Fiber& fiber = *runtime_->fibers_[static_cast<std::size_t>(tid_)];
+  fiber.migrate_epoch_ns = runtime_->ProcNow(new_proc);
+  runtime_->migrations_++;
+  runtime_->MaybeYield(*this, /*voluntary=*/true);
+}
+
+// --- Runtime ---------------------------------------------------------------------------
+
+Runtime::Runtime(Machine* machine, Task* task, Options options)
+    : machine_(machine), task_(task), options_(options) {
+  ACE_CHECK(machine_ != nullptr && task_ != nullptr);
+  ACE_CHECK(options_.stack_bytes >= 16 * 1024);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::FiberTrampoline() {
+  Runtime* rt = active_;
+  ACE_CHECK(rt != nullptr && rt->current_ >= 0);
+  Fiber& fiber = *rt->fibers_[static_cast<std::size_t>(rt->current_)];
+  (*rt->body_)(fiber.env.tid_, fiber.env);
+  fiber.finished = true;
+  rt->live_count_--;
+  // Return to the scheduler for good; this context is never resumed.
+  setcontext(&rt->scheduler_ctx_);
+  ACE_CHECK_MSG(false, "setcontext returned");
+}
+
+int Runtime::PickNext() const {
+  int best = -1;
+  TimeNs best_clock = 0;
+  std::uint64_t best_seq = 0;
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    const Fiber& f = *fibers_[i];
+    if (f.finished) {
+      continue;
+    }
+    TimeNs clock = ProcNow(f.env.proc_);
+    if (best < 0 || clock < best_clock || (clock == best_clock && f.seq < best_seq)) {
+      best = static_cast<int>(i);
+      best_clock = clock;
+      best_seq = f.seq;
+    }
+  }
+  return best;
+}
+
+TimeNs Runtime::DeadlineFor(int chosen) const {
+  const Fiber& me = *fibers_[static_cast<std::size_t>(chosen)];
+  TimeNs deadline = -1;
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (static_cast<int>(i) == chosen) {
+      continue;
+    }
+    const Fiber& f = *fibers_[i];
+    if (f.finished) {
+      continue;
+    }
+    TimeNs t;
+    if (f.env.proc_ == me.env.proc_) {
+      // Sharing our processor: the peer's notional time advances with ours; bound our
+      // run by a timeslice so it is not starved.
+      t = ProcNow(me.env.proc_) + options_.timeslice_ns;
+    } else {
+      t = ProcNow(f.env.proc_);
+    }
+    if (deadline < 0 || t < deadline) {
+      deadline = t;
+    }
+  }
+  return deadline;
+}
+
+void Runtime::MaybeYield(Env& env, bool voluntary) {
+  Fiber& fiber = *fibers_[static_cast<std::size_t>(env.tid_)];
+
+  if (options_.scheduler == SchedulerKind::kMigrating) {
+    TimeNs ran = ProcNow(env.proc_) - fiber.migrate_epoch_ns;
+    if (ran >= options_.migrate_quantum_ns) {
+      // Move to the next processor, modeling the original Mach single-queue scheduler
+      // under which "processes mov[ed] between processors far too often" (sec. 4.7).
+      ProcId old_proc = env.proc_;
+      ProcId new_proc = (env.proc_ + 1) % machine_->num_processors();
+      // Keep causality: the destination may be behind; pad with idle time so the
+      // thread cannot observe state "before" it was produced.
+      TimeNs skew = ProcNow(old_proc) - ProcNow(new_proc);
+      if (skew > 0) {
+        machine_->clocks().ChargeIdle(new_proc, skew);
+      }
+      env.proc_ = new_proc;
+      fiber.migrate_epoch_ns = ProcNow(new_proc);
+      migrations_++;
+      voluntary = true;  // force a pass through the scheduler to recompute deadlines
+    }
+  }
+
+  if (!voluntary && ProcNow(env.proc_) <= current_deadline_) {
+    return;  // still the earliest runnable thread: keep running without a switch
+  }
+  fiber.seq = next_seq_++;
+  swapcontext(&fiber.ctx, &scheduler_ctx_);
+}
+
+void Runtime::Run(int num_threads, const Body& body) {
+  ACE_CHECK(num_threads >= 1);
+  ACE_CHECK_MSG(active_ == nullptr, "nested Runtime::Run is not supported");
+  active_ = this;
+  body_ = &body;
+  fibers_.clear();
+  live_count_ = num_threads;
+
+  for (int i = 0; i < num_threads; ++i) {
+    auto fiber = std::make_unique<Fiber>();
+    fiber->env.runtime_ = this;
+    fiber->env.tid_ = i;
+    fiber->env.proc_ = static_cast<ProcId>(i % machine_->num_processors());
+    fiber->stack = std::make_unique<char[]>(options_.stack_bytes);
+    fiber->seq = next_seq_++;
+    fiber->migrate_epoch_ns = ProcNow(fiber->env.proc_);
+    ACE_CHECK(getcontext(&fiber->ctx) == 0);
+    fiber->ctx.uc_stack.ss_sp = fiber->stack.get();
+    fiber->ctx.uc_stack.ss_size = options_.stack_bytes;
+    fiber->ctx.uc_link = &scheduler_ctx_;
+    makecontext(&fiber->ctx, &Runtime::FiberTrampoline, 0);
+    fibers_.push_back(std::move(fiber));
+  }
+
+  while (live_count_ > 0) {
+    int next = PickNext();
+    ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
+    current_ = next;
+    current_deadline_ = DeadlineFor(next);
+    Fiber& fiber = *fibers_[static_cast<std::size_t>(next)];
+    fiber.last_dispatch_ns = ProcNow(fiber.env.proc_);
+    context_switches_++;
+    swapcontext(&scheduler_ctx_, &fiber.ctx);
+  }
+
+  current_ = -1;
+  body_ = nullptr;
+  active_ = nullptr;
+}
+
+}  // namespace ace

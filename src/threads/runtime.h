@@ -1,0 +1,152 @@
+// A deterministic C-Threads-like runtime over the simulated machine.
+//
+// The paper's applications are Mach C-Threads (or EPEX FORTRAN) programs; here they
+// are C++ functions executed on fibers, one fiber per simulated thread. A single host
+// thread runs everything: the scheduler always resumes the fiber whose processor has
+// the smallest virtual clock (ties broken by thread id), so every run is
+// bit-reproducible. A fiber keeps running without a context switch while its processor
+// clock remains the minimum — the common case for page-local streaks.
+//
+// Scheduling policy mirrors paper section 4.7: the default binds each thread to a
+// processor for its lifetime ("we modified the Mach scheduler to bind each newly
+// created process to a processor"); the kMigrating mode models the original Mach
+// scheduler where "processes mov[ed] between processors far too often", for the
+// affinity ablation bench.
+
+#ifndef SRC_THREADS_RUNTIME_H_
+#define SRC_THREADS_RUNTIME_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/machine/machine.h"
+
+namespace ace {
+
+class Runtime;
+
+// Per-thread handle through which application code touches simulated memory. All
+// loads/stores/atomics charge the thread's current processor and may context-switch.
+class Env {
+ public:
+  std::uint32_t Load(VirtAddr va);
+  void Store(VirtAddr va, std::uint32_t value);
+  std::uint32_t TestAndSet(VirtAddr va, std::uint32_t new_value);
+  std::uint32_t FetchAdd(VirtAddr va, std::uint32_t delta);
+  std::uint32_t FetchOr(VirtAddr va, std::uint32_t bits);
+
+  // Charge `ns` of pure computation (no memory reference).
+  void Compute(TimeNs ns);
+
+  // Voluntarily let other threads run if they are behind (no time charge).
+  void Yield();
+
+  // Move this thread to another processor (paper section 4.7's load-balancing future
+  // work). With `move_pages`, the thread's local-writable pages are bulk-migrated to
+  // the new home ("move their local pages with them"); without it they stay behind
+  // and trickle over through faults — the comparison bench_load_balance measures.
+  void MigrateTo(ProcId new_proc, bool move_pages);
+
+  int tid() const { return tid_; }
+  ProcId proc() const { return proc_; }
+  Runtime& runtime() { return *runtime_; }
+  Machine& machine();
+  Task& task();
+
+ private:
+  friend class Runtime;
+  Runtime* runtime_ = nullptr;
+  int tid_ = -1;
+  ProcId proc_ = kNoProc;
+};
+
+enum class SchedulerKind {
+  kAffinity = 0,   // bind thread i to processor (i % P) for its lifetime
+  kMigrating = 1,  // move each thread to the next processor every quantum
+};
+
+class Runtime {
+ public:
+  struct Options {
+    std::size_t stack_bytes = 256 * 1024;
+    SchedulerKind scheduler = SchedulerKind::kAffinity;
+    // Virtual-time quantum between forced migrations (kMigrating only).
+    TimeNs migrate_quantum_ns = 2'000'000;
+    // Timeslice used only when several threads share one processor.
+    TimeNs timeslice_ns = 1'000'000;
+  };
+
+  Runtime(Machine* machine, Task* task, Options options);
+  Runtime(Machine* machine, Task* task) : Runtime(machine, task, Options()) {}
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  using Body = std::function<void(int tid, Env& env)>;
+
+  // Spawn `num_threads` fibers running `body` and run them to completion. Thread i
+  // starts on processor (i % num_processors). Deterministic; returns when all threads
+  // have finished.
+  void Run(int num_threads, const Body& body);
+
+  Machine& machine() { return *machine_; }
+  Task& task() { return *task_; }
+
+  // Total context switches performed (scheduling fidelity metric).
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  friend class Env;
+
+  struct Fiber {
+    ucontext_t ctx{};
+    std::unique_ptr<char[]> stack;
+    Env env;
+    bool finished = false;
+    std::uint64_t seq = 0;         // dispatch sequence number (round-robin tie-break)
+    TimeNs last_dispatch_ns = 0;   // proc clock when last dispatched (timeslice)
+    TimeNs migrate_epoch_ns = 0;   // proc clock when the thread landed on this proc
+  };
+
+  static void FiberTrampoline();
+
+  // Called by Env after every time-advancing operation: switch to the scheduler if
+  // this thread's processor clock is no longer the minimum.
+  void MaybeYield(Env& env, bool voluntary);
+
+  // Pick the next fiber to dispatch; -1 if none runnable.
+  int PickNext() const;
+  // Deadline for the chosen fiber: smallest clock among *other* runnable fibers.
+  TimeNs DeadlineFor(int chosen) const;
+
+  TimeNs ProcNow(ProcId proc) const { return machine_->clocks().now(proc); }
+
+  Machine* machine_;
+  Task* task_;
+  Options options_;
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  ucontext_t scheduler_ctx_{};
+  int current_ = -1;
+  TimeNs current_deadline_ = 0;
+  int live_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  const Body* body_ = nullptr;
+
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t migrations_ = 0;
+
+  static Runtime* active_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_THREADS_RUNTIME_H_

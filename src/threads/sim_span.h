@@ -1,0 +1,83 @@
+// Typed views over simulated memory.
+//
+// Application code reads and writes simulated memory through 32-bit words; SimSpan<T>
+// provides array-style access with proxy references so algorithms read naturally:
+//
+//     ace::SimSpan<std::int32_t> a(env, base_va, n);
+//     a[i] = a[i] + 1;      // one simulated fetch + one simulated store
+//
+// T must be a 32-bit trivially-copyable type (int32_t, uint32_t, float).
+
+#ifndef SRC_THREADS_SIM_SPAN_H_
+#define SRC_THREADS_SIM_SPAN_H_
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/threads/runtime.h"
+
+namespace ace {
+
+template <typename T>
+class SimSpan {
+  static_assert(sizeof(T) == 4 && std::is_trivially_copyable_v<T>,
+                "SimSpan requires a 32-bit trivially copyable element type");
+
+ public:
+  class Ref {
+   public:
+    Ref(Env* env, VirtAddr va) : env_(env), va_(va) {}
+
+    operator T() const {  // NOLINT(google-explicit-constructor): proxy by design
+      return std::bit_cast<T>(env_->Load(va_));
+    }
+    Ref& operator=(T value) {
+      env_->Store(va_, std::bit_cast<std::uint32_t>(value));
+      return *this;
+    }
+    Ref& operator=(const Ref& other) {  // copy through simulated memory
+      *this = static_cast<T>(other);
+      return *this;
+    }
+    Ref& operator+=(T delta) { return *this = static_cast<T>(*this) + delta; }
+    Ref& operator-=(T delta) { return *this = static_cast<T>(*this) - delta; }
+
+   private:
+    Env* env_;
+    VirtAddr va_;
+  };
+
+  SimSpan() = default;
+  SimSpan(Env& env, VirtAddr base, std::size_t size) : env_(&env), base_(base), size_(size) {
+    ACE_DCHECK(base % kWordBytes == 0);
+  }
+
+  Ref operator[](std::size_t i) const {
+    ACE_DCHECK(i < size_);
+    return Ref(env_, base_ + i * kWordBytes);
+  }
+
+  T Get(std::size_t i) const { return static_cast<T>((*this)[i]); }
+  void Set(std::size_t i, T value) { (*this)[i] = value; }
+
+  std::size_t size() const { return size_; }
+  VirtAddr base() const { return base_; }
+
+  // A sub-view of `count` elements starting at element `offset`.
+  SimSpan Sub(std::size_t offset, std::size_t count) const {
+    ACE_DCHECK(offset + count <= size_);
+    return SimSpan(*env_, base_ + offset * kWordBytes, count);
+  }
+
+ private:
+  Env* env_ = nullptr;
+  VirtAddr base_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ace
+
+#endif  // SRC_THREADS_SIM_SPAN_H_

@@ -1,0 +1,113 @@
+// Synchronization primitives living in simulated shared memory.
+//
+// The paper's applications "synchronize their threads using non-blocking spin locks"
+// (section 3.1). These primitives issue real simulated references: a contended lock
+// word ping-pongs between local memories exactly like any writably-shared page, and is
+// typically pinned in global memory by the move-limit policy — the realistic cost the
+// paper observes.
+
+#ifndef SRC_THREADS_SYNC_H_
+#define SRC_THREADS_SYNC_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/threads/runtime.h"
+
+namespace ace {
+
+// A test-and-test-and-set spin lock occupying one simulated word.
+class SpinLock {
+ public:
+  explicit SpinLock(VirtAddr va) : va_(va) {}
+
+  void Acquire(Env& env) const {
+    for (;;) {
+      // Test-and-test-and-set: spin reading until the lock looks free, then attempt
+      // the atomic exchange; failed attempts pause briefly (polite spinning).
+      while (env.Load(va_) != 0) {
+        env.Compute(kSpinPauseNs);
+      }
+      if (env.TestAndSet(va_, 1) == 0) {
+        return;
+      }
+      env.Compute(kSpinPauseNs);
+    }
+  }
+
+  void Release(Env& env) const { env.Store(va_, 0); }
+
+  VirtAddr address() const { return va_; }
+
+ private:
+  static constexpr TimeNs kSpinPauseNs = 500;
+  VirtAddr va_;
+};
+
+// Sense-reversing centralized barrier. Uses two simulated words (count at base,
+// sense at base+4); per-thread sense lives in host memory (register state).
+class Barrier {
+ public:
+  Barrier(VirtAddr base, int num_threads) : base_(base), num_threads_(num_threads) {
+    ACE_CHECK(num_threads >= 1);
+  }
+
+  // Each participating thread keeps its own `local_sense` across calls, initially 0.
+  void Wait(Env& env, std::uint32_t* local_sense) const {
+    std::uint32_t my_sense = *local_sense ^ 1u;
+    *local_sense = my_sense;
+    std::uint32_t arrived = env.FetchAdd(base_, 1);
+    if (arrived == static_cast<std::uint32_t>(num_threads_) - 1) {
+      env.Store(base_, 0);              // reset for the next phase
+      env.Store(base_ + 4, my_sense);   // release everyone
+      return;
+    }
+    while (env.Load(base_ + 4) != my_sense) {
+      env.Compute(kSpinPauseNs);
+    }
+  }
+
+ private:
+  static constexpr TimeNs kSpinPauseNs = 1'000;
+  VirtAddr base_;
+  int num_threads_;
+};
+
+// A work pile: a shared ticket counter handing out chunks of [0, total). This is the
+// "workload allocation" reference pattern the paper's applications use.
+class WorkPile {
+ public:
+  WorkPile(VirtAddr counter_va, std::uint64_t total, std::uint32_t chunk)
+      : counter_va_(counter_va), total_(total), chunk_(chunk) {
+    ACE_CHECK(chunk >= 1);
+  }
+
+  struct Chunk {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool empty() const { return begin >= end; }
+  };
+
+  // Grab the next chunk of work; returns an empty chunk when the pile is exhausted.
+  Chunk Grab(Env& env) const {
+    std::uint64_t begin = env.FetchAdd(counter_va_, chunk_);
+    if (begin >= total_) {
+      return Chunk{};
+    }
+    std::uint64_t end = begin + chunk_;
+    if (end > total_) {
+      end = total_;
+    }
+    return Chunk{begin, end};
+  }
+
+ private:
+  VirtAddr counter_va_;
+  std::uint64_t total_;
+  std::uint32_t chunk_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_THREADS_SYNC_H_

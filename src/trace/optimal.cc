@@ -1,0 +1,160 @@
+#include "src/trace/optimal.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ace {
+
+namespace {
+
+struct PlanCost {
+  double total = std::numeric_limits<double>::infinity();
+  double user = 0.0;
+
+  bool Better(const PlanCost& other) const { return total < other.total; }
+};
+
+}  // namespace
+
+OptimalEstimate ComputeOptimalPlacement(const std::map<VirtPage, PageEpochs>& pages,
+                                        const MachineConfig& config) {
+  const LatencyModel& lat = config.latency;
+  const double lf = static_cast<double>(lat.local_fetch_ns) * 1e-9;
+  const double ls = static_cast<double>(lat.local_store_ns) * 1e-9;
+  const double gf = static_cast<double>(lat.global_fetch_ns) * 1e-9;
+  const double gs = static_cast<double>(lat.global_store_ns) * 1e-9;
+  const double words = config.WordsPerPage();
+  const double eff = config.kernel.copy_efficiency;
+  // Page movement costs, matching PhysicalMemory::CopyPage.
+  const double copy_in = words * (gf + ls) * eff;   // global -> local
+  const double copy_out = words * (lf + gs) * eff;  // local -> global (sync)
+
+  const int procs = config.num_processors;
+  const int kGlobalState = procs;  // states 0..procs-1 = HOME_p; procs = GLOBAL
+
+  OptimalEstimate result;
+
+  for (const auto& [page, stream] : pages) {
+    if (stream.epochs.empty()) {
+      continue;
+    }
+    result.pages++;
+
+    std::vector<PlanCost> dp(static_cast<std::size_t>(procs) + 1);
+    double global_only_total = 0.0;  // cost of the never-leave-global plan
+    bool first = true;
+
+    for (const Epoch& e : stream.epochs) {
+      // Reference cost of this epoch under each placement.
+      // GLOBAL: everything at global speed, no movement.
+      double global_user = 0.0;
+      for (int p = 0; p < procs; ++p) {
+        double f = e.fetches[static_cast<std::size_t>(p)];
+        double st = e.stores[static_cast<std::size_t>(p)];
+        global_user += f * gf + st * gs;
+      }
+
+      std::vector<PlanCost> next(static_cast<std::size_t>(procs) + 1);
+      auto relax = [&](int state, double prev_total, double prev_user, double epoch_total,
+                       double epoch_user) {
+        PlanCost candidate;
+        candidate.total = prev_total + epoch_total;
+        candidate.user = prev_user + epoch_user;
+        if (candidate.Better(next[static_cast<std::size_t>(state)])) {
+          next[static_cast<std::size_t>(state)] = candidate;
+        }
+      };
+
+      auto transition = [&](int from, int to) -> double {
+        if (first) {
+          return 0.0;  // first placement: the zero-fill lands wherever the plan wants
+        }
+        if (from == to) {
+          return 0.0;
+        }
+        if (from == kGlobalState) {
+          return copy_in;  // global -> home
+        }
+        if (to == kGlobalState) {
+          return copy_out;  // home -> global
+        }
+        return copy_out + copy_in;  // home -> home (via global memory)
+      };
+
+      for (int to = 0; to <= procs; ++to) {
+        // Legality: a writing epoch may only be HOME(writer) or GLOBAL.
+        double epoch_user;
+        double epoch_move;
+        if (to == kGlobalState) {
+          epoch_user = global_user;
+          epoch_move = 0.0;
+        } else {
+          if (e.writer != kNoProc && e.writer != to) {
+            continue;
+          }
+          // HOME(to): home's refs local, readers replicate (one copy each).
+          double home_f = e.fetches[static_cast<std::size_t>(to)];
+          double home_s = e.stores[static_cast<std::size_t>(to)];
+          double readers_user = 0.0;
+          double copies = 0.0;
+          for (int p = 0; p < procs; ++p) {
+            if (p == to) {
+              continue;
+            }
+            double f = e.fetches[static_cast<std::size_t>(p)];
+            if (f > 0) {
+              readers_user += f * lf;
+              copies += copy_in;
+            }
+          }
+          epoch_user = home_f * lf + home_s * ls + readers_user;
+          epoch_move = copies;
+        }
+        for (int from = 0; from <= procs; ++from) {
+          double prev_total;
+          double prev_user;
+          if (first) {
+            if (from != to) {
+              continue;
+            }
+            prev_total = 0.0;
+            prev_user = 0.0;
+          } else {
+            prev_total = dp[static_cast<std::size_t>(from)].total;
+            prev_user = dp[static_cast<std::size_t>(from)].user;
+            if (!std::isfinite(prev_total)) {
+              continue;
+            }
+          }
+          double trans = transition(from, to);
+          relax(to, prev_total + trans, prev_user, epoch_user + epoch_move, epoch_user);
+        }
+      }
+      dp = std::move(next);
+      global_only_total += global_user;
+      first = false;
+    }
+
+    // Best final state for this page.
+    PlanCost best;
+    for (int s = 0; s <= procs; ++s) {
+      if (dp[static_cast<std::size_t>(s)].Better(best)) {
+        best = dp[static_cast<std::size_t>(s)];
+      }
+    }
+    if (std::isfinite(best.total)) {
+      result.user_sec += best.user;
+      result.movement_sec += best.total - best.user;
+      result.total_sec += best.total;
+      // Pages whose optimum is the all-global plan: legitimate sharing the OS cannot
+      // improve on (the distinction the paper could only make "through ad hoc
+      // examination of the individual applications").
+      if (global_only_total <= best.total + 1e-12) {
+        result.pages_best_global++;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ace

@@ -1,0 +1,90 @@
+// Post-hoc optimal-placement estimation — the paper's missing Toptimal.
+//
+// Section 3.1: "We would have liked to compare Tnuma to Toptimal [user time under a
+// placement strategy that minimizes the sum of user and NUMA-related system time using
+// future knowledge] but had no way to measure the latter, so we compared to Tlocal
+// instead. ... [the model] fails to distinguish between global references due to
+// placement 'errors', and those due to legitimate use of shared memory. We have begun
+// to make and analyze reference traces of parallel programs to rectify this weakness."
+//
+// This module rectifies it: from an epoch-compressed reference trace it computes, per
+// page, the cost-minimizing placement plan with perfect future knowledge, at the same
+// granularity the OS works at (whole pages, replicate/migrate/globalize, real copy
+// costs). The estimate is mildly optimistic — within one write epoch it assumes
+// replicas are established once rather than re-invalidated by interleaved writes — so
+// it is a lower bound: Tlocal <= Toptimal_est <= Toptimal <= Tnuma + dS.
+//
+// An *epoch* is a maximal run of one page's references with a single writing
+// processor (or none). Placement choices per epoch:
+//   HOME(w)+replicas — the page sits in the writer's local memory; each distinct
+//                      reader pays one page copy, then reads locally;
+//   GLOBAL           — every reference at global cost, no movement.
+// Transitions between epochs pay page-copy costs (migrate or write back).
+
+#ifndef SRC_TRACE_OPTIMAL_H_
+#define SRC_TRACE_OPTIMAL_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/machine_config.h"
+
+namespace ace {
+
+// One write epoch of one page.
+struct Epoch {
+  ProcId writer = kNoProc;  // kNoProc for a read-only epoch
+  std::array<std::uint32_t, kMaxProcessors> fetches{};
+  std::array<std::uint32_t, kMaxProcessors> stores{};
+};
+
+// Epoch accumulator for one page (fed by the tracer).
+struct PageEpochs {
+  std::vector<Epoch> epochs;
+  bool truncated = false;
+
+  static constexpr std::size_t kMaxEpochs = 200'000;
+
+  void Record(ProcId proc, AccessKind kind) {
+    if (truncated) {
+      return;
+    }
+    if (kind == AccessKind::kStore) {
+      if (epochs.empty() || (epochs.back().writer != proc &&
+                             epochs.back().writer != kNoProc)) {
+        if (epochs.size() >= kMaxEpochs) {
+          truncated = true;
+          return;
+        }
+        epochs.emplace_back();
+      }
+      Epoch& e = epochs.back();
+      e.writer = proc;
+      e.stores[static_cast<std::size_t>(proc)]++;
+    } else {
+      if (epochs.empty()) {
+        epochs.emplace_back();
+      }
+      epochs.back().fetches[static_cast<std::size_t>(proc)]++;
+    }
+  }
+};
+
+struct OptimalEstimate {
+  double user_sec = 0.0;       // reference time under the optimal plan
+  double movement_sec = 0.0;   // page copies the plan performs
+  double total_sec = 0.0;      // user + movement (what the oracle minimizes)
+  std::uint64_t pages = 0;
+  std::uint64_t pages_best_global = 0;  // pages whose plan is all-global throughout
+};
+
+// Compute the optimal-plan estimate for a set of page epoch streams.
+OptimalEstimate ComputeOptimalPlacement(const std::map<VirtPage, PageEpochs>& pages,
+                                        const MachineConfig& config);
+
+}  // namespace ace
+
+#endif  // SRC_TRACE_OPTIMAL_H_

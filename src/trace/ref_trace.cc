@@ -1,0 +1,169 @@
+#include "src/trace/ref_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+const char* SharingClassName(SharingClass c) {
+  switch (c) {
+    case SharingClass::kUnreferenced:
+      return "unreferenced";
+    case SharingClass::kPrivate:
+      return "private";
+    case SharingClass::kReadShared:
+      return "read-shared";
+    case SharingClass::kWritablyShared:
+      return "writably-shared";
+  }
+  return "?";
+}
+
+RefTracer::RefTracer(Machine* machine)
+    : machine_(machine), page_shift_(machine->config().PageShift()) {
+  machine_->SetRefObserver(&RefTracer::Observe, this);
+}
+
+RefTracer::~RefTracer() { machine_->SetRefObserver(nullptr, nullptr); }
+
+void RefTracer::AddObject(const std::string& name, VirtAddr start, std::uint64_t bytes) {
+  ACE_CHECK(bytes > 0);
+  for (const TracedObject& o : objects_) {
+    ACE_CHECK_MSG(start + bytes <= o.start || start >= o.end(),
+                  "traced objects must not overlap");
+  }
+  TracedObject object;
+  object.name = name;
+  object.start = start;
+  object.bytes = bytes;
+  objects_.push_back(object);
+  std::sort(objects_.begin(), objects_.end(),
+            [](const TracedObject& a, const TracedObject& b) { return a.start < b.start; });
+}
+
+void RefTracer::Clear() {
+  pages_.clear();
+  page_epochs_.clear();
+  for (TracedObject& o : objects_) {
+    o.counts = RefCounts{};
+  }
+  total_refs_ = 0;
+  local_refs_ = 0;
+}
+
+void RefTracer::Observe(void* ctx, ProcId proc, VirtAddr va, AccessKind kind,
+                        MemoryClass cls) {
+  static_cast<RefTracer*>(ctx)->Record(proc, va, kind, cls);
+}
+
+TracedObject* RefTracer::FindObject(VirtAddr va) {
+  // Binary search over sorted, non-overlapping objects.
+  auto it = std::upper_bound(
+      objects_.begin(), objects_.end(), va,
+      [](VirtAddr addr, const TracedObject& o) { return addr < o.start; });
+  if (it == objects_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (va >= it->start && va < it->end()) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+void RefTracer::Record(ProcId proc, VirtAddr va, AccessKind kind, MemoryClass cls) {
+  if (!recording_) {
+    return;
+  }
+  total_refs_++;
+  bool local = cls == MemoryClass::kLocal;
+  if (local) {
+    local_refs_++;
+  }
+  auto update = [&](RefCounts& c) {
+    if (kind == AccessKind::kFetch) {
+      c.readers.Add(proc);
+      c.fetches++;
+    } else {
+      c.writers.Add(proc);
+      c.stores++;
+    }
+    if (local) {
+      c.local_refs++;
+    } else {
+      c.nonlocal_refs++;
+    }
+  };
+  update(pages_[va >> page_shift_]);
+  if (epoch_tracking_) {
+    page_epochs_[va >> page_shift_].Record(proc, kind);
+  }
+  if (TracedObject* object = FindObject(va)) {
+    update(object->counts);
+  }
+}
+
+SharingClass RefTracer::PageClass(VirtPage page) const {
+  auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    return SharingClass::kUnreferenced;
+  }
+  return it->second.Classify();
+}
+
+std::vector<FalseSharingFinding> RefTracer::FindFalseSharing() const {
+  std::vector<FalseSharingFinding> findings;
+  for (const TracedObject& object : objects_) {
+    SharingClass object_class = object.counts.Classify();
+    if (object_class == SharingClass::kWritablyShared ||
+        object_class == SharingClass::kUnreferenced) {
+      continue;  // genuinely shared (or untouched) objects are not falsely shared
+    }
+    VirtPage first = object.start >> page_shift_;
+    VirtPage last = (object.end() - 1) >> page_shift_;
+    for (VirtPage page = first; page <= last; ++page) {
+      if (PageClass(page) == SharingClass::kWritablyShared) {
+        findings.push_back(FalseSharingFinding{object.name, object_class, page,
+                                               SharingClass::kWritablyShared});
+      }
+    }
+  }
+  return findings;
+}
+
+double RefTracer::LocalFraction() const {
+  if (total_refs_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(local_refs_) / static_cast<double>(total_refs_);
+}
+
+std::string RefTracer::Report() const {
+  std::string out;
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& [page, c] : pages_) {
+    counts[static_cast<int>(c.Classify())]++;
+  }
+  out += "pages referenced: " + std::to_string(pages_.size()) + "\n";
+  for (int i = 1; i < 4; ++i) {
+    out += "  " + std::string(SharingClassName(static_cast<SharingClass>(i))) + ": " +
+           std::to_string(counts[i]) + "\n";
+  }
+  out += "local fraction of references: " + std::to_string(LocalFraction()) + "\n";
+  std::vector<FalseSharingFinding> findings = FindFalseSharing();
+  out += "falsely shared objects: " + std::to_string(findings.size()) + "\n";
+  for (const FalseSharingFinding& f : findings) {
+    out += "  object '" + f.object_name + "' (" + SharingClassName(f.object_class) +
+           ") on writably-shared page 0x" + [&] {
+             char buf[32];
+             std::snprintf(buf, sizeof(buf), "%llx",
+                           static_cast<unsigned long long>(f.page));
+             return std::string(buf);
+           }() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ace

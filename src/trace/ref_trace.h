@@ -1,0 +1,153 @@
+// Reference tracing and sharing analysis.
+//
+// Paper section 3.1: "We have begun to make and analyze reference traces of parallel
+// programs to rectify this weakness" (the inability to distinguish placement errors
+// from legitimate sharing), and section 4.2 defines the vocabulary this module
+// implements:
+//
+//   "By definition, an object is writably shared if it is written by at least one
+//    processor and read or written by more than one. Similarly, a virtual page is
+//    writably shared if at least one processor writes it and more than one processor
+//    reads or writes it. By definition, an object that is not writably shared, but
+//    that is on a writably shared page is falsely shared."
+//
+// RefTracer attaches to a Machine's reference-observer hook, accumulates per-page and
+// per-object reader/writer sets, classifies pages and objects, and reports falsely
+// shared objects — the language-processor-level diagnosis the paper calls for.
+
+#ifndef SRC_TRACE_REF_TRACE_H_
+#define SRC_TRACE_REF_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/proc_set.h"
+#include "src/common/types.h"
+#include "src/machine/machine.h"
+#include "src/trace/optimal.h"
+
+namespace ace {
+
+enum class SharingClass : std::uint8_t {
+  kUnreferenced = 0,
+  kPrivate = 1,        // referenced by exactly one processor
+  kReadShared = 2,     // referenced by several processors, written by none
+  kWritablyShared = 3, // written by >= 1 processor and referenced by >= 2
+};
+
+const char* SharingClassName(SharingClass c);
+
+struct RefCounts {
+  ProcSet readers;
+  ProcSet writers;
+  std::uint64_t fetches = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t local_refs = 0;
+  std::uint64_t nonlocal_refs = 0;
+
+  ProcSet Referencers() const {
+    ProcSet merged = readers;
+    writers.ForEach([&](ProcId p) { merged.Add(p); });
+    return merged;
+  }
+
+  SharingClass Classify() const {
+    ProcSet all = Referencers();
+    if (all.Empty()) {
+      return SharingClass::kUnreferenced;
+    }
+    if (all.Count() == 1) {
+      return SharingClass::kPrivate;
+    }
+    if (writers.Empty()) {
+      return SharingClass::kReadShared;
+    }
+    // Written by at least one processor and referenced by more than one.
+    return SharingClass::kWritablyShared;
+  }
+};
+
+// A named object registered for object-level (sub-page) analysis.
+struct TracedObject {
+  std::string name;
+  VirtAddr start = 0;
+  std::uint64_t bytes = 0;
+  RefCounts counts;
+
+  VirtAddr end() const { return start + bytes; }
+};
+
+struct FalseSharingFinding {
+  std::string object_name;
+  SharingClass object_class = SharingClass::kPrivate;
+  VirtPage page = 0;
+  SharingClass page_class = SharingClass::kWritablyShared;
+};
+
+class RefTracer {
+ public:
+  // Attaches to the machine's reference observer; only one tracer per machine.
+  explicit RefTracer(Machine* machine);
+  ~RefTracer();
+
+  RefTracer(const RefTracer&) = delete;
+  RefTracer& operator=(const RefTracer&) = delete;
+
+  // Register an object (must not overlap a previously registered object).
+  void AddObject(const std::string& name, VirtAddr start, std::uint64_t bytes);
+
+  // Stop/resume recording (e.g. to exclude an initialization phase).
+  void Pause() { recording_ = false; }
+  void Resume() { recording_ = true; }
+  void Clear();
+
+  // Turn on per-page write-epoch tracking (input to the optimal-placement
+  // estimator). Call before the workload runs.
+  void EnableEpochTracking() { epoch_tracking_ = true; }
+  const std::map<VirtPage, PageEpochs>& page_epochs() const { return page_epochs_; }
+
+  // Run the optimal-placement analysis over the tracked epochs.
+  OptimalEstimate EstimateOptimal() const {
+    return ComputeOptimalPlacement(page_epochs_, machine_->config());
+  }
+
+  // --- results -------------------------------------------------------------------
+  const std::map<VirtPage, RefCounts>& pages() const { return pages_; }
+  const std::vector<TracedObject>& objects() const { return objects_; }
+
+  SharingClass PageClass(VirtPage page) const;
+
+  // Objects that are not themselves writably shared but live on writably shared
+  // pages — the paper's definition of false sharing. An object spanning several pages
+  // is reported once per offending page.
+  std::vector<FalseSharingFinding> FindFalseSharing() const;
+
+  // Summary counters.
+  std::uint64_t total_refs() const { return total_refs_; }
+  double LocalFraction() const;
+
+  // Human-readable report of page classes and false-sharing findings.
+  std::string Report() const;
+
+ private:
+  static void Observe(void* ctx, ProcId proc, VirtAddr va, AccessKind kind, MemoryClass cls);
+  void Record(ProcId proc, VirtAddr va, AccessKind kind, MemoryClass cls);
+  TracedObject* FindObject(VirtAddr va);
+
+  Machine* machine_;
+  std::uint32_t page_shift_;
+  bool recording_ = true;
+
+  std::map<VirtPage, RefCounts> pages_;
+  bool epoch_tracking_ = false;
+  std::map<VirtPage, PageEpochs> page_epochs_;
+  std::vector<TracedObject> objects_;  // sorted by start address
+  std::uint64_t total_refs_ = 0;
+  std::uint64_t local_refs_ = 0;
+};
+
+}  // namespace ace
+
+#endif  // SRC_TRACE_REF_TRACE_H_

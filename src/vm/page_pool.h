@@ -1,0 +1,87 @@
+// The Mach machine-independent physical page pool ("logical memory").
+//
+// Mach views physical memory as a fixed-size pool of uniform pages (paper section
+// 2.1); on the ACE, each logical page corresponds to exactly one page of global memory
+// (section 2.3.1) — logical page i is global frame i. The pool size is fixed at boot,
+// which the paper calls out as the reason the maximum replication memory is fixed.
+//
+// Freed pages are returned through the lazy pmap_free_page / pmap_free_page_sync pair
+// (pmap extension 1): the pool queues (page, tag) and only forces the cleanup to
+// complete when the page is about to be reallocated.
+
+#ifndef SRC_VM_PAGE_POOL_H_
+#define SRC_VM_PAGE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/vm/pmap.h"
+
+namespace ace {
+
+class PagePool {
+ public:
+  PagePool(std::uint32_t num_pages, PmapSystem* pmap) : pmap_(pmap) {
+    free_.reserve(num_pages);
+    for (std::uint32_t i = num_pages; i > 0; --i) {
+      free_.push_back(i - 1);
+    }
+    total_ = num_pages;
+  }
+
+  // Allocate a logical page; returns kNoLogicalPage when memory is exhausted.
+  LogicalPage Alloc() {
+    if (free_.empty()) {
+      if (deferred_.empty()) {
+        return kNoLogicalPage;
+      }
+      Deferred d = deferred_.front();
+      deferred_.pop_front();
+      pmap_->FreePageSync(d.tag);
+      return d.page;
+    }
+    LogicalPage lp = free_.back();
+    free_.pop_back();
+    return lp;
+  }
+
+  // Free a logical page; cleanup is deferred until reallocation (or Drain).
+  void Free(LogicalPage lp) {
+    ACE_CHECK(lp != kNoLogicalPage && lp < total_);
+    FreeTag tag = pmap_->FreePage(lp);
+    deferred_.push_back(Deferred{lp, tag});
+  }
+
+  // Complete all pending lazy cleanups (e.g. before tearing the machine down).
+  void Drain() {
+    while (!deferred_.empty()) {
+      Deferred d = deferred_.front();
+      deferred_.pop_front();
+      pmap_->FreePageSync(d.tag);
+      free_.push_back(d.page);
+    }
+  }
+
+  std::uint32_t FreeCount() const {
+    return static_cast<std::uint32_t>(free_.size() + deferred_.size());
+  }
+  std::uint32_t total() const { return total_; }
+
+ private:
+  struct Deferred {
+    LogicalPage page;
+    FreeTag tag;
+  };
+
+  PmapSystem* pmap_;
+  std::vector<LogicalPage> free_;
+  std::deque<Deferred> deferred_;
+  std::uint32_t total_ = 0;
+};
+
+}  // namespace ace
+
+#endif  // SRC_VM_PAGE_POOL_H_

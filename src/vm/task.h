@@ -1,0 +1,192 @@
+// Tasks: Mach address spaces.
+//
+// A task maps VM objects into a flat virtual address space at page granularity. The
+// address map is machine-independent; translation state lives in the task's pmap,
+// which is only a cache of these mappings (paper section 2.1).
+
+#ifndef SRC_VM_TASK_H_
+#define SRC_VM_TASK_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/protection.h"
+#include "src/common/types.h"
+#include "src/vm/pmap.h"
+#include "src/vm/vm_object.h"
+
+namespace ace {
+
+struct Region {
+  VirtAddr start = 0;
+  std::uint64_t size = 0;  // bytes, page multiple
+  VmObject* object = nullptr;
+  std::uint64_t object_offset = 0;  // bytes into the object, page multiple
+  Protection max_prot = Protection::kReadWrite;
+  PlacementPragma pragma = PlacementPragma::kDefault;
+  std::string label;
+
+  // Copy-on-write support (paper section 2.1: Mach "may reduce privileges to
+  // implement copy-on-write"). When `shadow` is set, reads are served from `object`
+  // (the backing object, mapped read-only) until the first write to a page copies it
+  // into the shadow object, which is private to this region.
+  VmObject* shadow = nullptr;
+
+  VirtAddr end() const { return start + size; }
+  bool Contains(VirtAddr va) const { return va >= start && va < end(); }
+};
+
+class Task {
+ public:
+  // `va_base` is where this task's address space begins; the machine gives each task a
+  // distinct base so virtual pages are globally unique (one flat translation namespace
+  // per processor — a simulation simplification, documented in DESIGN.md).
+  Task(std::string name, PmapSystem* pmap_system, std::uint32_t page_size,
+       VirtAddr va_base = 0x10000)
+      : name_(std::move(name)),
+        pmap_system_(pmap_system),
+        page_size_(page_size),
+        pmap_(pmap_system->CreatePmap()),
+        next_va_(va_base) {}
+
+  ~Task() {
+    if (pmap_ != kNoPmap) {
+      pmap_system_->DestroyPmap(pmap_);
+    }
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  const std::string& name() const { return name_; }
+  PmapHandle pmap() const { return pmap_; }
+  std::uint32_t page_size() const { return page_size_; }
+
+  // Create an anonymous object of `bytes` (rounded up to pages) and map it at the next
+  // free address. Returns the base virtual address of the region.
+  VirtAddr MapAnonymous(const std::string& label, std::uint64_t bytes,
+                        Protection max_prot = Protection::kReadWrite,
+                        PlacementPragma pragma = PlacementPragma::kDefault) {
+    std::uint64_t pages = (bytes + page_size_ - 1) / page_size_;
+    if (pages == 0) {
+      pages = 1;
+    }
+    auto object = std::make_unique<VmObject>(label, pages);
+    VirtAddr base = MapObject(label, object.get(), 0, pages * page_size_, max_prot, pragma);
+    objects_.push_back(std::move(object));
+    return base;
+  }
+
+  // Map a copy-on-write view of an existing object's window: reads share the source
+  // pages; the first write to a page gives this region its own copy (Mach vm_copy /
+  // fork semantics, simplified to a single shadow level).
+  VirtAddr MapCopy(const std::string& label, VmObject* source, std::uint64_t object_offset,
+                   std::uint64_t bytes, PlacementPragma pragma = PlacementPragma::kDefault) {
+    VirtAddr base = MapObject(label, source, object_offset, bytes, Protection::kReadWrite,
+                              pragma);
+    auto shadow = std::make_unique<VmObject>(label + "-shadow", bytes / page_size_);
+    for (Region& r : regions_) {
+      if (r.start == base) {
+        r.shadow = shadow.get();
+        break;
+      }
+    }
+    objects_.push_back(std::move(shadow));
+    return base;
+  }
+
+  // Map an existing object (or a window of it) at the next free address.
+  VirtAddr MapObject(const std::string& label, VmObject* object, std::uint64_t object_offset,
+                     std::uint64_t bytes, Protection max_prot,
+                     PlacementPragma pragma = PlacementPragma::kDefault) {
+    ACE_CHECK(object != nullptr);
+    ACE_CHECK(bytes % page_size_ == 0 && object_offset % page_size_ == 0);
+    ACE_CHECK(object_offset + bytes <= object->num_pages() * page_size_);
+    Region r;
+    r.start = next_va_;
+    r.size = bytes;
+    r.object = object;
+    r.object_offset = object_offset;
+    r.max_prot = max_prot;
+    r.pragma = pragma;
+    r.label = label;
+    regions_.push_back(r);
+    // Leave an unmapped guard page between regions so stray accesses fault loudly.
+    next_va_ += bytes + page_size_;
+    return r.start;
+  }
+
+  // Unmap a region and free its object's pages (if this task created the object).
+  void UnmapRegion(VirtAddr base, PagePool& pool) {
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].start == base) {
+        Region r = regions_[i];
+        VirtPage first = r.start / page_size_;
+        VirtPage last = (r.end() - 1) / page_size_;
+        pmap_system_->Remove(pmap_, first, last);
+        regions_.erase(regions_.begin() + static_cast<std::ptrdiff_t>(i));
+        // The shadow object is exclusive to this region.
+        if (r.shadow != nullptr) {
+          r.shadow->ReleasePages(pool);
+        }
+        // Free object pages only if no other region still maps the object.
+        bool still_mapped = false;
+        for (const Region& other : regions_) {
+          if (other.object == r.object) {
+            still_mapped = true;
+            break;
+          }
+        }
+        if (!still_mapped) {
+          r.object->ReleasePages(pool);
+        }
+        return;
+      }
+    }
+    ACE_CHECK_MSG(false, "UnmapRegion: no region at base address");
+  }
+
+  const Region* FindRegion(VirtAddr va) const {
+    for (const Region& r : regions_) {
+      if (r.Contains(va)) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+  // Release everything (used at teardown before the pool drains).
+  void ReleaseAll(PagePool& pool) {
+    for (auto& object : objects_) {
+      object->ReleasePages(pool);
+    }
+    if (!regions_.empty()) {
+      for (const Region& r : regions_) {
+        VirtPage first = r.start / page_size_;
+        VirtPage last = (r.end() - 1) / page_size_;
+        pmap_system_->Remove(pmap_, first, last);
+      }
+      regions_.clear();
+    }
+  }
+
+ private:
+  std::string name_;
+  PmapSystem* pmap_system_;
+  std::uint32_t page_size_;
+  PmapHandle pmap_;
+  // Starts well away from zero so null-ish pointers fault.
+  VirtAddr next_va_;
+  std::vector<Region> regions_;
+  std::vector<std::unique_ptr<VmObject>> objects_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_VM_TASK_H_

@@ -1,0 +1,88 @@
+// Anonymous VM objects: zero-filled memory backing task regions.
+//
+// A VmObject owns a run of logical pages, materialized lazily on first touch. Mach
+// fills uninitialized pages with zeros while handling the initial zero-fill fault
+// (paper section 2.3.1); we signal that through PmapSystem::ZeroPage, which the ACE
+// pmap layer evaluates lazily.
+
+#ifndef SRC_VM_VM_OBJECT_H_
+#define SRC_VM_VM_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/vm/page_pool.h"
+#include "src/vm/pmap.h"
+
+namespace ace {
+
+class VmObject {
+ public:
+  VmObject(std::string name, std::uint64_t num_pages)
+      : name_(std::move(name)),
+        id_(next_id_++),
+        pages_(static_cast<std::size_t>(num_pages), kNoLogicalPage) {}
+
+  VmObject(const VmObject&) = delete;
+  VmObject& operator=(const VmObject&) = delete;
+
+  const std::string& name() const { return name_; }
+  // Process-unique object id; backing store is keyed by it so a recycled VmObject
+  // address can never alias another object's paged-out content.
+  std::uint64_t id() const { return id_; }
+  std::uint64_t num_pages() const { return pages_.size(); }
+
+  // The logical page backing object-relative page `index`, materializing it (and
+  // requesting a lazy zero-fill) if this is the first touch. Returns kNoLogicalPage
+  // only when the pool is out of memory.
+  LogicalPage GetOrCreatePage(std::uint64_t index, PagePool& pool, PmapSystem& pmap) {
+    ACE_CHECK(index < pages_.size());
+    LogicalPage& slot = pages_[static_cast<std::size_t>(index)];
+    if (slot == kNoLogicalPage) {
+      LogicalPage lp = pool.Alloc();
+      if (lp == kNoLogicalPage) {
+        return kNoLogicalPage;
+      }
+      pmap.ZeroPage(lp);
+      slot = lp;
+    }
+    return slot;
+  }
+
+  // Resident logical page or kNoLogicalPage (no materialization).
+  LogicalPage PageAt(std::uint64_t index) const {
+    ACE_CHECK(index < pages_.size());
+    return pages_[static_cast<std::size_t>(index)];
+  }
+
+  // Set or clear the resident page for `index` (used by the fault handler's pager
+  // path and by pageout).
+  void SetPage(std::uint64_t index, LogicalPage lp) {
+    ACE_CHECK(index < pages_.size());
+    pages_[static_cast<std::size_t>(index)] = lp;
+  }
+
+  // Release every materialized page back to the pool (lazy cleanup via the pool).
+  void ReleasePages(PagePool& pool) {
+    for (LogicalPage& lp : pages_) {
+      if (lp != kNoLogicalPage) {
+        pool.Free(lp);
+        lp = kNoLogicalPage;
+      }
+    }
+  }
+
+ private:
+  static inline std::uint64_t next_id_ = 1;
+
+  std::string name_;
+  std::uint64_t id_;
+  std::vector<LogicalPage> pages_;
+};
+
+}  // namespace ace
+
+#endif  // SRC_VM_VM_OBJECT_H_

@@ -1,0 +1,177 @@
+// Integration tests for the application suite: every application must compute a
+// correct, verified result under every placement policy and several thread counts —
+// the paper's "correct parallel programs will run on our system without modification".
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/apps/app.h"
+#include "src/apps/primes_common.h"
+#include "src/machine/machine.h"
+
+namespace ace {
+namespace {
+
+// (app name, policy, threads)
+using AppCase = std::tuple<std::string, PolicySpec::Kind, int>;
+
+class AppCorrectness : public ::testing::TestWithParam<AppCase> {};
+
+TEST_P(AppCorrectness, VerifiesUnderPolicy) {
+  const auto& [name, policy_kind, threads] = GetParam();
+  Machine::Options mo;
+  mo.config.num_processors = threads;
+  mo.policy.kind = policy_kind;
+  mo.policy.move_threshold = 4;
+  mo.policy.reconsider_after_ns = 10'000'000;
+  Machine m(mo);
+
+  std::unique_ptr<App> app = CreateAppByName(name);
+  ASSERT_NE(app, nullptr);
+  AppConfig cfg;
+  cfg.num_threads = threads;
+  cfg.scale = 0.25;  // small but non-trivial
+  AppResult result = app->Run(m, cfg);
+  EXPECT_TRUE(result.ok) << name << ": " << result.detail;
+}
+
+std::vector<AppCase> AllCases() {
+  std::vector<AppCase> cases;
+  for (const char* name : {"ParMult", "Gfetch", "IMatMult", "Primes1", "Primes2", "Primes3",
+                           "FFT", "PlyTrace"}) {
+    for (PolicySpec::Kind kind :
+         {PolicySpec::Kind::kMoveLimit, PolicySpec::Kind::kAllGlobal,
+          PolicySpec::Kind::kAllLocal, PolicySpec::Kind::kReconsider}) {
+      cases.emplace_back(name, kind, 3);
+    }
+    cases.emplace_back(name, PolicySpec::Kind::kMoveLimit, 1);
+    cases.emplace_back(name, PolicySpec::Kind::kMoveLimit, 5);
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<AppCase>& info) {
+  const auto& [name, kind, threads] = info.param;
+  const char* policy = "";
+  switch (kind) {
+    case PolicySpec::Kind::kMoveLimit:
+      policy = "MoveLimit";
+      break;
+    case PolicySpec::Kind::kAllGlobal:
+      policy = "AllGlobal";
+      break;
+    case PolicySpec::Kind::kAllLocal:
+      policy = "AllLocal";
+      break;
+    case PolicySpec::Kind::kReconsider:
+      policy = "Reconsider";
+      break;
+    case PolicySpec::Kind::kRemoteHome:
+      policy = "RemoteHome";
+      break;
+  }
+  return name + std::string("_") + policy + "_t" + std::to_string(threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppCorrectness, ::testing::ValuesIn(AllCases()), CaseName);
+
+// --- variants -----------------------------------------------------------------------
+
+TEST(AppVariants, Primes2SharedDivisorsStillCorrect) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  Machine m(mo);
+  std::unique_ptr<App> app = CreateAppByName("Primes2");
+  AppConfig cfg;
+  cfg.num_threads = 4;
+  cfg.scale = 0.25;
+  cfg.variant = 1;  // the "initial version" with false sharing
+  AppResult result = app->Run(m, cfg);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(AppVariants, PlyTracePaddedStillCorrect) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  Machine m(mo);
+  std::unique_ptr<App> app = CreateAppByName("PlyTrace");
+  AppConfig cfg;
+  cfg.num_threads = 4;
+  cfg.scale = 0.25;
+  cfg.variant = 1;  // page-padded tiles
+  AppResult result = app->Run(m, cfg);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --- fixed total work ------------------------------------------------------------------
+
+TEST(AppWorkConservation, WorkUnitsIndependentOfThreadCount) {
+  // The paper's method requires applications to "do about the same amount of work,
+  // independent of the number of processors".
+  for (const char* name : {"ParMult", "Primes1", "Primes2", "Primes3"}) {
+    std::uint64_t work1 = 0;
+    std::uint64_t work4 = 0;
+    for (int threads : {1, 4}) {
+      Machine::Options mo;
+      mo.config.num_processors = threads;
+      Machine m(mo);
+      std::unique_ptr<App> app = CreateAppByName(name);
+      AppConfig cfg;
+      cfg.num_threads = threads;
+      cfg.scale = 0.2;
+      AppResult result = app->Run(m, cfg);
+      ASSERT_TRUE(result.ok) << name;
+      (threads == 1 ? work1 : work4) = result.work_units;
+    }
+    EXPECT_EQ(work1, work4) << name;
+  }
+}
+
+// --- registry ---------------------------------------------------------------------------
+
+TEST(AppRegistry, AllAppsPresentInTableOrder) {
+  std::vector<AppFactory> factories = AllAppFactories();
+  ASSERT_EQ(factories.size(), 8u);
+  const char* expected[] = {"ParMult", "Gfetch",  "IMatMult", "Primes1",
+                            "Primes2", "Primes3", "FFT",      "PlyTrace"};
+  for (std::size_t i = 0; i < factories.size(); ++i) {
+    EXPECT_STREQ(factories[i]()->name(), expected[i]);
+  }
+}
+
+TEST(AppRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateAppByName("NoSuchApp"), nullptr);
+}
+
+TEST(AppRegistry, ModelGLMatchesPaperFootnote) {
+  // "Gfetch and IMatMult ... used 2.3 for G/L. The other applications used G/L as 2."
+  LatencyModel lat;
+  EXPECT_NEAR(CreateGfetch()->ModelGL(lat), 2.31, 0.01);
+  EXPECT_NEAR(CreateIMatMult()->ModelGL(lat), 2.31, 0.01);
+  EXPECT_NEAR(CreatePrimes1()->ModelGL(lat), 2.0, 0.05);
+  EXPECT_NEAR(CreateFft()->ModelGL(lat), 2.0, 0.05);
+}
+
+// --- host reference helpers ---------------------------------------------------------------
+
+TEST(PrimesCommon, HostSieveKnownValues) {
+  EXPECT_EQ(HostPrimeCount(10), 4u);      // 2 3 5 7
+  EXPECT_EQ(HostPrimeCount(100), 25u);
+  EXPECT_EQ(HostPrimeCount(10'000), 1229u);
+  std::vector<std::uint32_t> primes = HostPrimesUpTo(20);
+  EXPECT_EQ(primes, (std::vector<std::uint32_t>{2, 3, 5, 7, 11, 13, 17, 19}));
+}
+
+TEST(PrimesCommon, IntSqrt) {
+  EXPECT_EQ(IntSqrt(0), 0u);
+  EXPECT_EQ(IntSqrt(1), 1u);
+  EXPECT_EQ(IntSqrt(3), 1u);
+  EXPECT_EQ(IntSqrt(4), 2u);
+  EXPECT_EQ(IntSqrt(40'000), 200u);
+  EXPECT_EQ(IntSqrt(39'999), 199u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,142 @@
+// Tests for process migration with page movement (paper section 4.7 future work).
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+#include "tests/machine_invariants.h"
+
+namespace ace {
+namespace {
+
+Machine::Options SmallMachine(int procs = 3) {
+  Machine::Options mo;
+  mo.config.num_processors = procs;
+  mo.config.global_pages = 64;
+  mo.config.local_pages_per_proc = 32;
+  return mo;
+}
+
+TEST(MigratePages, MovesLocalWritablePages) {
+  Machine m(SmallMachine());
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", 3 * m.page_size());
+  for (int p = 0; p < 3; ++p) {
+    m.StoreWord(*t, 0, a + static_cast<VirtAddr>(p) * m.page_size(),
+                static_cast<std::uint32_t>(p + 7));
+  }
+  std::uint32_t moved = m.numa_manager().MigrateResidentPages(0, 2);
+  EXPECT_EQ(moved, 3u);
+  for (int p = 0; p < 3; ++p) {
+    const NumaPageInfo& info =
+        m.PageInfoFor(*t, a + static_cast<VirtAddr>(p) * m.page_size());
+    EXPECT_EQ(info.state, PageState::kLocalWritable);
+    EXPECT_EQ(info.owner, 2);
+    // Content intact at the new home.
+    EXPECT_EQ(m.LoadWord(*t, 2, a + static_cast<VirtAddr>(p) * m.page_size()),
+              static_cast<std::uint32_t>(p + 7));
+  }
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, DoesNotCountTowardMoveLimit) {
+  Machine m(SmallMachine());
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  m.StoreWord(*t, 0, a, 1);
+  for (int i = 0; i < 10; ++i) {
+    m.numa_manager().MigrateResidentPages(i % 2, (i + 1) % 2);
+  }
+  LogicalPage lp = m.DebugLogicalPage(*t, a);
+  EXPECT_EQ(m.move_limit_policy()->MoveCount(lp), 0);
+  EXPECT_FALSE(m.move_limit_policy()->IsPinned(lp));
+  EXPECT_EQ(m.LoadWord(*t, 1, a), 1u);
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, DropsOldReplicasOfReadOnlyPages) {
+  Machine m(SmallMachine());
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  m.StoreWord(*t, 1, a, 5);
+  (void)m.LoadWord(*t, 0, a);  // replicate read-only onto 0 (flushes 1's copy)
+  (void)m.LoadWord(*t, 1, a);  // and back onto 1
+  ASSERT_EQ(m.PageInfoFor(*t, a).state, PageState::kReadOnly);
+  ASSERT_TRUE(m.PageInfoFor(*t, a).copies.Contains(0));
+  m.numa_manager().MigrateResidentPages(0, 2);
+  EXPECT_FALSE(m.PageInfoFor(*t, a).copies.Contains(0));
+  EXPECT_EQ(m.LoadWord(*t, 2, a), 5u);
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, LeavesOtherOwnersAlone) {
+  Machine m(SmallMachine());
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  VirtAddr b = t->MapAnonymous("b", m.page_size());
+  m.StoreWord(*t, 0, a, 1);
+  m.StoreWord(*t, 1, b, 2);
+  m.numa_manager().MigrateResidentPages(0, 2);
+  EXPECT_EQ(m.PageInfoFor(*t, a).owner, 2);
+  EXPECT_EQ(m.PageInfoFor(*t, b).owner, 1);  // untouched
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, FallsBackWhenDestinationFull) {
+  Machine::Options mo = SmallMachine(3);
+  mo.config.local_pages_per_proc = 2;
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr src = t->MapAnonymous("src", 4 * m.page_size());
+  VirtAddr dst_fill = t->MapAnonymous("fill", 2 * m.page_size());
+  // Fill processor 2's local memory completely.
+  m.StoreWord(*t, 2, dst_fill, 1);
+  m.StoreWord(*t, 2, dst_fill + m.page_size(), 1);
+  // Processor 0 owns two pages (its local memory also holds only 2).
+  m.StoreWord(*t, 0, src, 10);
+  m.StoreWord(*t, 0, src + m.page_size(), 11);
+  std::uint32_t moved = m.numa_manager().MigrateResidentPages(0, 2);
+  EXPECT_EQ(moved, 0u);  // nowhere to put them
+  // Content is safe in global frames and re-placeable.
+  EXPECT_EQ(m.LoadWord(*t, 1, src), 10u);
+  EXPECT_EQ(m.LoadWord(*t, 1, src + m.page_size()), 11u);
+  CheckMachineInvariants(m);
+}
+
+TEST(EnvMigrateTo, ThreadMovesAndKeepsLocality) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  VirtAddr data = t->MapAnonymous("data", 4 * m.page_size());
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    SimSpan<std::uint32_t> a(env, data, 4 * 1024);
+    for (int i = 0; i < 64; ++i) {
+      a[static_cast<std::size_t>(i * 16)] = static_cast<std::uint32_t>(i);
+    }
+    EXPECT_EQ(env.proc(), 0);
+    env.MigrateTo(1, /*move_pages=*/true);
+    EXPECT_EQ(env.proc(), 1);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(a.Get(static_cast<std::size_t>(i * 16)), static_cast<std::uint32_t>(i));
+    }
+  });
+  EXPECT_EQ(rt.migrations(), 1u);
+  // After the bulk move, all post-migration reads were local.
+  EXPECT_EQ(m.stats().MeasuredAlpha(), 1.0);
+  CheckMachineInvariants(m);
+}
+
+TEST(EnvMigrateTo, NoopWhenAlreadyThere) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    env.MigrateTo(0, true);
+    EXPECT_EQ(env.proc(), 0);
+  });
+  EXPECT_EQ(rt.migrations(), 0u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,345 @@
+// Unit tests for the NUMA manager: every cell of Tables 1 and 2, zero-fill laziness,
+// content movement, move counting, page reset, and the local-memory-full fallback.
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <tuple>
+
+#include "src/machine/machine.h"
+#include "tests/machine_invariants.h"
+
+namespace ace {
+namespace {
+
+struct Cell {
+  AccessKind kind;
+  Placement decision;
+  int start;  // 0=RO(replica on node 1), 1=GW, 2=LW own, 3=LW other
+  // expected results:
+  PageState new_state;
+  bool copied;
+  const char* cleanup;  // first cleanup action, or "No action"
+};
+
+class ProtocolCellTest : public ::testing::TestWithParam<Cell> {};
+
+// A fixture machine with a scripted policy.
+struct CellHarness {
+  ScriptedPolicy policy;
+  std::unique_ptr<Machine> machine;
+  Task* task = nullptr;
+  VirtAddr va = 0;
+  LogicalPage lp = kNoLogicalPage;
+
+  CellHarness() {
+    Machine::Options mo;
+    mo.config.num_processors = 3;
+    mo.config.global_pages = 16;
+    mo.config.local_pages_per_proc = 8;
+    mo.custom_policy = &policy;
+    machine = std::make_unique<Machine>(mo);
+    task = machine->CreateTask("cell");
+    va = task->MapAnonymous("page", machine->page_size());
+  }
+
+  void Prepare(int start) {
+    switch (start) {
+      case 0:  // Read-Only with a replica on node 1
+        policy.next = Placement::kLocal;
+        (void)machine->LoadWord(*task, 1, va);
+        break;
+      case 1:  // Global-Writable
+        policy.next = Placement::kGlobal;
+        machine->StoreWord(*task, 1, va, 1);
+        break;
+      case 2:  // Local-Writable on the requesting node (0)
+        policy.next = Placement::kLocal;
+        machine->StoreWord(*task, 0, va, 1);
+        break;
+      case 3:  // Local-Writable on another node (1)
+        policy.next = Placement::kLocal;
+        machine->StoreWord(*task, 1, va, 1);
+        break;
+    }
+    lp = machine->DebugLogicalPage(*task, va);
+    machine->pmap().RemoveAll(lp);  // force the next access through the manager
+  }
+};
+
+TEST_P(ProtocolCellTest, ActionsMatchPaperTables) {
+  const Cell& cell = GetParam();
+  CellHarness h;
+  h.Prepare(cell.start);
+
+  NumaManager& manager = h.machine->numa_manager();
+  manager.set_trace_actions(true);
+  h.policy.next = cell.decision;
+  if (cell.kind == AccessKind::kFetch) {
+    (void)h.machine->LoadWord(*h.task, 0, h.va);
+  } else {
+    h.machine->StoreWord(*h.task, 0, h.va, 2);
+  }
+  const ActionTrace& trace = manager.last_trace();
+  EXPECT_EQ(trace.new_state, cell.new_state);
+  EXPECT_EQ(trace.copied_to_local, cell.copied);
+  if (std::string_view(cell.cleanup).empty()) {
+    EXPECT_TRUE(trace.cleanup.empty());
+  } else {
+    ASSERT_FALSE(trace.cleanup.empty());
+    EXPECT_STREQ(trace.cleanup[0].c_str(), cell.cleanup);
+  }
+  manager.set_trace_actions(false);
+  CheckMachineInvariants(*h.machine);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Reads, ProtocolCellTest,
+    ::testing::Values(
+        Cell{AccessKind::kFetch, Placement::kLocal, 0, PageState::kReadOnly, true, ""},
+        Cell{AccessKind::kFetch, Placement::kLocal, 1, PageState::kReadOnly, true,
+             "unmap all"},
+        Cell{AccessKind::kFetch, Placement::kLocal, 2, PageState::kLocalWritable, false,
+             "No action"},
+        Cell{AccessKind::kFetch, Placement::kLocal, 3, PageState::kReadOnly, true,
+             "sync&flush other"},
+        Cell{AccessKind::kFetch, Placement::kGlobal, 0, PageState::kGlobalWritable, false,
+             "flush all"},
+        Cell{AccessKind::kFetch, Placement::kGlobal, 1, PageState::kGlobalWritable, false,
+             "No action"},
+        Cell{AccessKind::kFetch, Placement::kGlobal, 2, PageState::kGlobalWritable, false,
+             "sync&flush own"},
+        Cell{AccessKind::kFetch, Placement::kGlobal, 3, PageState::kGlobalWritable, false,
+             "sync&flush other"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Writes, ProtocolCellTest,
+    ::testing::Values(
+        Cell{AccessKind::kStore, Placement::kLocal, 0, PageState::kLocalWritable, true,
+             "flush other"},
+        Cell{AccessKind::kStore, Placement::kLocal, 1, PageState::kLocalWritable, true,
+             "unmap all"},
+        Cell{AccessKind::kStore, Placement::kLocal, 2, PageState::kLocalWritable, false,
+             "No action"},
+        Cell{AccessKind::kStore, Placement::kLocal, 3, PageState::kLocalWritable, true,
+             "sync&flush other"},
+        Cell{AccessKind::kStore, Placement::kGlobal, 0, PageState::kGlobalWritable, false,
+             "flush all"},
+        Cell{AccessKind::kStore, Placement::kGlobal, 1, PageState::kGlobalWritable, false,
+             "No action"},
+        Cell{AccessKind::kStore, Placement::kGlobal, 2, PageState::kGlobalWritable, false,
+             "sync&flush own"},
+        Cell{AccessKind::kStore, Placement::kGlobal, 3, PageState::kGlobalWritable, false,
+             "sync&flush other"}));
+
+// --- content correctness through transitions ----------------------------------------
+
+TEST(NumaManagerContent, WriteSurvivesMigrationChain) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 0x11111111);
+  h.machine->StoreWord(*h.task, 1, h.va + 4, 0x22222222);  // migrates 0 -> 1
+  h.machine->StoreWord(*h.task, 2, h.va + 8, 0x33333333);  // migrates 1 -> 2
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 0x11111111u);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 1, h.va + 4), 0x22222222u);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va + 8), 0x33333333u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerContent, SyncWritesBackBeforeGlobalPlacement) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 1, h.va, 77);  // LW on node 1
+  h.policy.next = Placement::kGlobal;
+  // A read with a GLOBAL decision must see the synced content from node 1's cache.
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 77u);
+  EXPECT_EQ(h.machine->PageInfoFor(*h.task, h.va).state, PageState::kGlobalWritable);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerContent, ReplicasAreIdenticalAndDropOnWrite) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 1234);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);  // replicate to 1
+  (void)h.machine->LoadWord(*h.task, 2, h.va);  // replicate to 2
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kReadOnly);
+  // Table 1: the read by node 1 sync&flushed node 0's writable copy, then nodes 1 and
+  // 2 acquired read-only replicas.
+  EXPECT_EQ(info.copies.Count(), 2);
+  CheckMachineInvariants(*h.machine);
+  // A write invalidates the other replicas.
+  h.machine->StoreWord(*h.task, 2, h.va, 5678);
+  const NumaPageInfo& after = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(after.state, PageState::kLocalWritable);
+  EXPECT_EQ(after.owner, 2);
+  EXPECT_EQ(after.copies.Count(), 1);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 5678u);
+  CheckMachineInvariants(*h.machine);
+}
+
+// --- lazy zero-fill -------------------------------------------------------------------
+
+TEST(NumaManagerZeroFill, FirstTouchZeroesLocallyNotGlobally) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 1, h.va), 0u);
+  // The zero-fill happened in node 1's local memory; there was no page copy and no
+  // global-memory zeroing (that is the paper's lazy zero-fill optimization).
+  EXPECT_EQ(h.machine->stats().zero_fills, 1u);
+  EXPECT_EQ(h.machine->stats().page_copies, 0u);
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_TRUE(info.zero_pending);  // still pending: no writable mapping yet
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerZeroFill, SecondReplicaOfPendingPageIsZeroedNotCopied) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  (void)h.machine->LoadWord(*h.task, 0, h.va);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);
+  EXPECT_EQ(h.machine->stats().zero_fills, 2u);  // two zeroed replicas
+  EXPECT_EQ(h.machine->stats().page_copies, 0u);  // never copied garbage
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerZeroFill, PendingClearsOnWrite) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 9);
+  EXPECT_FALSE(h.machine->PageInfoFor(*h.task, h.va).zero_pending);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va + 8), 0u);  // rest of page is zero
+}
+
+TEST(NumaManagerZeroFill, GlobalPlacementZeroesGlobalFrame) {
+  CellHarness h;
+  h.policy.next = Placement::kGlobal;
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 0u);
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kGlobalWritable);
+  EXPECT_FALSE(info.zero_pending);
+  CheckMachineInvariants(*h.machine);
+}
+
+// --- move counting -------------------------------------------------------------------
+
+TEST(NumaManagerMoves, WriteMigrationCountsOncePerTransfer) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 1);  // first placement: no move
+  EXPECT_EQ(h.machine->stats().ownership_moves, 0u);
+  h.machine->StoreWord(*h.task, 1, h.va, 2);  // 0 -> 1
+  EXPECT_EQ(h.machine->stats().ownership_moves, 1u);
+  h.machine->StoreWord(*h.task, 1, h.va + 4, 3);  // same owner: no move
+  EXPECT_EQ(h.machine->stats().ownership_moves, 1u);
+  h.machine->StoreWord(*h.task, 0, h.va, 4);  // 1 -> 0
+  EXPECT_EQ(h.machine->stats().ownership_moves, 2u);
+}
+
+TEST(NumaManagerMoves, ReadFromOwnerElsewhereCountsAsMove) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 1);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);  // page migrates 0 -> 1 (read)
+  EXPECT_EQ(h.machine->stats().ownership_moves, 1u);
+  // Single-writer/multi-reader cycles must accumulate moves and eventually pin;
+  // this is the thrashing pattern that motivated counting read transfers.
+  for (int i = 0; i < 6; ++i) {
+    h.machine->StoreWord(*h.task, 0, h.va, static_cast<std::uint32_t>(i));
+    (void)h.machine->LoadWord(*h.task, 1, h.va);
+  }
+  EXPECT_GE(h.machine->stats().ownership_moves, 6u);
+}
+
+TEST(NumaManagerMoves, ReplicationDoesNotCountMoves) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  (void)h.machine->LoadWord(*h.task, 0, h.va);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);
+  (void)h.machine->LoadWord(*h.task, 2, h.va);
+  EXPECT_EQ(h.machine->stats().ownership_moves, 0u);
+}
+
+// --- page reset / free -----------------------------------------------------------------
+
+TEST(NumaManagerReset, FreedPageReleasesFramesAndState) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 1, h.va, 7);
+  std::uint32_t free_before = h.machine->physical_memory().FreeLocalFrames(1);
+  h.task->UnmapRegion(h.va, h.machine->page_pool());
+  h.machine->page_pool().Drain();
+  EXPECT_EQ(h.machine->physical_memory().FreeLocalFrames(1), free_before + 1);
+  CheckMachineInvariants(*h.machine);
+}
+
+// --- local memory exhaustion -------------------------------------------------------------
+
+TEST(NumaManagerPressure, FallsBackToGlobalWhenLocalFull) {
+  Machine::Options mo;
+  mo.config.num_processors = 2;
+  mo.config.global_pages = 16;
+  mo.config.local_pages_per_proc = 2;  // tiny cache
+  Machine m(mo);
+  Task* task = m.CreateTask("t");
+  VirtAddr region = task->MapAnonymous("big", 8 * m.page_size());
+  for (int p = 0; p < 8; ++p) {
+    m.StoreWord(*task, 0, region + static_cast<VirtAddr>(p) * m.page_size(),
+                static_cast<std::uint32_t>(p));
+  }
+  // Only 2 local frames exist; the rest of the pages had to go global.
+  EXPECT_GT(m.stats().local_alloc_failures, 0u);
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_EQ(m.LoadWord(*task, 0, region + static_cast<VirtAddr>(p) * m.page_size()),
+              static_cast<std::uint32_t>(p));
+  }
+  CheckMachineInvariants(m);
+}
+
+// --- pmap_copy_page ---------------------------------------------------------------------
+
+TEST(NumaManagerCopy, CopyLogicalPagePropagatesContent) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 1, h.va, 0xfeedface);  // LW on node 1
+  VirtAddr dst_va = h.task->MapAnonymous("dst", h.machine->page_size());
+  LogicalPage src = h.machine->DebugLogicalPage(*h.task, h.va);
+  LogicalPage dst = h.machine->DebugLogicalPage(*h.task, dst_va);
+  h.machine->pmap().CopyPage(src, dst);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, dst_va), 0xfeedfaceu);
+}
+
+TEST(NumaManagerCopy, CopyOfPendingZeroPageStaysLazy) {
+  CellHarness h;
+  LogicalPage src = h.machine->DebugLogicalPage(*h.task, h.va);  // pending zero
+  VirtAddr dst_va = h.task->MapAnonymous("dst", h.machine->page_size());
+  LogicalPage dst = h.machine->DebugLogicalPage(*h.task, dst_va);
+  std::uint64_t copies_before = h.machine->stats().page_copies;
+  h.machine->pmap().CopyPage(src, dst);
+  EXPECT_EQ(h.machine->stats().page_copies, copies_before);  // no physical copy
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, dst_va), 0u);
+}
+
+// --- debug access ------------------------------------------------------------------------
+
+TEST(NumaManagerDebug, DebugReadSeesOwnerCopy) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 2, h.va, 31337);
+  EXPECT_EQ(h.machine->DebugRead(*h.task, h.va), 31337u);
+}
+
+TEST(NumaManagerDebug, DebugWriteVisibleToAllStatesAndKeepsReplicasEqual) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 1);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);  // RO with replicas
+  h.machine->DebugWrite(*h.task, h.va + 16, 0xabab);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va + 16), 0xababu);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 1, h.va + 16), 0xababu);
+  CheckMachineInvariants(*h.machine);
+}
+
+}  // namespace
+}  // namespace ace

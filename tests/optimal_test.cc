@@ -1,0 +1,160 @@
+// Tests for the optimal-placement estimator (Toptimal).
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/trace/optimal.h"
+#include "src/trace/ref_trace.h"
+
+namespace ace {
+namespace {
+
+MachineConfig TwoProcConfig() {
+  MachineConfig config;
+  config.num_processors = 2;
+  config.global_pages = 16;
+  config.local_pages_per_proc = 8;
+  return config;
+}
+
+// Convenience: build a single-page epoch stream.
+PageEpochs Stream(std::initializer_list<std::tuple<ProcId, AccessKind, int>> ops) {
+  PageEpochs s;
+  for (const auto& [proc, kind, count] : ops) {
+    for (int i = 0; i < count; ++i) {
+      s.Record(proc, kind);
+    }
+  }
+  return s;
+}
+
+TEST(EpochTracking, SingleWriterIsOneEpoch) {
+  PageEpochs s = Stream({{0, AccessKind::kStore, 5}, {0, AccessKind::kFetch, 3}});
+  ASSERT_EQ(s.epochs.size(), 1u);
+  EXPECT_EQ(s.epochs[0].writer, 0);
+  EXPECT_EQ(s.epochs[0].stores[0], 5u);
+  EXPECT_EQ(s.epochs[0].fetches[0], 3u);
+}
+
+TEST(EpochTracking, WriterChangeOpensNewEpoch) {
+  PageEpochs s = Stream({{0, AccessKind::kStore, 2},
+                         {1, AccessKind::kFetch, 4},
+                         {1, AccessKind::kStore, 1},
+                         {0, AccessKind::kStore, 1}});
+  ASSERT_EQ(s.epochs.size(), 3u);
+  EXPECT_EQ(s.epochs[0].writer, 0);
+  EXPECT_EQ(s.epochs[0].fetches[1], 4u);  // reads attach to the current epoch
+  EXPECT_EQ(s.epochs[1].writer, 1);
+  EXPECT_EQ(s.epochs[2].writer, 0);
+}
+
+TEST(EpochTracking, ReadsBeforeAnyWriteFormReadOnlyEpoch) {
+  PageEpochs s = Stream({{0, AccessKind::kFetch, 2}, {1, AccessKind::kFetch, 3}});
+  ASSERT_EQ(s.epochs.size(), 1u);
+  EXPECT_EQ(s.epochs[0].writer, kNoProc);
+}
+
+TEST(Optimal, PrivatePageCostsLocal) {
+  MachineConfig config = TwoProcConfig();
+  std::map<VirtPage, PageEpochs> pages;
+  pages[0] = Stream({{0, AccessKind::kStore, 100}, {0, AccessKind::kFetch, 100}});
+  OptimalEstimate est = ComputeOptimalPlacement(pages, config);
+  double expected = (100 * 840.0 + 100 * 650.0) * 1e-9;
+  EXPECT_NEAR(est.total_sec, expected, 1e-12);
+  EXPECT_EQ(est.movement_sec, 0.0);
+  EXPECT_EQ(est.pages_best_global, 0u);
+}
+
+TEST(Optimal, HeavilySharedPageGoesGlobal) {
+  MachineConfig config = TwoProcConfig();
+  std::map<VirtPage, PageEpochs> pages;
+  // Tight write alternation: 200 one-store epochs. Migration would cost a page copy
+  // per epoch; the optimum is global.
+  PageEpochs s;
+  for (int i = 0; i < 200; ++i) {
+    s.Record(static_cast<ProcId>(i % 2), AccessKind::kStore);
+  }
+  pages[0] = s;
+  OptimalEstimate est = ComputeOptimalPlacement(pages, config);
+  double expected = 200 * 1400.0 * 1e-9;  // all global stores
+  EXPECT_NEAR(est.total_sec, expected, 1e-12);
+  EXPECT_EQ(est.pages_best_global, 1u);
+}
+
+TEST(Optimal, LongEpochsPreferMigration) {
+  MachineConfig config = TwoProcConfig();
+  std::map<VirtPage, PageEpochs> pages;
+  // Two long single-writer phases: worth migrating once despite the copy cost.
+  PageEpochs s;
+  for (int i = 0; i < 20'000; ++i) {
+    s.Record(0, AccessKind::kStore);
+  }
+  for (int i = 0; i < 20'000; ++i) {
+    s.Record(1, AccessKind::kStore);
+  }
+  pages[0] = s;
+  OptimalEstimate est = ComputeOptimalPlacement(pages, config);
+  double local_stores = 40'000 * 840.0 * 1e-9;
+  double migration = 1024 * (650.0 + 1400.0) * 1e-9 + 1024 * (1500.0 + 840.0) * 1e-9;
+  EXPECT_NEAR(est.total_sec, local_stores + migration, 1e-9);
+  EXPECT_GT(est.movement_sec, 0.0);
+  EXPECT_EQ(est.pages_best_global, 0u);
+}
+
+TEST(Optimal, ReadSharedPageReplicates) {
+  MachineConfig config = TwoProcConfig();
+  std::map<VirtPage, PageEpochs> pages;
+  PageEpochs s;
+  for (int i = 0; i < 10'000; ++i) {
+    s.Record(static_cast<ProcId>(i % 2), AccessKind::kFetch);
+  }
+  pages[0] = s;
+  OptimalEstimate est = ComputeOptimalPlacement(pages, config);
+  // Both processors read locally; one of them pays a replica copy.
+  double expected = 10'000 * 650.0 * 1e-9 + 1024 * (1500.0 + 840.0) * 1e-9;
+  EXPECT_NEAR(est.total_sec, expected, 1e-9);
+}
+
+TEST(Optimal, EstimateIsLowerBoundOnRealRuns) {
+  // For any workload: Toptimal(memory part) <= the machine's actual memory time.
+  Machine::Options mo;
+  mo.config = TwoProcConfig();
+  Machine m(mo);
+  RefTracer tracer(&m);
+  tracer.EnableEpochTracking();
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", 4 * m.page_size());
+  std::uint64_t state = 11;
+  for (int op = 0; op < 2000; ++op) {
+    state = state * 6364136223846793005ull + 1;
+    ProcId proc = static_cast<ProcId>((state >> 40) % 2);
+    VirtAddr va = a + static_cast<VirtAddr>((state >> 20) % (4 * 1024)) * 4;
+    if ((state >> 10) % 2 == 0) {
+      m.StoreWord(*t, proc, va, 1);
+    } else {
+      (void)m.LoadWord(*t, proc, va);
+    }
+  }
+  OptimalEstimate est = tracer.EstimateOptimal();
+  ProcRefCounts refs = m.stats().TotalRefs();
+  double actual_mem =
+      (refs.fetch_local * 650.0 + refs.store_local * 840.0 + refs.fetch_global * 1500.0 +
+       refs.store_global * 1400.0) *
+      1e-9;
+  double actual_movement = m.clocks().TotalSystem() * 1e-9;
+  EXPECT_LE(est.total_sec, actual_mem + actual_movement + 1e-9);
+  EXPECT_GT(est.total_sec, 0.0);
+  EXPECT_EQ(est.pages, 4u);
+}
+
+TEST(Optimal, TruncationGuard) {
+  PageEpochs s;
+  for (std::size_t i = 0; i < PageEpochs::kMaxEpochs + 10; ++i) {
+    s.Record(static_cast<ProcId>(i % 2), AccessKind::kStore);
+  }
+  EXPECT_TRUE(s.truncated);
+  EXPECT_LE(s.epochs.size(), PageEpochs::kMaxEpochs);
+}
+
+}  // namespace
+}  // namespace ace

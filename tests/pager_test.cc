@@ -1,0 +1,194 @@
+// Tests for the pageout daemon and backing store.
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "tests/machine_invariants.h"
+
+namespace ace {
+namespace {
+
+Machine::Options PagedMachine(std::uint32_t global_pages, int procs = 2) {
+  Machine::Options mo;
+  mo.config.num_processors = procs;
+  mo.config.global_pages = global_pages;
+  mo.config.local_pages_per_proc = global_pages;
+  mo.enable_pager = true;
+  mo.pager.disk_read_ns = 1'000'000;
+  mo.pager.disk_write_ns = 1'000'000;
+  return mo;
+}
+
+TEST(Pager, OverCommitSucceedsWithEviction) {
+  Machine m(PagedMachine(4));
+  Task* t = m.CreateTask("t");
+  // 8 pages of data on a 4-page machine: must page.
+  VirtAddr region = t->MapAnonymous("big", 8 * m.page_size());
+  for (int p = 0; p < 8; ++p) {
+    m.StoreWord(*t, 0, region + static_cast<VirtAddr>(p) * m.page_size(),
+                static_cast<std::uint32_t>(p + 100));
+  }
+  EXPECT_GT(m.pager()->stats().pageouts, 0u);
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, ContentSurvivesPageoutAndPagein) {
+  Machine m(PagedMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr region = t->MapAnonymous("big", 12 * m.page_size());
+  // Write distinct values to every page (evicting earlier pages along the way).
+  for (int p = 0; p < 12; ++p) {
+    VirtAddr va = region + static_cast<VirtAddr>(p) * m.page_size();
+    m.StoreWord(*t, 0, va, static_cast<std::uint32_t>(p * 7 + 1));
+    m.StoreWord(*t, 0, va + 512, static_cast<std::uint32_t>(p * 7 + 2));
+  }
+  // Read everything back (paging earlier pages back in).
+  for (int p = 0; p < 12; ++p) {
+    VirtAddr va = region + static_cast<VirtAddr>(p) * m.page_size();
+    EXPECT_EQ(m.LoadWord(*t, 1, va), static_cast<std::uint32_t>(p * 7 + 1)) << "page " << p;
+    EXPECT_EQ(m.LoadWord(*t, 1, va + 512), static_cast<std::uint32_t>(p * 7 + 2));
+  }
+  EXPECT_GT(m.pager()->stats().pageins, 0u);
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, SecondChanceSparesMappedPages) {
+  Machine m(PagedMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr hot = t->MapAnonymous("hot", m.page_size());
+  VirtAddr cold = t->MapAnonymous("cold", 2 * m.page_size());
+  m.StoreWord(*t, 0, hot, 1);
+  m.StoreWord(*t, 0, cold, 2);
+  m.StoreWord(*t, 0, cold + m.page_size(), 3);
+  // Keep the hot page referenced while forcing evictions.
+  VirtAddr more = t->MapAnonymous("more", 6 * m.page_size());
+  for (int p = 0; p < 6; ++p) {
+    (void)m.LoadWord(*t, 0, hot);  // re-establish the hot page's mappings
+    m.StoreWord(*t, 0, more + static_cast<VirtAddr>(p) * m.page_size(), 4);
+  }
+  EXPECT_GT(m.pager()->stats().second_chances, 0u);
+  EXPECT_EQ(m.LoadWord(*t, 0, hot), 1u);
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, PageoutResetsPinDecision) {
+  // The section 4.3 footnote: "our system never reconsiders a pinning decision
+  // (unless the pinned page is paged out and back in)".
+  Machine m(PagedMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr shared = t->MapAnonymous("shared", m.page_size());
+  for (int i = 0; i < 12; ++i) {
+    m.StoreWord(*t, i % 2, shared, 1);  // ping-pong until pinned
+  }
+  ASSERT_EQ(m.PageInfoFor(*t, shared).state, PageState::kGlobalWritable);
+  ASSERT_TRUE(m.move_limit_policy()->IsPinned(m.DebugLogicalPage(*t, shared)));
+
+  // Force the shared page out by touching enough other pages.
+  VirtAddr filler = t->MapAnonymous("filler", 8 * m.page_size());
+  for (int p = 0; p < 8; ++p) {
+    m.StoreWord(*t, 0, filler + static_cast<VirtAddr>(p) * m.page_size(), 9);
+  }
+
+  // Touch it again: paged back in with fresh placement state — cacheable again.
+  EXPECT_EQ(m.LoadWord(*t, 0, shared), 1u);
+  const NumaPageInfo& info = m.PageInfoFor(*t, shared);
+  EXPECT_NE(info.state, PageState::kGlobalWritable);
+  LogicalPage lp = m.DebugLogicalPage(*t, shared);
+  EXPECT_FALSE(m.move_limit_policy()->IsPinned(lp));
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, DirtyLocalWritablePageSyncsBeforePageout) {
+  Machine m(PagedMachine(3));
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  m.StoreWord(*t, 1, a, 0xbeef);  // local-writable on node 1 (dirty vs global)
+  VirtAddr filler = t->MapAnonymous("filler", 6 * m.page_size());
+  for (int p = 0; p < 6; ++p) {
+    m.StoreWord(*t, 0, filler + static_cast<VirtAddr>(p) * m.page_size(), 1);
+  }
+  // Whether or not `a` was evicted, its content must be intact.
+  EXPECT_EQ(m.LoadWord(*t, 0, a), 0xbeefu);
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, DiskTimeChargedAsSystemTime) {
+  Machine m(PagedMachine(2));
+  Task* t = m.CreateTask("t");
+  VirtAddr region = t->MapAnonymous("big", 4 * m.page_size());
+  TimeNs sys_before = m.clocks().TotalSystem();
+  for (int p = 0; p < 4; ++p) {
+    m.StoreWord(*t, 0, region + static_cast<VirtAddr>(p) * m.page_size(), 1);
+  }
+  std::uint64_t pageouts = m.pager()->stats().pageouts;
+  ASSERT_GT(pageouts, 0u);
+  EXPECT_GE(m.clocks().TotalSystem() - sys_before,
+            static_cast<TimeNs>(pageouts) * 1'000'000);
+}
+
+TEST(Pager, FreedPagesDoNotLingerInRegistry) {
+  Machine m(PagedMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", 2 * m.page_size());
+  m.StoreWord(*t, 0, a, 1);
+  m.StoreWord(*t, 0, a + m.page_size(), 2);
+  t->UnmapRegion(a, m.page_pool());
+  // Allocate fresh pages; the pager must not try to evict the freed ones' records.
+  VirtAddr b = t->MapAnonymous("b", 6 * m.page_size());
+  for (int p = 0; p < 6; ++p) {
+    m.StoreWord(*t, 1, b + static_cast<VirtAddr>(p) * m.page_size(),
+                static_cast<std::uint32_t>(p));
+  }
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_EQ(m.LoadWord(*t, 0, b + static_cast<VirtAddr>(p) * m.page_size()),
+              static_cast<std::uint32_t>(p));
+  }
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, ThrashingWorkloadStillCorrect) {
+  // Working set 3x memory, random-ish sweeps: heavy paging, content must hold.
+  Machine m(PagedMachine(6, 3));
+  Task* t = m.CreateTask("t");
+  constexpr int kPages = 18;
+  VirtAddr region = t->MapAnonymous("big", kPages * 4096ull);
+  std::vector<std::uint32_t> reference(kPages, 0);
+  std::uint64_t state = 5;
+  for (int op = 0; op < 600; ++op) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    int page = static_cast<int>((state >> 33) % kPages);
+    ProcId proc = static_cast<ProcId>((state >> 20) % 3);
+    VirtAddr va = region + static_cast<VirtAddr>(page) * 4096;
+    if ((state >> 10) % 2 == 0) {
+      std::uint32_t value = static_cast<std::uint32_t>(state);
+      m.StoreWord(*t, proc, va, value);
+      reference[static_cast<std::size_t>(page)] = value;
+    } else {
+      ASSERT_EQ(m.LoadWord(*t, proc, va), reference[static_cast<std::size_t>(page)])
+          << "op " << op;
+    }
+  }
+  EXPECT_GT(m.pager()->stats().pageouts, 10u);
+  EXPECT_GT(m.pager()->stats().pageins, 10u);
+  CheckMachineInvariants(m);
+}
+
+TEST(Pager, WithoutPagerOverCommitFails) {
+  Machine::Options mo;
+  mo.config.num_processors = 2;
+  mo.config.global_pages = 2;
+  mo.config.local_pages_per_proc = 2;
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr region = t->MapAnonymous("big", 4 * m.page_size());
+  std::uint32_t value = 1;
+  EXPECT_EQ(m.TryAccess(*t, 0, region, AccessKind::kStore, &value), AccessStatus::kOk);
+  EXPECT_EQ(m.TryAccess(*t, 0, region + m.page_size(), AccessKind::kStore, &value),
+            AccessStatus::kOk);
+  EXPECT_EQ(m.TryAccess(*t, 0, region + 2 * m.page_size(), AccessKind::kStore, &value),
+            AccessStatus::kOutOfMemory);
+  EXPECT_EQ(m.pager(), nullptr);
+}
+
+}  // namespace
+}  // namespace ace

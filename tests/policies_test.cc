@@ -1,0 +1,125 @@
+// Unit tests for the NUMA policies: move-limit pinning semantics, pragma overrides,
+// free-reset behaviour, the baseline policies, and the reconsider extension.
+
+#include <gtest/gtest.h>
+
+#include "src/numa/policies.h"
+#include "src/sim/clocks.h"
+#include "src/sim/stats.h"
+
+namespace ace {
+namespace {
+
+TEST(MoveLimitPolicy, LocalUntilThresholdThenPinned) {
+  MachineStats stats;
+  MoveLimitPolicy policy(8, MoveLimitPolicy::Options{4}, &stats);
+  LogicalPage lp = 3;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.CachePolicy(lp, AccessKind::kStore, 0), Placement::kLocal);
+    policy.NoteOwnershipMove(lp);
+  }
+  // "answers LOCAL for any page that has not used up its threshold number of page
+  // moves and GLOBAL for any page that has"
+  EXPECT_EQ(policy.CachePolicy(lp, AccessKind::kStore, 1), Placement::kGlobal);
+  EXPECT_TRUE(policy.IsPinned(lp));
+  EXPECT_EQ(stats.pages_pinned, 1u);
+  // Pinned is forever (until freed) and counted once.
+  EXPECT_EQ(policy.CachePolicy(lp, AccessKind::kFetch, 2), Placement::kGlobal);
+  EXPECT_EQ(stats.pages_pinned, 1u);
+}
+
+TEST(MoveLimitPolicy, PagesAreIndependent) {
+  MoveLimitPolicy policy(8, MoveLimitPolicy::Options{1}, nullptr);
+  policy.NoteOwnershipMove(0);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+  EXPECT_EQ(policy.CachePolicy(1, AccessKind::kFetch, 0), Placement::kLocal);
+}
+
+TEST(MoveLimitPolicy, ThresholdZeroIsAllGlobal) {
+  MoveLimitPolicy policy(4, MoveLimitPolicy::Options{0}, nullptr);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+}
+
+TEST(MoveLimitPolicy, FreeResetsPinAndCount) {
+  MoveLimitPolicy policy(4, MoveLimitPolicy::Options{1}, nullptr);
+  policy.NoteOwnershipMove(2);
+  EXPECT_EQ(policy.CachePolicy(2, AccessKind::kFetch, 0), Placement::kGlobal);
+  // "The page then remains in global memory until it is freed."
+  policy.NotePageFreed(2);
+  EXPECT_FALSE(policy.IsPinned(2));
+  EXPECT_EQ(policy.MoveCount(2), 0);
+  EXPECT_EQ(policy.CachePolicy(2, AccessKind::kFetch, 0), Placement::kLocal);
+}
+
+TEST(MoveLimitPolicy, PragmasOverrideAutomaticDecision) {
+  MoveLimitPolicy policy(4, MoveLimitPolicy::Options{1}, nullptr);
+  policy.NoteAdvice(0, PlacementPragma::kNoncacheable);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+  EXPECT_FALSE(policy.IsPinned(0));  // pragma, not pin
+
+  policy.NoteAdvice(1, PlacementPragma::kCacheable);
+  for (int i = 0; i < 10; ++i) {
+    policy.NoteOwnershipMove(1);
+  }
+  // Cacheable pragma keeps the page local even past the threshold.
+  EXPECT_EQ(policy.CachePolicy(1, AccessKind::kStore, 0), Placement::kLocal);
+}
+
+TEST(BaselinePolicies, AllGlobalAllLocal) {
+  AllGlobalPolicy all_global;
+  AllLocalPolicy all_local;
+  EXPECT_EQ(all_global.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+  EXPECT_EQ(all_local.CachePolicy(0, AccessKind::kStore, 3), Placement::kLocal);
+  EXPECT_STREQ(all_global.name(), "all-global");
+  EXPECT_STREQ(all_local.name(), "all-local");
+}
+
+TEST(ScriptedPolicy, FollowsScript) {
+  ScriptedPolicy policy;
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kLocal);
+  policy.next = Placement::kGlobal;
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+}
+
+TEST(ReconsiderPolicy, PinExpiresAfterInterval) {
+  MachineStats stats;
+  ProcClocks clocks(2);
+  ReconsiderPolicy policy(4, ReconsiderPolicy::Options{2, 1'000'000}, &stats, &clocks);
+  policy.NoteOwnershipMove(0);
+  policy.NoteOwnershipMove(0);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kGlobal);
+  EXPECT_TRUE(policy.IsPinned(0));
+  // Still pinned before the interval elapses.
+  clocks.ChargeUser(0, 500'000);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kGlobal);
+  // After the interval the pin expires and the move count restarts.
+  clocks.ChargeUser(0, 600'000);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kLocal);
+  EXPECT_FALSE(policy.IsPinned(0));
+  EXPECT_EQ(policy.unpin_events(), 1u);
+  // It can be pinned again after fresh moves.
+  policy.NoteOwnershipMove(0);
+  policy.NoteOwnershipMove(0);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kGlobal);
+}
+
+TEST(ReconsiderPolicy, HonorsPragmas) {
+  MachineStats stats;
+  ProcClocks clocks(1);
+  ReconsiderPolicy policy(2, ReconsiderPolicy::Options{1, 1000}, &stats, &clocks);
+  policy.NoteAdvice(0, PlacementPragma::kNoncacheable);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kFetch, 0), Placement::kGlobal);
+}
+
+TEST(ReconsiderPolicy, FreeResets) {
+  MachineStats stats;
+  ProcClocks clocks(1);
+  ReconsiderPolicy policy(2, ReconsiderPolicy::Options{1, 1'000'000'000}, &stats, &clocks);
+  policy.NoteOwnershipMove(0);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kGlobal);
+  policy.NotePageFreed(0);
+  EXPECT_EQ(policy.CachePolicy(0, AccessKind::kStore, 0), Placement::kLocal);
+}
+
+}  // namespace
+}  // namespace ace

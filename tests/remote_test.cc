@@ -1,0 +1,210 @@
+// Tests for the section 4.4 extension: remote references and the remote-home state.
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "tests/machine_invariants.h"
+
+namespace ace {
+namespace {
+
+struct Harness {
+  ScriptedPolicy policy;
+  std::unique_ptr<Machine> machine;
+  Task* task = nullptr;
+  VirtAddr va = 0;
+
+  Harness() {
+    Machine::Options mo;
+    mo.config.num_processors = 3;
+    mo.config.global_pages = 16;
+    mo.config.local_pages_per_proc = 8;
+    mo.custom_policy = &policy;
+    machine = std::make_unique<Machine>(mo);
+    task = machine->CreateTask("t");
+    va = task->MapAnonymous("page", machine->page_size());
+  }
+};
+
+TEST(RemoteHome, HomesAtRequesterFromFresh) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 42);
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kRemoteHomed);
+  EXPECT_EQ(info.owner, 1);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, OtherProcessorsReferenceRemotely) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 42);
+  // Processor 0 reads through a remote mapping: correct data, remote charge.
+  TimeNs before = h.machine->clocks().user_ns(0);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 42u);
+  EXPECT_EQ(h.machine->clocks().user_ns(0) - before,
+            h.machine->config().latency.remote_fetch_ns);
+  EXPECT_EQ(h.machine->stats().refs[0].fetch_remote, 1u);
+  // The home references its own local memory at local speed.
+  before = h.machine->clocks().user_ns(1);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 1, h.va), 42u);
+  EXPECT_EQ(h.machine->clocks().user_ns(1) - before,
+            h.machine->config().latency.local_fetch_ns);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, RemoteWritesAreCoherent) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 0, h.va, 1);
+  h.machine->StoreWord(*h.task, 1, h.va, 2);  // remote store into home 0's memory
+  h.machine->StoreWord(*h.task, 2, h.va + 4, 3);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 2u);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 1, h.va + 4), 3u);
+  // The page never moved: still homed at 0.
+  EXPECT_EQ(h.machine->PageInfoFor(*h.task, h.va).owner, 0);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, LocalWritablePageKeepsItsHomeWhenHomed) {
+  Harness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 2, h.va, 7);  // LW on node 2
+  h.policy.next = Placement::kRemoteHome;
+  (void)h.machine->LoadWord(*h.task, 0, h.va);  // request from node 0
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kRemoteHomed);
+  EXPECT_EQ(info.owner, 2);  // data stayed where it was
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 7u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, GlobalPageMovesToHome) {
+  Harness h;
+  h.policy.next = Placement::kGlobal;
+  h.machine->StoreWord(*h.task, 1, h.va, 9);
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 0, h.va + 4, 10);
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kRemoteHomed);
+  EXPECT_EQ(info.owner, 0);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 9u);  // content moved intact
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, TransitionBackToGlobal) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 11);
+  h.policy.next = Placement::kGlobal;
+  LogicalPage lp = h.machine->DebugLogicalPage(*h.task, h.va);
+  h.machine->pmap().RemoveAll(lp);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 11u);
+  EXPECT_EQ(h.machine->PageInfoFor(*h.task, h.va).state, PageState::kGlobalWritable);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, TransitionBackToLocalMigrates) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 12);
+  h.policy.next = Placement::kLocal;
+  LogicalPage lp = h.machine->DebugLogicalPage(*h.task, h.va);
+  h.machine->pmap().RemoveAll(lp);
+  h.machine->StoreWord(*h.task, 2, h.va + 4, 13);  // write request from node 2
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kLocalWritable);
+  EXPECT_EQ(info.owner, 2);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 12u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHome, HomeReclaimsAsLocalWritable) {
+  Harness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 14);
+  h.policy.next = Placement::kLocal;
+  LogicalPage lp = h.machine->DebugLogicalPage(*h.task, h.va);
+  h.machine->pmap().RemoveAll(lp);
+  h.machine->StoreWord(*h.task, 1, h.va, 15);  // the home itself writes
+  const NumaPageInfo& info = h.machine->PageInfoFor(*h.task, h.va);
+  EXPECT_EQ(info.state, PageState::kLocalWritable);
+  EXPECT_EQ(info.owner, 1);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(RemoteHomePolicy, HomesAfterThreshold) {
+  Machine::Options mo;
+  mo.config.num_processors = 3;
+  mo.policy = PolicySpec::RemoteHome(2);
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", m.page_size());
+  // Ping-pong to use up the moves, then the page gets homed (not pinned global).
+  for (int i = 0; i < 8; ++i) {
+    m.StoreWord(*t, i % 2, va, static_cast<std::uint32_t>(i));
+  }
+  const NumaPageInfo& info = m.PageInfoFor(*t, va);
+  EXPECT_EQ(info.state, PageState::kRemoteHomed);
+  EXPECT_EQ(m.LoadWord(*t, 2, va), 7u);
+  CheckMachineInvariants(m);
+}
+
+TEST(RemoteHomePolicy, LopsidedSharingFavoursTheHome) {
+  // The section 4.4 rationale: "remote references may be appropriate for data used
+  // frequently by one processor and infrequently by others".
+  auto run = [](PolicySpec spec) {
+    Machine::Options mo;
+    mo.config.num_processors = 2;
+    mo.policy = spec;
+    Machine m(mo);
+    Task* t = m.CreateTask("t");
+    VirtAddr va = t->MapAnonymous("p", m.page_size());
+    // Warm-up sharing so both policies give up on pure-local placement.
+    for (int i = 0; i < 10; ++i) {
+      m.StoreWord(*t, i % 2, va, 1);
+    }
+    // Lopsided phase: processor 0 does 90% of the references.
+    for (int i = 0; i < 1000; ++i) {
+      ProcId proc = (i % 10 == 9) ? 1 : 0;
+      m.StoreWord(*t, proc, va, static_cast<std::uint32_t>(i));
+    }
+    return m.clocks().TotalUser();
+  };
+  TimeNs pinned_global = run(PolicySpec::MoveLimit(4));
+  TimeNs homed_remote = run(PolicySpec::RemoteHome(4));
+  EXPECT_LT(homed_remote, pinned_global);
+}
+
+TEST(RemoteHome, WorksWithCoherenceStress) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.config.global_pages = 32;
+  mo.config.local_pages_per_proc = 16;
+  mo.policy = PolicySpec::RemoteHome(2);
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr base = t->MapAnonymous("data", 8 * m.page_size());
+  std::vector<std::uint32_t> reference(8 * 1024, 0);
+  std::uint64_t state = 12345;
+  for (int op = 0; op < 3000; ++op) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    ProcId proc = static_cast<ProcId>(state % 4);
+    std::uint32_t word = static_cast<std::uint32_t>((state >> 8) % (8 * 1024));
+    VirtAddr va = base + static_cast<VirtAddr>(word) * 4;
+    if (state % 3 == 0) {
+      std::uint32_t value = static_cast<std::uint32_t>(state >> 32);
+      m.StoreWord(*t, proc, va, value);
+      reference[word] = value;
+    } else {
+      ASSERT_EQ(m.LoadWord(*t, proc, va), reference[word]) << "op " << op;
+    }
+  }
+  CheckMachineInvariants(m);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,187 @@
+// Unit tests for the fiber runtime: deterministic scheduling, affinity, migration,
+// timeslicing, and the SimSpan accessors.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+
+namespace ace {
+namespace {
+
+Machine::Options SmallMachine(int procs) {
+  Machine::Options mo;
+  mo.config.num_processors = procs;
+  mo.config.global_pages = 64;
+  mo.config.local_pages_per_proc = 32;
+  return mo;
+}
+
+TEST(Runtime, ThreadsStartOnAffinityProcessors) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  std::vector<ProcId> procs(6, kNoProc);
+  Runtime rt(&m, t);
+  rt.Run(6, [&](int tid, Env& env) {
+    procs[static_cast<std::size_t>(tid)] = env.proc();
+    env.Compute(100);
+  });
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(procs[static_cast<std::size_t>(i)], i % 4);
+  }
+}
+
+TEST(Runtime, MinTimeSchedulingInterleavesFairly) {
+  // Two threads on different processors doing equal work must end with equal clocks.
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  Runtime rt(&m, t);
+  rt.Run(2, [&](int, Env& env) {
+    for (int i = 0; i < 100; ++i) {
+      env.Compute(1000);
+    }
+  });
+  EXPECT_EQ(m.clocks().user_ns(0), m.clocks().user_ns(1));
+}
+
+TEST(Runtime, CausalityAcrossThreads) {
+  // A value stored by thread 0 "before" (in virtual time) thread 1 reads it must be
+  // visible: min-time dispatch guarantees reads happen at clocks >= the writer's.
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  VirtAddr flag = t->MapAnonymous("flag", 4096);
+  VirtAddr data = t->MapAnonymous("data", 4096);
+  std::uint32_t observed = 0;
+  Runtime rt(&m, t);
+  rt.Run(2, [&](int tid, Env& env) {
+    if (tid == 0) {
+      env.Store(data, 99);
+      env.Store(flag, 1);
+    } else {
+      while (env.Load(flag) == 0) {
+        env.Compute(500);
+      }
+      observed = env.Load(data);
+    }
+  });
+  EXPECT_EQ(observed, 99u);
+}
+
+TEST(Runtime, VoluntaryYieldDoesNotAdvanceTime) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    env.Yield();
+    env.Yield();
+  });
+  EXPECT_EQ(m.clocks().TotalUser(), 0);
+}
+
+TEST(Runtime, MultipleThreadsPerProcessorTimeslice) {
+  // 3 threads on 1 processor: all must finish, sharing the single clock.
+  Machine m(SmallMachine(1));
+  Task* t = m.CreateTask("t");
+  std::vector<int> done(3, 0);
+  Runtime rt(&m, t);
+  rt.Run(3, [&](int tid, Env& env) {
+    for (int i = 0; i < 50; ++i) {
+      env.Compute(10'000);
+    }
+    done[static_cast<std::size_t>(tid)] = 1;
+  });
+  EXPECT_EQ(done, (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(m.clocks().user_ns(0), 3 * 50 * 10'000);
+}
+
+TEST(Runtime, MigratingSchedulerMoves) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  Runtime::Options options;
+  options.scheduler = SchedulerKind::kMigrating;
+  options.migrate_quantum_ns = 100'000;
+  Runtime rt(&m, t, options);
+  std::vector<ProcId> seen;
+  rt.Run(1, [&](int, Env& env) {
+    for (int i = 0; i < 100; ++i) {
+      env.Compute(10'000);
+      if (seen.empty() || seen.back() != env.proc()) {
+        seen.push_back(env.proc());
+      }
+    }
+  });
+  EXPECT_GT(rt.migrations(), 0u);
+  EXPECT_GT(seen.size(), 1u);  // actually ran on several processors
+}
+
+TEST(Runtime, AffinitySchedulerNeverMigrates) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int tid, Env& env) {
+    for (int i = 0; i < 20; ++i) {
+      env.Compute(50'000);
+      EXPECT_EQ(env.proc(), tid % 4);
+    }
+  });
+  EXPECT_EQ(rt.migrations(), 0u);
+}
+
+TEST(Runtime, SequentialRunsOnSameRuntime) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  Runtime rt(&m, t);
+  rt.Run(2, [&](int tid, Env& env) { env.Store(va + static_cast<VirtAddr>(tid) * 4, 1); });
+  rt.Run(2, [&](int tid, Env& env) {
+    env.Store(va + static_cast<VirtAddr>(tid) * 4, env.Load(va + static_cast<VirtAddr>(tid) * 4) + 1);
+  });
+  EXPECT_EQ(m.DebugRead(*t, va), 2u);
+  EXPECT_EQ(m.DebugRead(*t, va + 4), 2u);
+}
+
+TEST(SimSpan, ProxyReadsAndWrites) {
+  Machine m(SmallMachine(1));
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    SimSpan<std::int32_t> ints(env, va, 8);
+    ints[0] = -5;
+    ints[1] = ints.Get(0);          // proxy-to-proxy copy through simulated memory
+    ints[2] = ints.Get(0) + 7;
+    ints[3] = 100;
+    ints[3] += 1;
+    ints[3] -= 3;
+    EXPECT_EQ(ints.Get(1), -5);
+    EXPECT_EQ(ints.Get(2), 2);
+    EXPECT_EQ(ints.Get(3), 98);
+
+    SimSpan<float> floats(env, va + 64, 4);
+    floats[0] = 1.5f;
+    floats[1] = floats.Get(0) * 2.0f;
+    EXPECT_FLOAT_EQ(floats.Get(1), 3.0f);
+
+    SimSpan<std::int32_t> sub = ints.Sub(2, 2);
+    EXPECT_EQ(sub.Get(0), 2);
+    EXPECT_EQ(sub.size(), 2u);
+  });
+}
+
+TEST(Runtime, ContextSwitchesAreCounted) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  Runtime rt(&m, t);
+  rt.Run(2, [&](int, Env& env) {
+    for (int i = 0; i < 10; ++i) {
+      env.Compute(1000);
+    }
+  });
+  EXPECT_GE(rt.context_switches(), 2u);  // at least each thread dispatched once
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,165 @@
+// End-to-end smoke tests: machine + VM + NUMA + runtime basics.
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+Machine::Options SmallMachine(int procs = 4) {
+  Machine::Options o;
+  o.config.num_processors = procs;
+  o.config.global_pages = 256;
+  o.config.local_pages_per_proc = 64;
+  return o;
+}
+
+TEST(Smoke, SingleProcReadWrite) {
+  Machine m(SmallMachine(1));
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("data", 4096);
+  m.StoreWord(*t, 0, va, 0xdeadbeef);
+  EXPECT_EQ(m.LoadWord(*t, 0, va), 0xdeadbeefu);
+  // Zero-fill semantics: untouched words read as zero.
+  EXPECT_EQ(m.LoadWord(*t, 0, va + 8), 0u);
+}
+
+TEST(Smoke, CrossProcessorVisibility) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("data", 4096);
+  m.StoreWord(*t, 0, va, 41);
+  // Another processor must observe the store through the consistency protocol.
+  EXPECT_EQ(m.LoadWord(*t, 2, va), 41u);
+  m.StoreWord(*t, 2, va, 42);
+  EXPECT_EQ(m.LoadWord(*t, 0, va), 42u);
+  EXPECT_EQ(m.LoadWord(*t, 3, va), 42u);
+}
+
+TEST(Smoke, PingPongPinsPage) {
+  Machine m(SmallMachine(2));
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("data", 4096);
+  // Alternate writers; after the default threshold of 4 moves the page must be pinned.
+  for (int i = 0; i < 12; ++i) {
+    m.StoreWord(*t, i % 2, va, static_cast<std::uint32_t>(i));
+  }
+  const NumaPageInfo& info = m.PageInfoFor(*t, va);
+  EXPECT_EQ(info.state, PageState::kGlobalWritable);
+  EXPECT_TRUE(m.move_limit_policy()->IsPinned(0) ||
+              m.move_limit_policy()->MoveCount(0) >= 4 ||
+              m.stats().pages_pinned > 0);
+  EXPECT_GE(m.stats().ownership_moves, 4u);
+}
+
+TEST(Smoke, RuntimeParallelSum) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  constexpr int kN = 4096;
+  VirtAddr data = t->MapAnonymous("data", kN * 4);
+  VirtAddr out = t->MapAnonymous("out", 4 * 4);
+
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int tid, Env& env) {
+    SimSpan<std::uint32_t> a(env, data, kN);
+    // Each thread fills and sums its own quarter (private pages stay local).
+    std::uint32_t sum = 0;
+    for (int i = tid * kN / 4; i < (tid + 1) * kN / 4; ++i) {
+      a[i] = static_cast<std::uint32_t>(i);
+      sum += a.Get(static_cast<std::size_t>(i));
+    }
+    SimSpan<std::uint32_t> o(env, out, 4);
+    o[static_cast<std::size_t>(tid)] = sum;
+  });
+
+  std::uint64_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    total += m.DebugRead(*t, out + static_cast<VirtAddr>(i) * 4);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+  // All four processors must have done work.
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_GT(m.clocks().user_ns(p), 0);
+  }
+}
+
+TEST(Smoke, SpinLockMutualExclusion) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr lock_va = t->MapAnonymous("lock", 4096);
+  VirtAddr counter_va = t->MapAnonymous("counter", 4096);
+  SpinLock lock(lock_va);
+
+  constexpr int kIters = 200;
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int, Env& env) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.Acquire(env);
+      // Non-atomic read-modify-write protected by the lock.
+      std::uint32_t v = env.Load(counter_va);
+      env.Compute(2'000);  // widen the race window
+      env.Store(counter_va, v + 1);
+      lock.Release(env);
+    }
+  });
+  EXPECT_EQ(m.DebugRead(*t, counter_va), 4u * kIters);
+}
+
+TEST(Smoke, BarrierOrdersPhases) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr bar_va = t->MapAnonymous("barrier", 4096);
+  VirtAddr data = t->MapAnonymous("data", 4096);
+  Barrier barrier(bar_va, 4);
+
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int tid, Env& env) {
+    std::uint32_t sense = 0;
+    SimSpan<std::uint32_t> a(env, data, 8);
+    a[static_cast<std::size_t>(tid)] = static_cast<std::uint32_t>(tid + 1);
+    barrier.Wait(env, &sense);
+    // After the barrier every thread must see all contributions.
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      sum += a.Get(i);
+    }
+    a[4 + static_cast<std::size_t>(tid)] = sum;
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.DebugRead(*t, data + 16 + static_cast<VirtAddr>(i) * 4), 10u);
+  }
+}
+
+TEST(Smoke, Determinism) {
+  auto run = [] {
+    Machine m(SmallMachine(4));
+    Task* t = m.CreateTask("t");
+    VirtAddr data = t->MapAnonymous("data", 64 * 1024);
+    VirtAddr lock_va = t->MapAnonymous("lock", 4096);
+    SpinLock lock(lock_va);
+    Runtime rt(&m, t);
+    rt.Run(4, [&](int tid, Env& env) {
+      SimSpan<std::uint32_t> a(env, data, 16 * 1024);
+      for (int i = 0; i < 2000; ++i) {
+        std::size_t idx = static_cast<std::size_t>((i * 97 + tid * 31) % (16 * 1024));
+        if (i % 5 == 0) {
+          lock.Acquire(env);
+          a[idx] = a.Get(idx) + 1;
+          lock.Release(env);
+        } else {
+          a[idx] = static_cast<std::uint32_t>(i);
+        }
+      }
+    });
+    return std::tuple(m.clocks().TotalUser(), m.clocks().TotalSystem(),
+                      m.stats().page_faults, m.stats().ownership_moves);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,163 @@
+// Unit tests for the simulated-memory synchronization primitives.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+Machine::Options SmallMachine(int procs) {
+  Machine::Options mo;
+  mo.config.num_processors = procs;
+  mo.config.global_pages = 64;
+  mo.config.local_pages_per_proc = 32;
+  return mo;
+}
+
+TEST(SpinLock, ProvidesMutualExclusion) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr lock_va = t->MapAnonymous("lock", 4096);
+  VirtAddr data_va = t->MapAnonymous("data", 4096);
+  SpinLock lock(lock_va);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int, Env& env) {
+    for (int i = 0; i < 50; ++i) {
+      lock.Acquire(env);
+      ++in_critical;
+      max_in_critical = std::max(max_in_critical, in_critical);
+      std::uint32_t v = env.Load(data_va);
+      env.Compute(3'000);
+      env.Store(data_va, v + 1);
+      --in_critical;
+      lock.Release(env);
+    }
+  });
+  EXPECT_EQ(max_in_critical, 1);
+  EXPECT_EQ(m.DebugRead(*t, data_va), 200u);
+}
+
+TEST(SpinLock, UncontendedAcquireIsCheap) {
+  Machine m(SmallMachine(1));
+  Task* t = m.CreateTask("t");
+  VirtAddr lock_va = t->MapAnonymous("lock", 4096);
+  SpinLock lock(lock_va);
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    lock.Acquire(env);
+    lock.Release(env);
+  });
+  // test + TAS (2 refs) + release: 4 references total.
+  EXPECT_EQ(m.stats().TotalRefs().Total(), 4u);
+}
+
+TEST(SpinLock, ContendedLockWordGetsPinned) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr lock_va = t->MapAnonymous("lock", 4096);
+  SpinLock lock(lock_va);
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int, Env& env) {
+    for (int i = 0; i < 20; ++i) {
+      lock.Acquire(env);
+      env.Compute(2'000);
+      lock.Release(env);
+    }
+  });
+  // A lock word written by four processors is the canonical writably-shared page.
+  EXPECT_EQ(m.PageInfoFor(*t, lock_va).state, PageState::kGlobalWritable);
+}
+
+TEST(Barrier, AllThreadsProceedTogether) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr bar_va = t->MapAnonymous("bar", 4096);
+  Barrier barrier(bar_va, 4);
+  std::vector<int> phase_at_exit(4, -1);
+  int arrivals = 0;
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int tid, Env& env) {
+    std::uint32_t sense = 0;
+    env.Compute(static_cast<TimeNs>((tid + 1) * 50'000));  // stagger arrivals
+    ++arrivals;
+    barrier.Wait(env, &sense);
+    phase_at_exit[static_cast<std::size_t>(tid)] = arrivals;
+  });
+  // Nobody left the barrier before all four arrived.
+  for (int v : phase_at_exit) {
+    EXPECT_EQ(v, 4);
+  }
+}
+
+TEST(Barrier, ReusableAcrossManyPhases) {
+  Machine m(SmallMachine(3));
+  Task* t = m.CreateTask("t");
+  VirtAddr bar_va = t->MapAnonymous("bar", 4096);
+  VirtAddr data_va = t->MapAnonymous("data", 4096);
+  Barrier barrier(bar_va, 3);
+  Runtime rt(&m, t);
+  rt.Run(3, [&](int tid, Env& env) {
+    std::uint32_t sense = 0;
+    SimSpan<std::uint32_t> data(env, data_va, 16);
+    for (int phase = 0; phase < 5; ++phase) {
+      if (tid == phase % 3) {
+        data[static_cast<std::size_t>(phase)] = static_cast<std::uint32_t>(phase * 10);
+      }
+      barrier.Wait(env, &sense);
+      // Every thread must observe the phase's write after the barrier.
+      EXPECT_EQ(data.Get(static_cast<std::size_t>(phase)),
+                static_cast<std::uint32_t>(phase * 10));
+      barrier.Wait(env, &sense);
+    }
+  });
+}
+
+TEST(WorkPile, CoversRangeExactlyOnce) {
+  Machine m(SmallMachine(4));
+  Task* t = m.CreateTask("t");
+  VirtAddr pile_va = t->MapAnonymous("pile", 4096);
+  WorkPile pile(pile_va, 103, 7);  // deliberately non-dividing chunk
+  std::set<std::uint64_t> seen;
+  Runtime rt(&m, t);
+  rt.Run(4, [&](int, Env& env) {
+    for (;;) {
+      WorkPile::Chunk c = pile.Grab(env);
+      if (c.empty()) {
+        break;
+      }
+      for (std::uint64_t i = c.begin; i < c.end; ++i) {
+        EXPECT_TRUE(seen.insert(i).second) << "item " << i << " handed out twice";
+      }
+      env.Compute(10'000);
+    }
+  });
+  EXPECT_EQ(seen.size(), 103u);
+  EXPECT_EQ(*seen.rbegin(), 102u);
+}
+
+TEST(WorkPile, EmptyAfterExhaustion) {
+  Machine m(SmallMachine(1));
+  Task* t = m.CreateTask("t");
+  VirtAddr pile_va = t->MapAnonymous("pile", 4096);
+  WorkPile pile(pile_va, 3, 10);
+  Runtime rt(&m, t);
+  rt.Run(1, [&](int, Env& env) {
+    WorkPile::Chunk c = pile.Grab(env);
+    EXPECT_EQ(c.begin, 0u);
+    EXPECT_EQ(c.end, 3u);  // clamped to total
+    EXPECT_TRUE(pile.Grab(env).empty());
+    EXPECT_TRUE(pile.Grab(env).empty());  // stays empty
+  });
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,180 @@
+// Unit tests for the reference tracer and false-sharing analysis (paper section 4.2).
+
+#include <gtest/gtest.h>
+
+#include "src/machine/machine.h"
+#include "src/trace/ref_trace.h"
+
+namespace ace {
+namespace {
+
+Machine::Options SmallMachine(int procs) {
+  Machine::Options mo;
+  mo.config.num_processors = procs;
+  mo.config.global_pages = 32;
+  mo.config.local_pages_per_proc = 16;
+  return mo;
+}
+
+TEST(RefTracer, ClassifiesPrivatePage) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  m.StoreWord(*t, 0, va, 1);
+  (void)m.LoadWord(*t, 0, va);
+  EXPECT_EQ(tracer.PageClass(va / 4096), SharingClass::kPrivate);
+}
+
+TEST(RefTracer, ClassifiesReadSharedPage) {
+  Machine m(SmallMachine(3));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  (void)m.LoadWord(*t, 0, va);
+  (void)m.LoadWord(*t, 1, va);
+  (void)m.LoadWord(*t, 2, va);
+  EXPECT_EQ(tracer.PageClass(va / 4096), SharingClass::kReadShared);
+}
+
+TEST(RefTracer, ClassifiesWritablySharedPage) {
+  // "writably shared if at least one processor writes it and more than one processor
+  // reads or writes it" — one writer plus one reader qualifies.
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  m.StoreWord(*t, 0, va, 1);
+  (void)m.LoadWord(*t, 1, va);
+  EXPECT_EQ(tracer.PageClass(va / 4096), SharingClass::kWritablyShared);
+}
+
+TEST(RefTracer, UnreferencedPage) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  EXPECT_EQ(tracer.PageClass(12345), SharingClass::kUnreferenced);
+}
+
+TEST(RefTracer, ObjectLevelCounts) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.AddObject("a", va, 8);
+  tracer.AddObject("b", va + 8, 8);
+  m.StoreWord(*t, 0, va, 1);       // a written by 0
+  (void)m.LoadWord(*t, 1, va + 8);  // b read by 1
+  const auto& objects = tracer.objects();
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[0].counts.Classify(), SharingClass::kPrivate);
+  EXPECT_EQ(objects[1].counts.Classify(), SharingClass::kPrivate);
+  EXPECT_EQ(objects[0].counts.stores, 1u);
+  EXPECT_EQ(objects[1].counts.fetches, 1u);
+}
+
+TEST(RefTracer, DetectsFalseSharing) {
+  // Two per-processor objects on one page: each object private, page writably shared.
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.AddObject("mine", va, 4);
+  tracer.AddObject("yours", va + 4, 4);
+  m.StoreWord(*t, 0, va, 1);
+  m.StoreWord(*t, 1, va + 4, 2);
+  auto findings = tracer.FindFalseSharing();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].object_name, "mine");
+  EXPECT_EQ(findings[0].object_class, SharingClass::kPrivate);
+  EXPECT_EQ(findings[1].object_name, "yours");
+}
+
+TEST(RefTracer, ReadSharedObjectOnWritablySharedPageIsFalselyShared) {
+  // A replicable (read-shared) object colocated with a written one: section 4.2's
+  // "separately coalesced cacheable and non-cacheable objects" case.
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.AddObject("table", va, 16);       // read by everyone
+  tracer.AddObject("counter", va + 16, 4);  // written by everyone
+  (void)m.LoadWord(*t, 0, va);
+  (void)m.LoadWord(*t, 1, va + 4);
+  m.StoreWord(*t, 0, va + 16, 1);
+  m.StoreWord(*t, 1, va + 16, 2);
+  auto findings = tracer.FindFalseSharing();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].object_name, "table");
+  EXPECT_EQ(findings[0].object_class, SharingClass::kReadShared);
+}
+
+TEST(RefTracer, NoFalseSharingWhenObjectsSeparated) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", 4096);
+  VirtAddr b = t->MapAnonymous("b", 4096);
+  tracer.AddObject("mine", a, 4);
+  tracer.AddObject("yours", b, 4);
+  m.StoreWord(*t, 0, a, 1);
+  m.StoreWord(*t, 1, b, 2);
+  EXPECT_TRUE(tracer.FindFalseSharing().empty());
+}
+
+TEST(RefTracer, GenuinelySharedObjectIsNotFalselyShared) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.AddObject("shared", va, 4);
+  m.StoreWord(*t, 0, va, 1);
+  m.StoreWord(*t, 1, va, 2);
+  EXPECT_TRUE(tracer.FindFalseSharing().empty());
+}
+
+TEST(RefTracer, PauseResumeExcludesPhases) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.Pause();
+  m.StoreWord(*t, 0, va, 1);  // init phase, not recorded
+  tracer.Resume();
+  (void)m.LoadWord(*t, 0, va);
+  EXPECT_EQ(tracer.total_refs(), 1u);
+  EXPECT_EQ(tracer.PageClass(va / 4096), SharingClass::kPrivate);
+}
+
+TEST(RefTracer, LocalFractionTracksPlacement) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096, Protection::kReadWrite,
+                                PlacementPragma::kNoncacheable);
+  m.StoreWord(*t, 0, va, 1);
+  (void)m.LoadWord(*t, 0, va);
+  EXPECT_EQ(tracer.LocalFraction(), 0.0);  // noncacheable -> all global
+}
+
+TEST(RefTracer, ReportMentionsFindings) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  Task* t = m.CreateTask("t");
+  VirtAddr va = t->MapAnonymous("p", 4096);
+  tracer.AddObject("mine", va, 4);
+  m.StoreWord(*t, 0, va, 1);
+  m.StoreWord(*t, 1, va + 64, 2);
+  std::string report = tracer.Report();
+  EXPECT_NE(report.find("falsely shared objects: 1"), std::string::npos);
+  EXPECT_NE(report.find("mine"), std::string::npos);
+}
+
+TEST(RefTracerDeath, OverlappingObjectsRejected) {
+  Machine m(SmallMachine(2));
+  RefTracer tracer(&m);
+  tracer.AddObject("a", 0x1000, 16);
+  EXPECT_DEATH(tracer.AddObject("b", 0x1008, 16), "overlap");
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,285 @@
+// Unit tests for src/vm: page pool (lazy free), VM objects, tasks, fault handler.
+//
+// The pool/object/task tests use a fake pmap that records calls; the fault-handler
+// tests run against the real ACE pmap layer through a Machine.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/machine/machine.h"
+#include "src/vm/fault.h"
+#include "src/vm/page_pool.h"
+#include "src/vm/pmap.h"
+#include "src/vm/task.h"
+#include "src/vm/vm_object.h"
+
+namespace ace {
+namespace {
+
+// Records pmap traffic; FreePage/FreePageSync implement the lazy-tag contract.
+class FakePmap : public PmapSystem {
+ public:
+  PmapHandle CreatePmap() override { return next_handle_++; }
+  void DestroyPmap(PmapHandle) override { destroys_++; }
+  void Enter(PmapHandle, VirtPage vpage, LogicalPage lp, Protection max_prot,
+             Protection min_prot, ProcId proc) override {
+    enters_.push_back({vpage, lp, max_prot, min_prot, proc});
+  }
+  void Protect(PmapHandle, VirtPage, VirtPage, Protection) override { protects_++; }
+  void Remove(PmapHandle, VirtPage first, VirtPage last) override {
+    removes_.push_back({first, last});
+  }
+  void RemoveAll(LogicalPage) override {}
+  FreeTag FreePage(LogicalPage lp) override {
+    FreeTag tag = next_tag_++;
+    pending_[tag] = lp;
+    return tag;
+  }
+  void FreePageSync(FreeTag tag) override {
+    ASSERT_TRUE(pending_.count(tag)) << "sync of unknown tag";
+    synced_.push_back(pending_[tag]);
+    pending_.erase(tag);
+  }
+  void ZeroPage(LogicalPage lp) override { zeroed_.push_back(lp); }
+  void CopyPage(LogicalPage, LogicalPage) override {}
+  void AdvisePlacement(LogicalPage lp, PlacementPragma pragma) override {
+    advised_.push_back({lp, pragma});
+  }
+
+  struct EnterCall {
+    VirtPage vpage;
+    LogicalPage lp;
+    Protection max_prot;
+    Protection min_prot;
+    ProcId proc;
+  };
+
+  PmapHandle next_handle_ = 1;
+  FreeTag next_tag_ = 1;
+  int destroys_ = 0;
+  int protects_ = 0;
+  std::vector<EnterCall> enters_;
+  std::vector<std::pair<VirtPage, VirtPage>> removes_;
+  std::map<FreeTag, LogicalPage> pending_;
+  std::vector<LogicalPage> synced_;
+  std::vector<LogicalPage> zeroed_;
+  std::vector<std::pair<LogicalPage, PlacementPragma>> advised_;
+};
+
+TEST(PagePool, AllocatesAllPagesThenFails) {
+  FakePmap pmap;
+  PagePool pool(3, &pmap);
+  EXPECT_EQ(pool.Alloc(), 0u);
+  EXPECT_EQ(pool.Alloc(), 1u);
+  EXPECT_EQ(pool.Alloc(), 2u);
+  EXPECT_EQ(pool.Alloc(), kNoLogicalPage);
+}
+
+TEST(PagePool, FreeIsLazyUntilReallocation) {
+  FakePmap pmap;
+  PagePool pool(1, &pmap);
+  LogicalPage lp = pool.Alloc();
+  pool.Free(lp);
+  // Cleanup has been *started* (tag issued) but not completed.
+  EXPECT_EQ(pmap.pending_.size(), 1u);
+  EXPECT_TRUE(pmap.synced_.empty());
+  // Reallocation forces the sync.
+  EXPECT_EQ(pool.Alloc(), lp);
+  EXPECT_EQ(pmap.synced_, std::vector<LogicalPage>{lp});
+}
+
+TEST(PagePool, DrainCompletesAllPending) {
+  FakePmap pmap;
+  PagePool pool(4, &pmap);
+  LogicalPage a = pool.Alloc();
+  LogicalPage b = pool.Alloc();
+  pool.Free(a);
+  pool.Free(b);
+  pool.Drain();
+  EXPECT_EQ(pmap.synced_.size(), 2u);
+  EXPECT_EQ(pool.FreeCount(), 4u);
+}
+
+TEST(PagePool, FreeCountIncludesDeferred) {
+  FakePmap pmap;
+  PagePool pool(2, &pmap);
+  LogicalPage a = pool.Alloc();
+  EXPECT_EQ(pool.FreeCount(), 1u);
+  pool.Free(a);
+  EXPECT_EQ(pool.FreeCount(), 2u);
+}
+
+TEST(VmObject, MaterializesLazilyAndZeroFills) {
+  FakePmap pmap;
+  PagePool pool(4, &pmap);
+  VmObject object("obj", 3);
+  EXPECT_EQ(object.PageAt(1), kNoLogicalPage);
+  LogicalPage lp = object.GetOrCreatePage(1, pool, pmap);
+  EXPECT_NE(lp, kNoLogicalPage);
+  EXPECT_EQ(pmap.zeroed_, std::vector<LogicalPage>{lp});
+  // Second touch returns the same page without another zero-fill.
+  EXPECT_EQ(object.GetOrCreatePage(1, pool, pmap), lp);
+  EXPECT_EQ(pmap.zeroed_.size(), 1u);
+  EXPECT_EQ(object.PageAt(1), lp);
+}
+
+TEST(VmObject, ReturnsNoPageWhenPoolExhausted) {
+  FakePmap pmap;
+  PagePool pool(1, &pmap);
+  VmObject object("obj", 2);
+  EXPECT_NE(object.GetOrCreatePage(0, pool, pmap), kNoLogicalPage);
+  EXPECT_EQ(object.GetOrCreatePage(1, pool, pmap), kNoLogicalPage);
+}
+
+TEST(VmObject, ReleasePagesReturnsToPool) {
+  FakePmap pmap;
+  PagePool pool(2, &pmap);
+  VmObject object("obj", 2);
+  object.GetOrCreatePage(0, pool, pmap);
+  object.GetOrCreatePage(1, pool, pmap);
+  EXPECT_EQ(pool.FreeCount(), 0u);
+  object.ReleasePages(pool);
+  EXPECT_EQ(pool.FreeCount(), 2u);
+  EXPECT_EQ(object.PageAt(0), kNoLogicalPage);
+}
+
+TEST(Task, MapAnonymousRoundsToPagesAndSeparatesRegions) {
+  FakePmap pmap;
+  Task task("t", &pmap, 4096);
+  VirtAddr a = task.MapAnonymous("a", 100);        // rounds to 1 page
+  VirtAddr b = task.MapAnonymous("b", 8192);       // 2 pages
+  EXPECT_EQ(a % 4096, 0u);
+  // Guard page between regions: b starts at least 2 pages after a.
+  EXPECT_GE(b, a + 2 * 4096);
+  const Region* ra = task.FindRegion(a);
+  ASSERT_NE(ra, nullptr);
+  EXPECT_EQ(ra->size, 4096u);
+  EXPECT_EQ(ra->label, "a");
+  // The guard page belongs to no region.
+  EXPECT_EQ(task.FindRegion(a + 4096), nullptr);
+  const Region* rb = task.FindRegion(b + 8191);
+  ASSERT_NE(rb, nullptr);
+  EXPECT_EQ(rb->label, "b");
+  EXPECT_EQ(task.FindRegion(b + 8192), nullptr);
+}
+
+TEST(Task, VaBaseSeparatesTasks) {
+  FakePmap pmap;
+  Task t1("t1", &pmap, 4096, /*va_base=*/0x10000);
+  Task t2("t2", &pmap, 4096, /*va_base=*/1ull << 32);
+  VirtAddr a1 = t1.MapAnonymous("a", 4096);
+  VirtAddr a2 = t2.MapAnonymous("a", 4096);
+  EXPECT_LT(a1, 1ull << 32);
+  EXPECT_GE(a2, 1ull << 32);
+}
+
+TEST(Task, UnmapRegionRemovesMappingsAndFreesPages) {
+  FakePmap pmap;
+  PagePool pool(8, &pmap);
+  Task task("t", &pmap, 4096);
+  VirtAddr a = task.MapAnonymous("a", 2 * 4096);
+  const Region* region = task.FindRegion(a);
+  // Materialize both pages.
+  region->object->GetOrCreatePage(0, pool, pmap);
+  region->object->GetOrCreatePage(1, pool, pmap);
+  task.UnmapRegion(a, pool);
+  EXPECT_EQ(task.FindRegion(a), nullptr);
+  ASSERT_EQ(pmap.removes_.size(), 1u);
+  EXPECT_EQ(pmap.removes_[0].first, a / 4096);
+  EXPECT_EQ(pmap.removes_[0].second, a / 4096 + 1);
+  EXPECT_EQ(pool.FreeCount(), 8u);  // pages back (deferred counts as free)
+}
+
+TEST(Task, RegionCarriesPragmaAndMaxProt) {
+  FakePmap pmap;
+  Task task("t", &pmap, 4096);
+  VirtAddr a = task.MapAnonymous("ro", 4096, Protection::kRead, PlacementPragma::kCacheable);
+  const Region* r = task.FindRegion(a);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->max_prot, Protection::kRead);
+  EXPECT_EQ(r->pragma, PlacementPragma::kCacheable);
+}
+
+// --- fault handler against the real stack -----------------------------------------
+
+Machine::Options TinyMachine() {
+  Machine::Options mo;
+  mo.config.num_processors = 2;
+  mo.config.global_pages = 4;
+  mo.config.local_pages_per_proc = 4;
+  return mo;
+}
+
+TEST(FaultHandler, BadAddressOutsideRegions) {
+  Machine m(TinyMachine());
+  Task* task = m.CreateTask("t");
+  std::uint32_t value = 0;
+  EXPECT_EQ(m.TryAccess(*task, 0, 0x4, AccessKind::kFetch, &value),
+            AccessStatus::kBadAddress);
+}
+
+TEST(FaultHandler, GuardPageFaults) {
+  Machine m(TinyMachine());
+  Task* task = m.CreateTask("t");
+  VirtAddr a = task->MapAnonymous("a", 4096);
+  std::uint32_t value = 0;
+  EXPECT_EQ(m.TryAccess(*task, 0, a + 4096, AccessKind::kFetch, &value),
+            AccessStatus::kBadAddress);
+}
+
+TEST(FaultHandler, ProtectionViolationOnReadOnlyRegion) {
+  Machine m(TinyMachine());
+  Task* task = m.CreateTask("t");
+  VirtAddr a = task->MapAnonymous("ro", 4096, Protection::kRead);
+  std::uint32_t value = 1;
+  EXPECT_EQ(m.TryAccess(*task, 0, a, AccessKind::kStore, &value),
+            AccessStatus::kProtectionViolation);
+  // Reads of the read-only region work (zero-filled).
+  EXPECT_EQ(m.TryAccess(*task, 0, a, AccessKind::kFetch, &value), AccessStatus::kOk);
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(FaultHandler, OutOfLogicalMemory) {
+  Machine m(TinyMachine());  // 4 logical pages
+  Task* task = m.CreateTask("t");
+  VirtAddr a = task->MapAnonymous("big", 6 * 4096);
+  std::uint32_t value = 1;
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.TryAccess(*task, 0, a + static_cast<VirtAddr>(p) * 4096, AccessKind::kStore,
+                          &value),
+              AccessStatus::kOk);
+  }
+  EXPECT_EQ(m.TryAccess(*task, 0, a + 4ull * 4096, AccessKind::kStore, &value),
+            AccessStatus::kOutOfMemory);
+}
+
+TEST(FaultHandler, ReclaimedPagesAllowNewAllocations) {
+  Machine m(TinyMachine());
+  Task* task = m.CreateTask("t");
+  VirtAddr a = task->MapAnonymous("a", 4 * 4096);
+  for (int p = 0; p < 4; ++p) {
+    m.StoreWord(*task, 0, a + static_cast<VirtAddr>(p) * 4096, 9);
+  }
+  task->UnmapRegion(a, m.page_pool());
+  VirtAddr b = task->MapAnonymous("b", 4 * 4096);
+  for (int p = 0; p < 4; ++p) {
+    // Reused pages must read as zero again (fresh zero-fill, not stale data).
+    EXPECT_EQ(m.LoadWord(*task, 1, b + static_cast<VirtAddr>(p) * 4096), 0u);
+  }
+}
+
+TEST(FaultHandler, PragmaReachesPolicy) {
+  Machine m(TinyMachine());
+  Task* task = m.CreateTask("t");
+  VirtAddr a =
+      task->MapAnonymous("nc", 4096, Protection::kReadWrite, PlacementPragma::kNoncacheable);
+  m.StoreWord(*task, 0, a, 5);
+  // The noncacheable pragma forces global placement from the first touch.
+  EXPECT_EQ(m.PageInfoFor(*task, a).state, PageState::kGlobalWritable);
+  EXPECT_EQ(m.LoadWord(*task, 1, a), 5u);
+}
+
+}  // namespace
+}  // namespace ace

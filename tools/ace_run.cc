@@ -1,0 +1,216 @@
+// ace_run — command-line driver for the simulated ACE.
+//
+// Runs any application from the suite under any policy/machine configuration and
+// reports times, placement statistics, the analytic model, and (optionally) the
+// trace-based sharing analysis and optimal-placement estimate.
+//
+// Examples:
+//   ace_run --app IMatMult
+//   ace_run --app Primes3 --threads 8 --policy remote-home --threshold 2
+//   ace_run --app Primes2 --variant 1 --trace
+//   ace_run --app FFT --experiment            # full Tnuma/Tglobal/Tlocal + model
+//   ace_run --app PlyTrace --optimal          # compare against the oracle placement
+//   ace_run --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/table.h"
+#include "src/trace/ref_trace.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: ace_run [options]\n"
+      "  --list                 list available applications\n"
+      "  --app NAME             application to run (default IMatMult)\n"
+      "  --threads N            worker threads / processors (default 7)\n"
+      "  --scale X              workload scale factor (default 1.0)\n"
+      "  --variant N            application variant (default 0)\n"
+      "  --policy P             move-limit | all-global | all-local | reconsider |\n"
+      "                         remote-home (default move-limit)\n"
+      "  --threshold N          pin/home threshold (default 4)\n"
+      "  --page-size BYTES      page size, power of two (default 4096)\n"
+      "  --scheduler S          affinity | migrating (default affinity)\n"
+      "  --pager                enable pageout to backing store\n"
+      "  --global-pages N       logical page pool size (default 4096)\n"
+      "  --trace                print the sharing-class trace report\n"
+      "  --optimal              print the optimal-placement comparison\n"
+      "  --experiment           run all three placements and print the model row\n");
+}
+
+ace::PolicySpec ParsePolicy(const std::string& name, int threshold) {
+  if (name == "move-limit") {
+    return ace::PolicySpec::MoveLimit(threshold);
+  }
+  if (name == "all-global") {
+    return ace::PolicySpec::AllGlobal();
+  }
+  if (name == "all-local") {
+    return ace::PolicySpec::AllLocal();
+  }
+  if (name == "reconsider") {
+    return ace::PolicySpec::Reconsider(threshold, 50'000'000);
+  }
+  if (name == "remote-home") {
+    return ace::PolicySpec::RemoteHome(threshold);
+  }
+  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = "IMatMult";
+  std::string policy_name = "move-limit";
+  std::string scheduler = "affinity";
+  int threads = 7;
+  double scale = 1.0;
+  int variant = 0;
+  int threshold = 4;
+  std::uint32_t page_size = 4096;
+  std::uint32_t global_pages = 4096;
+  bool pager = false;
+  bool trace = false;
+  bool optimal = false;
+  bool experiment = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--list") {
+      for (const ace::AppFactory& f : ace::AllAppFactories()) {
+        std::printf("%s\n", f()->name());
+      }
+      return 0;
+    } else if (arg == "--app") {
+      app_name = next();
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--variant") {
+      variant = std::atoi(next());
+    } else if (arg == "--policy") {
+      policy_name = next();
+    } else if (arg == "--threshold") {
+      threshold = std::atoi(next());
+    } else if (arg == "--page-size") {
+      page_size = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--global-pages") {
+      global_pages = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--scheduler") {
+      scheduler = next();
+    } else if (arg == "--pager") {
+      pager = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--optimal") {
+      optimal = true;
+    } else if (arg == "--experiment") {
+      experiment = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  std::unique_ptr<ace::App> app = ace::CreateAppByName(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown application '%s' (try --list)\n", app_name.c_str());
+    return 2;
+  }
+
+  ace::ExperimentOptions options;
+  options.num_threads = threads;
+  options.scale = scale;
+  options.variant = variant;
+  options.move_threshold = threshold;
+  options.config.num_processors = threads;
+  options.config.page_size = page_size;
+  options.config.global_pages = global_pages;
+  options.scheduler =
+      scheduler == "migrating" ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
+
+  if (experiment) {
+    ace::ExperimentResult r = ace::RunExperiment(app_name, options);
+    ace::TextTable table({"Application", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta",
+                          "gamma", "alpha(ref)", "verified"});
+    table.AddRow({app_name, ace::Fmt("%.3f", r.global.user_sec),
+                  ace::Fmt("%.3f", r.numa.user_sec), ace::Fmt("%.3f", r.local.user_sec),
+                  r.model.alpha_defined ? ace::Fmt("%.2f", r.model.alpha) : "na",
+                  ace::Fmt("%.2f", r.model.beta), ace::Fmt("%.2f", r.model.gamma),
+                  ace::Fmt("%.2f", r.numa.measured_alpha), r.AllOk() ? "ok" : "FAILED"});
+    table.Print();
+    return r.AllOk() ? 0 : 1;
+  }
+
+  ace::Machine::Options mo;
+  mo.config = options.config;
+  mo.policy = ParsePolicy(policy_name, threshold);
+  mo.enable_pager = pager;
+  ace::Machine machine(mo);
+
+  std::unique_ptr<ace::RefTracer> tracer;
+  if (trace || optimal) {
+    tracer = std::make_unique<ace::RefTracer>(&machine);
+    if (optimal) {
+      tracer->EnableEpochTracking();
+    }
+  }
+
+  ace::AppConfig cfg;
+  cfg.num_threads = threads;
+  cfg.scale = scale;
+  cfg.variant = variant;
+  cfg.runtime.scheduler = options.scheduler;
+  ace::AppResult result = app->Run(machine, cfg);
+
+  std::printf("app:            %s (%s)\n", app_name.c_str(), result.detail.c_str());
+  std::printf("policy:         %s (threshold %d)\n", policy_name.c_str(), threshold);
+  std::printf("machine:        %d processors, %u-byte pages, %u global pages%s\n", threads,
+              page_size, global_pages, pager ? ", pager on" : "");
+  std::printf("user time:      %.4f s   system time: %.4f s\n",
+              machine.clocks().TotalUser() * 1e-9, machine.clocks().TotalSystem() * 1e-9);
+  const ace::MachineStats& s = machine.stats();
+  std::printf("local fraction: %.3f\n", s.MeasuredAlpha());
+  std::printf("faults:         %llu   copies: %llu   syncs: %llu   moves: %llu   pinned: %llu\n",
+              (unsigned long long)s.page_faults, (unsigned long long)s.page_copies,
+              (unsigned long long)s.page_syncs, (unsigned long long)s.ownership_moves,
+              (unsigned long long)s.pages_pinned);
+  std::printf("bus traffic:    %.2f MB (utilization %.1f%%)\n",
+              machine.bus().total_bytes() / 1e6, 100.0 * machine.bus().Utilization());
+  if (machine.pager() != nullptr) {
+    std::printf("pager:          %llu pageouts, %llu pageins\n",
+                (unsigned long long)machine.pager()->stats().pageouts,
+                (unsigned long long)machine.pager()->stats().pageins);
+  }
+
+  if (trace) {
+    std::printf("\n--- trace report ---\n%s", tracer->Report().c_str());
+  }
+  if (optimal) {
+    ace::OptimalEstimate est = tracer->EstimateOptimal();
+    std::printf("\n--- optimal placement estimate ---\n");
+    std::printf("referenced pages:        %llu (optimal plan all-global for %llu)\n",
+                (unsigned long long)est.pages, (unsigned long long)est.pages_best_global);
+    std::printf("oracle memory+move time: %.4f s\n", est.total_sec);
+  }
+  return result.ok ? 0 : 1;
+}
