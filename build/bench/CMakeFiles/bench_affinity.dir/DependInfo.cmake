@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_affinity.cc" "bench/CMakeFiles/bench_affinity.dir/bench_affinity.cc.o" "gcc" "bench/CMakeFiles/bench_affinity.dir/bench_affinity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/ace_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/ace_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ace_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ace_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

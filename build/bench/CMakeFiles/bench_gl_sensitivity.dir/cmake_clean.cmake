@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gl_sensitivity.dir/bench_gl_sensitivity.cc.o"
+  "CMakeFiles/bench_gl_sensitivity.dir/bench_gl_sensitivity.cc.o.d"
+  "bench_gl_sensitivity"
+  "bench_gl_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

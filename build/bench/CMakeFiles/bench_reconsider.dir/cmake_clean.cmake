@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconsider.dir/bench_reconsider.cc.o"
+  "CMakeFiles/bench_reconsider.dir/bench_reconsider.cc.o.d"
+  "bench_reconsider"
+  "bench_reconsider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconsider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

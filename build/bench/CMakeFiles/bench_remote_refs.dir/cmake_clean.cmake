@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_refs.dir/bench_remote_refs.cc.o"
+  "CMakeFiles/bench_remote_refs.dir/bench_remote_refs.cc.o.d"
+  "bench_remote_refs"
+  "bench_remote_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_read_actions.dir/bench_table1_read_actions.cc.o"
+  "CMakeFiles/bench_table1_read_actions.dir/bench_table1_read_actions.cc.o.d"
+  "bench_table1_read_actions"
+  "bench_table1_read_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_read_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

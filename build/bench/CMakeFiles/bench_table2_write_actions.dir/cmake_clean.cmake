@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_write_actions.dir/bench_table2_write_actions.cc.o"
+  "CMakeFiles/bench_table2_write_actions.dir/bench_table2_write_actions.cc.o.d"
+  "bench_table2_write_actions"
+  "bench_table2_write_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_write_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unix_master.dir/bench_unix_master.cc.o"
+  "CMakeFiles/bench_unix_master.dir/bench_unix_master.cc.o.d"
+  "bench_unix_master"
+  "bench_unix_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unix_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

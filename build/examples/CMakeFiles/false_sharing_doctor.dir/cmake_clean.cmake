@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing_doctor.dir/false_sharing_doctor.cpp.o"
+  "CMakeFiles/false_sharing_doctor.dir/false_sharing_doctor.cpp.o.d"
+  "false_sharing_doctor"
+  "false_sharing_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

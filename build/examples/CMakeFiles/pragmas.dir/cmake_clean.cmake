@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragmas.dir/pragmas.cpp.o"
+  "CMakeFiles/pragmas.dir/pragmas.cpp.o.d"
+  "pragmas"
+  "pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cc" "src/apps/CMakeFiles/ace_apps.dir/fft.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/fft.cc.o.d"
+  "/root/repo/src/apps/gfetch.cc" "src/apps/CMakeFiles/ace_apps.dir/gfetch.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/gfetch.cc.o.d"
+  "/root/repo/src/apps/imatmult.cc" "src/apps/CMakeFiles/ace_apps.dir/imatmult.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/imatmult.cc.o.d"
+  "/root/repo/src/apps/parmult.cc" "src/apps/CMakeFiles/ace_apps.dir/parmult.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/parmult.cc.o.d"
+  "/root/repo/src/apps/plytrace.cc" "src/apps/CMakeFiles/ace_apps.dir/plytrace.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/plytrace.cc.o.d"
+  "/root/repo/src/apps/primes1.cc" "src/apps/CMakeFiles/ace_apps.dir/primes1.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/primes1.cc.o.d"
+  "/root/repo/src/apps/primes2.cc" "src/apps/CMakeFiles/ace_apps.dir/primes2.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/primes2.cc.o.d"
+  "/root/repo/src/apps/primes3.cc" "src/apps/CMakeFiles/ace_apps.dir/primes3.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/primes3.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/ace_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/ace_apps.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/ace_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/ace_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

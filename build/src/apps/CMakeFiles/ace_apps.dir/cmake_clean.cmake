@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_apps.dir/fft.cc.o"
+  "CMakeFiles/ace_apps.dir/fft.cc.o.d"
+  "CMakeFiles/ace_apps.dir/gfetch.cc.o"
+  "CMakeFiles/ace_apps.dir/gfetch.cc.o.d"
+  "CMakeFiles/ace_apps.dir/imatmult.cc.o"
+  "CMakeFiles/ace_apps.dir/imatmult.cc.o.d"
+  "CMakeFiles/ace_apps.dir/parmult.cc.o"
+  "CMakeFiles/ace_apps.dir/parmult.cc.o.d"
+  "CMakeFiles/ace_apps.dir/plytrace.cc.o"
+  "CMakeFiles/ace_apps.dir/plytrace.cc.o.d"
+  "CMakeFiles/ace_apps.dir/primes1.cc.o"
+  "CMakeFiles/ace_apps.dir/primes1.cc.o.d"
+  "CMakeFiles/ace_apps.dir/primes2.cc.o"
+  "CMakeFiles/ace_apps.dir/primes2.cc.o.d"
+  "CMakeFiles/ace_apps.dir/primes3.cc.o"
+  "CMakeFiles/ace_apps.dir/primes3.cc.o.d"
+  "CMakeFiles/ace_apps.dir/registry.cc.o"
+  "CMakeFiles/ace_apps.dir/registry.cc.o.d"
+  "libace_apps.a"
+  "libace_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_common.dir/check.cc.o"
+  "CMakeFiles/ace_common.dir/check.cc.o.d"
+  "libace_common.a"
+  "libace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_lang.dir/layout_advisor.cc.o"
+  "CMakeFiles/ace_lang.dir/layout_advisor.cc.o.d"
+  "CMakeFiles/ace_lang.dir/segregated_heap.cc.o"
+  "CMakeFiles/ace_lang.dir/segregated_heap.cc.o.d"
+  "libace_lang.a"
+  "libace_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

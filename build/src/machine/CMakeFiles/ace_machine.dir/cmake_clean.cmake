@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_machine.dir/machine.cc.o"
+  "CMakeFiles/ace_machine.dir/machine.cc.o.d"
+  "CMakeFiles/ace_machine.dir/pageout.cc.o"
+  "CMakeFiles/ace_machine.dir/pageout.cc.o.d"
+  "libace_machine.a"
+  "libace_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_metrics.dir/experiment.cc.o"
+  "CMakeFiles/ace_metrics.dir/experiment.cc.o.d"
+  "libace_metrics.a"
+  "libace_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

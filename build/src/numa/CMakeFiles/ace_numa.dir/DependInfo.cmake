@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/numa_manager.cc" "src/numa/CMakeFiles/ace_numa.dir/numa_manager.cc.o" "gcc" "src/numa/CMakeFiles/ace_numa.dir/numa_manager.cc.o.d"
+  "/root/repo/src/numa/pmap_ace.cc" "src/numa/CMakeFiles/ace_numa.dir/pmap_ace.cc.o" "gcc" "src/numa/CMakeFiles/ace_numa.dir/pmap_ace.cc.o.d"
+  "/root/repo/src/numa/policies.cc" "src/numa/CMakeFiles/ace_numa.dir/policies.cc.o" "gcc" "src/numa/CMakeFiles/ace_numa.dir/policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

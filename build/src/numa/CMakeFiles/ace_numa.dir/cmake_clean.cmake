@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_numa.dir/numa_manager.cc.o"
+  "CMakeFiles/ace_numa.dir/numa_manager.cc.o.d"
+  "CMakeFiles/ace_numa.dir/pmap_ace.cc.o"
+  "CMakeFiles/ace_numa.dir/pmap_ace.cc.o.d"
+  "CMakeFiles/ace_numa.dir/policies.cc.o"
+  "CMakeFiles/ace_numa.dir/policies.cc.o.d"
+  "libace_numa.a"
+  "libace_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_sim.dir/physical_memory.cc.o"
+  "CMakeFiles/ace_sim.dir/physical_memory.cc.o.d"
+  "libace_sim.a"
+  "libace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

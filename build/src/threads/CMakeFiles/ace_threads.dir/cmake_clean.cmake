@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_threads.dir/runtime.cc.o"
+  "CMakeFiles/ace_threads.dir/runtime.cc.o.d"
+  "libace_threads.a"
+  "libace_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_trace.dir/optimal.cc.o"
+  "CMakeFiles/ace_trace.dir/optimal.cc.o.d"
+  "CMakeFiles/ace_trace.dir/ref_trace.cc.o"
+  "CMakeFiles/ace_trace.dir/ref_trace.cc.o.d"
+  "libace_trace.a"
+  "libace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

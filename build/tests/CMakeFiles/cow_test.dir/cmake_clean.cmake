@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_test.dir/cow_test.cc.o"
+  "CMakeFiles/cow_test.dir/cow_test.cc.o.d"
+  "cow_test"
+  "cow_test.pdb"
+  "cow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_manager_test.dir/numa_manager_test.cc.o"
+  "CMakeFiles/numa_manager_test.dir/numa_manager_test.cc.o.d"
+  "numa_manager_test"
+  "numa_manager_test.pdb"
+  "numa_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmap_ace_test.dir/pmap_ace_test.cc.o"
+  "CMakeFiles/pmap_ace_test.dir/pmap_ace_test.cc.o.d"
+  "pmap_ace_test"
+  "pmap_ace_test.pdb"
+  "pmap_ace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmap_ace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_run.dir/ace_run.cc.o"
+  "CMakeFiles/ace_run.dir/ace_run.cc.o.d"
+  "ace_run"
+  "ace_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
