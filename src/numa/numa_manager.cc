@@ -17,7 +17,93 @@ NumaManager::NumaManager(const MachineConfig& config, PhysicalMemory* phys, Proc
       mappings_(mappings),
       kernel_(config.kernel),
       page_size_(config.page_size),
+      num_processors_(config.num_processors),
       pages_(config.global_pages) {}
+
+// --- protocol invariants (conformance subsystem) --------------------------------------
+//
+// Compiled in under the ACE_CHECK_INVARIANTS CMake option; every state-changing entry
+// point verifies the touched page(s) before returning, so a protocol bug aborts at the
+// operation that introduced it rather than surfacing as corrupted application output
+// much later. See the invariant list in numa_manager.h.
+
+#ifdef ACE_CHECK_INVARIANTS
+
+void NumaManager::VerifyPageInvariants(LogicalPage lp) const {
+  const NumaPageInfo& info = pages_[lp];
+  switch (info.state) {
+    case PageState::kReadOnly:
+      ACE_CHECK_MSG(info.owner == kNoProc, "invariant: Read-Only page has an owner");
+      break;
+    case PageState::kLocalWritable:
+    case PageState::kRemoteHomed:
+      ACE_CHECK_MSG(info.owner != kNoProc, "invariant: writable-cached page lacks an owner");
+      ACE_CHECK_MSG(info.copies.Contains(info.owner) && info.copies.Count() == 1,
+                    "invariant: owned page must have exactly the owner's local copy");
+      break;
+    case PageState::kGlobalWritable:
+      ACE_CHECK_MSG(info.copies.Empty(), "invariant: Global-Writable page has local copies");
+      ACE_CHECK_MSG(info.owner == kNoProc, "invariant: Global-Writable page has an owner");
+      break;
+  }
+
+  for (ProcId p = 0; p < num_processors_; ++p) {
+    bool has_copy = info.copies.Contains(p);
+    bool has_frame = info.local_frame[static_cast<std::size_t>(p)] != NumaPageInfo::kNoFrame;
+    ACE_CHECK_MSG(has_copy == has_frame,
+                  "invariant: copies set and local-frame table disagree");
+  }
+  ACE_CHECK_MSG((info.copies.bits() >> num_processors_) == 0,
+                "invariant: copy held by a nonexistent processor");
+
+  ACE_CHECK_MSG(!info.zero_pending || info.state == PageState::kReadOnly,
+                "invariant: lazy zero-fill pending on a writable page");
+
+  // Local memories are a cache over global memory: every Read-Only replica must be
+  // byte-identical to the global frame (or all-zero while the zero-fill is pending).
+  if (info.state == PageState::kReadOnly && !info.copies.Empty()) {
+    const std::uint8_t* global = phys_->FrameData(FrameRef::Global(lp));
+    info.copies.ForEach([&](ProcId holder) {
+      const std::uint8_t* replica = phys_->FrameData(
+          FrameRef::Local(holder, info.local_frame[static_cast<std::size_t>(holder)]));
+      if (info.zero_pending) {
+        for (std::uint32_t i = 0; i < page_size_; ++i) {
+          ACE_CHECK_MSG(replica[i] == 0, "invariant: pending-zero replica is not zero");
+        }
+      } else {
+        ACE_CHECK_MSG(std::memcmp(replica, global, page_size_) == 0,
+                      "invariant: Read-Only replica diverges from the global copy");
+      }
+    });
+  }
+}
+
+void NumaManager::VerifyAllInvariants() const {
+  std::array<std::uint32_t, kMaxProcessors> held{};
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    VerifyPageInvariants(lp);
+    pages_[lp].copies.ForEach(
+        [&](ProcId p) { held[static_cast<std::size_t>(p)]++; });
+  }
+  for (ProcId p = 0; p < num_processors_; ++p) {
+    std::uint32_t allocated = phys_->local_pages_per_proc() - phys_->FreeLocalFrames(p);
+    ACE_CHECK_MSG(allocated == held[static_cast<std::size_t>(p)],
+                  "invariant: allocated local frames not accounted to pages");
+  }
+}
+
+#define ACE_VERIFY_PAGE(lp) VerifyPageInvariants(lp)
+
+#else  // !ACE_CHECK_INVARIANTS
+
+void NumaManager::VerifyPageInvariants(LogicalPage) const {}
+void NumaManager::VerifyAllInvariants() const {}
+
+#define ACE_VERIFY_PAGE(lp) \
+  do {                      \
+  } while (0)
+
+#endif  // ACE_CHECK_INVARIANTS
 
 NumaPageInfo& NumaManager::Info(LogicalPage lp) {
   ACE_CHECK(lp < pages_.size());
@@ -40,6 +126,7 @@ void NumaManager::MarkZeroPending(LogicalPage lp) {
   ACE_CHECK_MSG(info.state == PageState::kReadOnly && info.copies.Empty(),
                 "ZeroPage on a page that already has cache state");
   info.zero_pending = true;
+  ACE_VERIFY_PAGE(lp);
 }
 
 void NumaManager::SetPragma(LogicalPage lp, PlacementPragma pragma) {
@@ -54,6 +141,9 @@ void NumaManager::SyncOwner(LogicalPage lp, ProcId proc) {
   ACE_CHECK((info.state == PageState::kLocalWritable ||
              info.state == PageState::kRemoteHomed) &&
             info.owner != kNoProc);
+  if (injected_fault_ == InjectedFault::kSkipSync) {
+    return;  // conformance-harness fault: leave the global copy stale
+  }
   std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
   ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
   FrameRef local = FrameRef::Local(info.owner, frame_idx);
@@ -139,6 +229,14 @@ void NumaManager::MaterializeGlobalZero(LogicalPage lp, ProcId proc) {
   info.zero_pending = false;
 }
 
+void NumaManager::CountOwnershipMove(LogicalPage lp) {
+  if (injected_fault_ == InjectedFault::kSkipMoveCount) {
+    return;  // conformance-harness fault: the policy never sees its raw material
+  }
+  stats_->ownership_moves++;
+  policy_->NoteOwnershipMove(lp);
+}
+
 void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
   NumaPageInfo& info = Info(lp);
   ACE_CHECK(info.copies.Contains(proc));
@@ -148,8 +246,7 @@ void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
   // logical content is no longer guaranteed zero.
   info.zero_pending = false;
   if (info.last_owner != kNoProc && info.last_owner != proc) {
-    stats_->ownership_moves++;
-    policy_->NoteOwnershipMove(lp);
+    CountOwnershipMove(lp);
   }
   info.last_owner = proc;
 }
@@ -163,10 +260,18 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
 
   // If the policy wants LOCAL but this processor's local memory is exhausted, fall
   // back to global placement for this request (the policy is not told; the page is not
-  // pinned). Counted so experiments can detect cache pressure.
-  if ((decision == Placement::kLocal || decision == Placement::kRemoteHome) &&
-      !info.copies.Contains(proc) && info.state != PageState::kRemoteHomed &&
-      phys_->FreeLocalFrames(proc) == 0) {
+  // pinned). Counted so experiments can detect cache pressure. A remote-homed page
+  // needs a frame at `proc` only when a LOCAL decision migrates it away from a
+  // different home (found by the conformance checker: the old condition skipped
+  // remote-homed pages entirely and the un-guarded copy aborted on full memory).
+  bool needs_local_frame;
+  if (info.state == PageState::kRemoteHomed) {
+    needs_local_frame = decision == Placement::kLocal && info.owner != proc;
+  } else {
+    needs_local_frame = (decision == Placement::kLocal || decision == Placement::kRemoteHome) &&
+                        !info.copies.Contains(proc);
+  }
+  if (needs_local_frame && phys_->FreeLocalFrames(proc) == 0) {
     stats_->local_alloc_failures++;
     decision = Placement::kGlobal;
   }
@@ -194,6 +299,7 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
       last_trace_.cleanup.emplace_back("No action");
     }
   }
+  ACE_VERIFY_PAGE(lp);
   return r;
 }
 
@@ -234,8 +340,7 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         FlushCopy(lp, info.owner, proc);
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
-        stats_->ownership_moves++;
-        policy_->NoteOwnershipMove(lp);
+        CountOwnershipMove(lp);
         ACE_CHECK(EnsureLocalCopy(lp, proc));
         break;
       }
@@ -259,8 +364,7 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         FlushCopy(lp, info.owner, proc);
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
-        stats_->ownership_moves++;
-        policy_->NoteOwnershipMove(lp);
+        CountOwnershipMove(lp);
         ACE_CHECK(EnsureLocalCopy(lp, proc));
         break;
       }
@@ -413,8 +517,7 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
       ACE_CHECK(EnsureLocalCopy(lp, proc));
       UnmapAll(lp, proc);
       if (info.last_owner != kNoProc && info.last_owner != proc) {
-        stats_->ownership_moves++;
-        policy_->NoteOwnershipMove(lp);
+        CountOwnershipMove(lp);
       }
       info.state = PageState::kRemoteHomed;
       info.owner = proc;
@@ -428,8 +531,7 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
       MaterializeGlobalZero(lp, proc);
       ACE_CHECK(EnsureLocalCopy(lp, proc));
       if (info.last_owner != kNoProc && info.last_owner != proc) {
-        stats_->ownership_moves++;
-        policy_->NoteOwnershipMove(lp);
+        CountOwnershipMove(lp);
       }
       info.state = PageState::kRemoteHomed;
       info.owner = proc;
@@ -465,6 +567,7 @@ void NumaManager::ResetPage(LogicalPage lp, ProcId proc) {
   ChargeSystem(proc, kernel_.consistency_op_ns);
   info.Reset();
   policy_->NotePageFreed(lp);
+  ACE_VERIFY_PAGE(lp);
 }
 
 void NumaManager::CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc) {
@@ -486,6 +589,8 @@ void NumaManager::CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc)
   bus_->RecordTransfer(2 * static_cast<std::uint64_t>(page_size_), clocks_->now(proc));
   stats_->page_copies++;
   dst_info.zero_pending = false;
+  ACE_VERIFY_PAGE(src);
+  ACE_VERIFY_PAGE(dst);
 }
 
 std::uint32_t NumaManager::MigrateResidentPages(ProcId from, ProcId to) {
@@ -506,9 +611,11 @@ std::uint32_t NumaManager::MigrateResidentPages(ProcId from, ProcId to) {
       }
       // else: left read-only with its content in the global frame; the next touch
       // re-places it through the normal fault path.
+      ACE_VERIFY_PAGE(lp);
     } else if (info.state == PageState::kReadOnly && info.copies.Contains(from)) {
       // Drop the old home's replica; the thread will fault a fresh one in at `to`.
       FlushCopy(lp, from, to);
+      ACE_VERIFY_PAGE(lp);
     }
   }
   return moved;
@@ -526,6 +633,7 @@ const std::uint8_t* NumaManager::PrepareForPageout(LogicalPage lp, ProcId proc) 
   }
   info.state = PageState::kReadOnly;
   info.owner = kNoProc;
+  ACE_VERIFY_PAGE(lp);
   return phys_->FrameData(FrameRef::Global(lp));
 }
 
@@ -536,6 +644,7 @@ void NumaManager::LoadPageContent(LogicalPage lp, const std::uint8_t* bytes, Pro
                 "LoadPageContent requires a fresh page");
   std::memcpy(phys_->FrameData(FrameRef::Global(lp)), bytes, phys_->page_size());
   ChargeSystem(proc, kernel_.consistency_op_ns);
+  ACE_VERIFY_PAGE(lp);
 }
 
 std::uint32_t NumaManager::DebugReadWord(LogicalPage lp, std::uint32_t offset) const {

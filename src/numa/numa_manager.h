@@ -60,6 +60,16 @@ struct ActionTrace {
 
 class NumaManager {
  public:
+  // Deliberate protocol mutations for the conformance harness (tools/ace_conform,
+  // tests/conformance_test): each one silently breaks a single consistency action so
+  // the differential checker can demonstrate that it detects the breakage. Never set
+  // outside tests.
+  enum class InjectedFault : std::uint8_t {
+    kNone = 0,
+    kSkipSync = 1,       // SyncOwner becomes a no-op: global copies go stale
+    kSkipMoveCount = 2,  // ownership transfers stop being counted: pages never pin
+  };
+
   NumaManager(const MachineConfig& config, PhysicalMemory* phys, ProcClocks* clocks,
               MachineStats* stats, IpcBus* bus, NumaPolicy* policy, MappingControl* mappings);
 
@@ -122,6 +132,27 @@ class NumaManager {
   void set_trace_actions(bool on) { trace_actions_ = on; }
   const ActionTrace& last_trace() const { return last_trace_; }
 
+  // Conformance-harness fault injection (see InjectedFault above).
+  void set_injected_fault(InjectedFault fault) { injected_fault_ = fault; }
+
+  // Protocol invariant checks (conformance subsystem). With the ACE_CHECK_INVARIANTS
+  // CMake option ON these are compiled in and run automatically after every
+  // state-changing operation; the public entry points below additionally let tests
+  // force a sweep. With the option OFF both are no-ops.
+  //
+  // Per-page invariants (ACE_CHECK aborts on violation):
+  //   * Read-Only pages have no owner; Local-Writable/Remote-Homed pages have exactly
+  //     one local copy and it is the owner's; Global-Writable pages have no copies;
+  //   * the copies set and the per-processor frame table agree entry for entry;
+  //   * a pending lazy zero-fill implies state Read-Only, and every replica of such a
+  //     page is all-zero;
+  //   * Read-Only replicas are byte-identical to the global frame (local memories are
+  //     strictly a cache over global memory).
+  // VerifyAllInvariants additionally checks frame accounting: every allocated local
+  // frame is held by exactly one logical page.
+  void VerifyPageInvariants(LogicalPage lp) const;
+  void VerifyAllInvariants() const;
+
   std::uint32_t num_pages() const { return static_cast<std::uint32_t>(pages_.size()); }
 
  private:
@@ -138,6 +169,8 @@ class NumaManager {
   // Zero the global frame if a lazy zero-fill is pending (entering global-writable).
   void MaterializeGlobalZero(LogicalPage lp, ProcId proc);
   void BecomeOwner(LogicalPage lp, ProcId proc);
+  // Record one ownership transfer with the stats and the policy.
+  void CountOwnershipMove(LogicalPage lp);
 
   void ChargeSystem(ProcId proc, TimeNs ns) { clocks_->ChargeSystem(proc, ns); }
   void TraceCleanup(const char* what);
@@ -156,11 +189,13 @@ class NumaManager {
   MappingControl* mappings_;
   KernelCostModel kernel_;
   std::uint32_t page_size_;
+  int num_processors_;
 
   std::vector<NumaPageInfo> pages_;
 
   bool trace_actions_ = false;
   ActionTrace last_trace_;
+  InjectedFault injected_fault_ = InjectedFault::kNone;
 };
 
 }  // namespace ace

@@ -104,6 +104,72 @@ TEST(MigratePages, FallsBackWhenDestinationFull) {
   CheckMachineInvariants(m);
 }
 
+TEST(MigratePages, PartialMoveWhenDestinationFillsMidway) {
+  Machine::Options mo = SmallMachine(3);
+  mo.config.local_pages_per_proc = 2;
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr src = t->MapAnonymous("src", 2 * m.page_size());
+  VirtAddr dst_fill = t->MapAnonymous("fill", m.page_size());
+  // Processor 2 keeps one page of its own, leaving exactly one free frame.
+  m.StoreWord(*t, 2, dst_fill, 1);
+  m.StoreWord(*t, 0, src, 10);
+  m.StoreWord(*t, 0, src + m.page_size(), 11);
+  LogicalPage first = m.DebugLogicalPage(*t, src);
+  LogicalPage second = m.DebugLogicalPage(*t, src + m.page_size());
+  ASSERT_LT(first, second);  // migration scans logical pages in ascending order
+
+  std::uint32_t moved = m.numa_manager().MigrateResidentPages(0, 2);
+  EXPECT_EQ(moved, 1u);
+  // The lower-numbered page won the last frame; the other was left read-only with its
+  // content synced to its global frame.
+  EXPECT_EQ(m.numa_manager().PageInfo(first).state, PageState::kLocalWritable);
+  EXPECT_EQ(m.numa_manager().PageInfo(first).owner, 2);
+  EXPECT_EQ(m.numa_manager().PageInfo(second).state, PageState::kReadOnly);
+  EXPECT_TRUE(m.numa_manager().PageInfo(second).copies.Empty());
+  EXPECT_EQ(m.LoadWord(*t, 1, src), 10u);
+  EXPECT_EQ(m.LoadWord(*t, 1, src + m.page_size()), 11u);
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, DropsZeroPendingReplicaAtOldHome) {
+  Machine m(SmallMachine());
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  // A read of a fresh page leaves it read-only with a zero-filled replica and the
+  // zero-fill still pending (no writable mapping was ever granted).
+  ASSERT_EQ(m.LoadWord(*t, 0, a), 0u);
+  const NumaPageInfo& before = m.PageInfoFor(*t, a);
+  ASSERT_TRUE(before.zero_pending);
+  ASSERT_TRUE(before.copies.Contains(0));
+
+  m.numa_manager().MigrateResidentPages(0, 2);
+  const NumaPageInfo& after = m.PageInfoFor(*t, a);
+  EXPECT_TRUE(after.copies.Empty());
+  EXPECT_TRUE(after.zero_pending);  // still lazily zero; nothing was materialized
+  EXPECT_EQ(m.LoadWord(*t, 2, a), 0u);
+  CheckMachineInvariants(m);
+}
+
+TEST(MigratePages, RemoteHomedPagesStayAtTheirHome) {
+  Machine::Options mo = SmallMachine();
+  mo.policy = PolicySpec::RemoteHome(0);  // home every page at its first toucher
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  VirtAddr a = t->MapAnonymous("a", m.page_size());
+  m.StoreWord(*t, 0, a, 42);
+  ASSERT_EQ(m.PageInfoFor(*t, a).state, PageState::kRemoteHomed);
+  ASSERT_EQ(m.PageInfoFor(*t, a).owner, 0);
+
+  // Migration moves local-writable pages only; a remote-homed page is already mapped
+  // from every processor and stays at its home.
+  EXPECT_EQ(m.numa_manager().MigrateResidentPages(0, 2), 0u);
+  EXPECT_EQ(m.PageInfoFor(*t, a).state, PageState::kRemoteHomed);
+  EXPECT_EQ(m.PageInfoFor(*t, a).owner, 0);
+  EXPECT_EQ(m.LoadWord(*t, 2, a), 42u);
+  CheckMachineInvariants(m);
+}
+
 TEST(EnvMigrateTo, ThreadMovesAndKeepsLocality) {
   Machine m(SmallMachine(2));
   Task* t = m.CreateTask("t");

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string_view>
 #include <tuple>
+#include <vector>
 
 #include "src/machine/machine.h"
 #include "tests/machine_invariants.h"
@@ -319,6 +321,139 @@ TEST(NumaManagerCopy, CopyOfPendingZeroPageStaysLazy) {
   h.machine->pmap().CopyPage(src, dst);
   EXPECT_EQ(h.machine->stats().page_copies, copies_before);  // no physical copy
   EXPECT_EQ(h.machine->LoadWord(*h.task, 0, dst_va), 0u);
+}
+
+// --- pageout round-trips -----------------------------------------------------------------
+//
+// PrepareForPageout must collapse any cache state so the page's current content sits in
+// its global frame; after ResetPage + LoadPageContent the page behaves like a freshly
+// allocated page holding that content, with all placement decisions starting over.
+
+std::vector<std::uint8_t> PageOutAndBackIn(CellHarness& h) {
+  NumaManager& manager = h.machine->numa_manager();
+  h.lp = h.machine->DebugLogicalPage(*h.task, h.va);
+  const std::uint8_t* content = manager.PrepareForPageout(h.lp, 0);
+  std::vector<std::uint8_t> saved(content, content + h.machine->page_size());
+  // Between Prepare and Reset the page is a bare global frame: read-only, unowned,
+  // no local copies, no pending zero-fill.
+  const NumaPageInfo& bare = manager.PageInfo(h.lp);
+  EXPECT_EQ(bare.state, PageState::kReadOnly);
+  EXPECT_EQ(bare.owner, kNoProc);
+  EXPECT_TRUE(bare.copies.Empty());
+  EXPECT_FALSE(bare.zero_pending);
+  manager.ResetPage(h.lp, 0);
+  manager.LoadPageContent(h.lp, saved.data(), 0);
+  return saved;
+}
+
+TEST(NumaManagerPageout, RoundTripFromLocalWritablePreservesOwnerContent) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 1, h.va, 0xfeedface);  // LW on node 1, global stale
+  h.machine->StoreWord(*h.task, 1, h.va + 8, 0x1234);
+  ASSERT_EQ(h.machine->PageInfoFor(*h.task, h.va).state, PageState::kLocalWritable);
+
+  (void)PageOutAndBackIn(h);
+  // The owner's frame was synced and released before its content was handed out.
+  EXPECT_EQ(h.machine->physical_memory().FreeLocalFrames(1),
+            h.machine->physical_memory().local_pages_per_proc());
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 0xfeedfaceu);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va + 8), 0x1234u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerPageout, RoundTripFromReadOnlyDropsAllReplicas) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  h.machine->StoreWord(*h.task, 0, h.va, 4242);
+  (void)h.machine->LoadWord(*h.task, 1, h.va);  // RO, replicas on 1 and 2
+  (void)h.machine->LoadWord(*h.task, 2, h.va);
+  ASSERT_EQ(h.machine->PageInfoFor(*h.task, h.va).copies.Count(), 2);
+
+  (void)PageOutAndBackIn(h);
+  for (ProcId p = 0; p < 3; ++p) {
+    EXPECT_EQ(h.machine->physical_memory().FreeLocalFrames(p),
+              h.machine->physical_memory().local_pages_per_proc());
+  }
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 4242u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerPageout, RoundTripFromGlobalWritable) {
+  CellHarness h;
+  h.policy.next = Placement::kGlobal;
+  h.machine->StoreWord(*h.task, 1, h.va, 31u);
+  ASSERT_EQ(h.machine->PageInfoFor(*h.task, h.va).state, PageState::kGlobalWritable);
+
+  (void)PageOutAndBackIn(h);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 31u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerPageout, RoundTripFromRemoteHomedSyncsTheHomeCopy) {
+  CellHarness h;
+  h.policy.next = Placement::kRemoteHome;
+  h.machine->StoreWord(*h.task, 1, h.va, 0xcafe);  // homed at node 1
+  ASSERT_EQ(h.machine->PageInfoFor(*h.task, h.va).state, PageState::kRemoteHomed);
+  ASSERT_EQ(h.machine->PageInfoFor(*h.task, h.va).owner, 1);
+
+  std::vector<std::uint8_t> saved = PageOutAndBackIn(h);
+  std::uint32_t first_word;
+  std::memcpy(&first_word, saved.data(), sizeof(first_word));
+  EXPECT_EQ(first_word, 0xcafeu);  // home copy reached the paged-out image
+  EXPECT_EQ(h.machine->physical_memory().FreeLocalFrames(1),
+            h.machine->physical_memory().local_pages_per_proc());
+  h.policy.next = Placement::kLocal;
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 0, h.va), 0xcafeu);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerPageout, RoundTripMaterializesPendingZeros) {
+  CellHarness h;
+  h.policy.next = Placement::kLocal;
+  ASSERT_EQ(h.machine->LoadWord(*h.task, 1, h.va), 0u);  // RO replica, zero pending
+  ASSERT_TRUE(h.machine->PageInfoFor(*h.task, h.va).zero_pending);
+
+  std::vector<std::uint8_t> saved = PageOutAndBackIn(h);
+  // The lazy zero-fill cannot stay lazy across a pageout: the image must be zeros.
+  for (std::uint8_t byte : saved) {
+    ASSERT_EQ(byte, 0);
+  }
+  EXPECT_FALSE(h.machine->PageInfoFor(*h.task, h.va).zero_pending);
+  EXPECT_EQ(h.machine->LoadWord(*h.task, 2, h.va), 0u);
+  CheckMachineInvariants(*h.machine);
+}
+
+TEST(NumaManagerPageout, RoundTripResetsMoveBudgetAndPin) {
+  Machine::Options mo;
+  mo.config.num_processors = 3;
+  mo.config.global_pages = 16;
+  mo.config.local_pages_per_proc = 8;
+  mo.policy = PolicySpec::MoveLimit(1);
+  Machine m(mo);
+  Task* task = m.CreateTask("t");
+  VirtAddr va = task->MapAnonymous("page", m.page_size());
+  m.StoreWord(*task, 0, va, 10);
+  m.StoreWord(*task, 1, va, 11);  // one move; budget exhausted
+  m.StoreWord(*task, 0, va, 12);  // pins the page globally
+  LogicalPage lp = m.DebugLogicalPage(*task, va);
+  ASSERT_TRUE(m.move_limit_policy()->IsPinned(lp));
+
+  NumaManager& manager = m.numa_manager();
+  const std::uint8_t* content = manager.PrepareForPageout(lp, 0);
+  std::vector<std::uint8_t> saved(content, content + m.page_size());
+  manager.ResetPage(lp, 0);
+  manager.LoadPageContent(lp, saved.data(), 0);
+
+  // A paged-in page is a new placement problem: the move count and pin are gone,
+  // so the first write caches locally again, but the content survived the trip.
+  EXPECT_EQ(m.move_limit_policy()->MoveCount(lp), 0);
+  EXPECT_FALSE(m.move_limit_policy()->IsPinned(lp));
+  EXPECT_EQ(m.LoadWord(*task, 2, va), 12u);
+  m.StoreWord(*task, 2, va + 4, 13);
+  EXPECT_EQ(m.PageInfoFor(*task, va).state, PageState::kLocalWritable);
+  EXPECT_EQ(m.PageInfoFor(*task, va).owner, 2);
+  CheckMachineInvariants(m);
 }
 
 // --- debug access ------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/machine/machine.h"
+#include "src/metrics/model.h"
 #include "tests/machine_invariants.h"
 
 namespace ace {
@@ -206,6 +207,115 @@ TEST(ResourceProperty, RegionChurnNeverLeaks) {
   for (ProcId p = 0; p < 4; ++p) {
     EXPECT_EQ(m.physical_memory().FreeLocalFrames(p), 16u);
   }
+  CheckMachineInvariants(m);
+}
+
+// Alpha two ways (paper section 3.1): the simulator can count local references
+// directly (MeasuredAlpha), and it can derive alpha from run times via eq. 4 the way
+// the paper had to. The two disagree only through the fetch/store mix of the local
+// subset (eq. 4 weights each reference by its global-minus-local latency gap), so on
+// a mixed workload they must land within a few percent of each other.
+TEST(AlphaProperty, MeasuredAlphaMatchesEq4DerivedAlpha) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.config.global_pages = 64;
+  mo.config.local_pages_per_proc = 32;
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  // 64 pages: 4 shared pages that all processors fight over (they thrash, pin, and
+  // end up global) and 15 private pages per processor (they settle local). Roughly
+  // 1 access in 8 goes to the shared set, so alpha lands well inside (0.5, 1).
+  constexpr std::uint32_t kWordsPerPage = 4096 / 4;
+  constexpr std::uint32_t kSharedWords = 4 * kWordsPerPage;
+  constexpr std::uint32_t kPrivateWords = 15 * kWordsPerPage;
+  constexpr std::uint32_t kWords = kSharedWords + 4 * kPrivateWords;
+  VirtAddr base = t->MapAnonymous("data", kWords * 4);
+  Rng rng(17);
+  for (int op = 0; op < 6000; ++op) {
+    ProcId proc = static_cast<ProcId>(rng.Below(4));
+    std::uint32_t word =
+        rng.Below(8) == 0
+            ? rng.Below(kSharedWords)
+            : kSharedWords + static_cast<std::uint32_t>(proc) * kPrivateWords +
+                  rng.Below(kPrivateWords);
+    VirtAddr va = base + static_cast<VirtAddr>(word) * 4;
+    if (rng.Below(3) == 0) {
+      m.StoreWord(*t, proc, va, static_cast<std::uint32_t>(op));
+    } else {
+      (void)m.LoadWord(*t, proc, va);
+    }
+  }
+
+  const LatencyModel lat;  // the machine ran with the default latencies
+  ProcRefCounts refs = m.stats().TotalRefs();
+  ASSERT_EQ(refs.RemoteTotal(), 0u);  // the paper's policy never maps remote memory
+  std::uint64_t fetches = refs.fetch_local + refs.fetch_global;
+  std::uint64_t stores = refs.store_local + refs.store_global;
+  // The three user times of eq. 4: the run as it happened, and the same reference
+  // stream re-priced as if every reference had been global / local.
+  double t_numa = static_cast<double>(refs.fetch_local) * lat.local_fetch_ns +
+                  static_cast<double>(refs.store_local) * lat.local_store_ns +
+                  static_cast<double>(refs.fetch_global) * lat.global_fetch_ns +
+                  static_cast<double>(refs.store_global) * lat.global_store_ns;
+  double t_global = static_cast<double>(fetches) * lat.global_fetch_ns +
+                    static_cast<double>(stores) * lat.global_store_ns;
+  double t_local = static_cast<double>(fetches) * lat.local_fetch_ns +
+                   static_cast<double>(stores) * lat.local_store_ns;
+  double store_fraction = static_cast<double>(stores) / static_cast<double>(fetches + stores);
+  ModelParams params = SolveModel(t_numa, t_global, t_local, lat.MixRatio(store_fraction));
+  ASSERT_TRUE(params.alpha_defined);
+  EXPECT_NEAR(params.alpha, m.stats().MeasuredAlpha(), 0.08);
+  // Both agree the workload was mostly but not perfectly local.
+  EXPECT_GT(params.alpha, 0.5);
+  EXPECT_LT(params.alpha, 1.0);
+}
+
+// Counter identities that must hold on any fault-driven run (no frees, no explicit
+// migration): the manager's global counters are redundant with per-page policy state,
+// and the protocol's structure bounds how the content-movement counters can relate.
+TEST(CounterProperty, CounterIdentitiesHold) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.config.global_pages = 64;
+  mo.config.local_pages_per_proc = 32;
+  mo.policy = PolicySpec::MoveLimit(2);  // low threshold: moves and pins both happen
+  Machine m(mo);
+  Task* t = m.CreateTask("t");
+  constexpr std::uint32_t kWords = 4096;
+  VirtAddr base = t->MapAnonymous("data", kWords * 4);
+  Rng rng(23);
+  for (int op = 0; op < 6000; ++op) {
+    ProcId proc = static_cast<ProcId>(rng.Below(4));
+    std::uint32_t word = rng.Below(4) == 0 ? rng.Below(16) : rng.Below(kWords);
+    VirtAddr va = base + static_cast<VirtAddr>(word) * 4;
+    if (rng.Below(3) == 0) {
+      m.StoreWord(*t, proc, va, static_cast<std::uint32_t>(op));
+    } else {
+      (void)m.LoadWord(*t, proc, va);
+    }
+  }
+  const MachineStats& stats = m.stats();
+  ASSERT_GT(stats.ownership_moves, 0u);
+  ASSERT_GT(stats.pages_pinned, 0u);
+
+  // Every sync writes back a dirty owner copy, and an owner copy only ever came from
+  // a page copy into local memory or a local zero-fill — hence the zero_fills term
+  // (a freshly zero-filled page that is written and then synced was never copied).
+  EXPECT_LE(stats.page_syncs, stats.page_copies + stats.zero_fills);
+
+  // The global move counter is the sum of the policy's per-page move counts, and the
+  // pin counter matches the pages the policy actually pinned (nothing was freed, so
+  // no per-page state was reset underneath the totals).
+  std::uint64_t per_page_moves = 0;
+  std::uint64_t pinned_pages = 0;
+  for (LogicalPage lp = 0; lp < m.numa_manager().num_pages(); ++lp) {
+    per_page_moves += static_cast<std::uint64_t>(m.move_limit_policy()->MoveCount(lp));
+    if (m.move_limit_policy()->IsPinned(lp)) {
+      pinned_pages++;
+    }
+  }
+  EXPECT_EQ(stats.ownership_moves, per_page_moves);
+  EXPECT_EQ(stats.pages_pinned, pinned_pages);
   CheckMachineInvariants(m);
 }
 

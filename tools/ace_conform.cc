@@ -1,0 +1,151 @@
+// Differential conformance checker for the NUMA cache protocol.
+//
+// Drives NumaManager and the executable reference model (src/conformance) with the
+// same seeded random operation stream and compares the full observable state after
+// every operation. On divergence the stream is shrunk to a minimal repro and printed.
+//
+// Typical runs:
+//   ace_conform --seed 7 --ops 12000                  # all shipped policies
+//   ace_conform --policy move-limit --threshold 1     # pin-happy variant
+//   ace_conform --policy move-limit --inject skip-sync --expect-divergence
+//
+// To reproduce a reported divergence, re-run with the printed seed and policy; the
+// shrink is deterministic and prints the same minimal operation sequence.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/conformance/differ.h"
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::size_t ops = 12000;
+  std::string policy = "all";
+  int threshold = 4;
+  std::string inject = "none";
+  bool expect_divergence = false;
+  bool quiet = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--ops N] [--policy move-limit|remote-home|"
+               "all-global|all-local|all]\n"
+               "          [--threshold N] [--inject none|skip-sync|skip-move-count]\n"
+               "          [--expect-divergence] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseOptions(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      opt->seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--ops") {
+      opt->ops = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--policy") {
+      opt->policy = next();
+    } else if (arg == "--threshold") {
+      opt->threshold = std::atoi(next());
+    } else if (arg == "--inject") {
+      opt->inject = next();
+    } else if (arg == "--expect-divergence") {
+      opt->expect_divergence = true;
+    } else if (arg == "--quiet") {
+      opt->quiet = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseOptions(argc, argv, &opt)) {
+    Usage(argv[0]);
+  }
+
+  ace::NumaManager::InjectedFault fault = ace::NumaManager::InjectedFault::kNone;
+  if (opt.inject == "skip-sync") {
+    fault = ace::NumaManager::InjectedFault::kSkipSync;
+  } else if (opt.inject == "skip-move-count") {
+    fault = ace::NumaManager::InjectedFault::kSkipMoveCount;
+  } else if (opt.inject != "none") {
+    Usage(argv[0]);
+  }
+
+  std::vector<ace::RefModel::PolicyKind> kinds;
+  if (opt.policy == "all") {
+    kinds = {ace::RefModel::PolicyKind::kMoveLimit, ace::RefModel::PolicyKind::kRemoteHome,
+             ace::RefModel::PolicyKind::kAllGlobal, ace::RefModel::PolicyKind::kAllLocal};
+  } else if (opt.policy == "move-limit") {
+    kinds = {ace::RefModel::PolicyKind::kMoveLimit};
+  } else if (opt.policy == "remote-home") {
+    kinds = {ace::RefModel::PolicyKind::kRemoteHome};
+  } else if (opt.policy == "all-global") {
+    kinds = {ace::RefModel::PolicyKind::kAllGlobal};
+  } else if (opt.policy == "all-local") {
+    kinds = {ace::RefModel::PolicyKind::kAllLocal};
+  } else {
+    Usage(argv[0]);
+  }
+
+  bool failed = false;
+  for (ace::RefModel::PolicyKind kind : kinds) {
+    ace::ConformConfig config;
+    config.policy = kind;
+    config.move_threshold = opt.threshold;
+    config.fault = fault;
+
+    std::vector<ace::ConformOp> ops = ace::GenerateOps(config, opt.seed, opt.ops);
+    std::optional<ace::Divergence> d = ace::RunOps(config, ops);
+    std::string name = ace::PolicyKindName(kind);
+
+    if (!d.has_value()) {
+      if (opt.expect_divergence) {
+        std::printf("policy %s: %zu ops, NO divergence but one was expected\n", name.c_str(),
+                    ops.size());
+        failed = true;
+      } else if (!opt.quiet) {
+        std::printf("policy %s: %zu ops, no divergence (seed %llu)\n", name.c_str(), ops.size(),
+                    static_cast<unsigned long long>(opt.seed));
+      }
+      continue;
+    }
+
+    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, inject %s)\n",
+                name.c_str(), d->op_index, static_cast<unsigned long long>(opt.seed),
+                opt.threshold, opt.inject.c_str());
+    std::printf("  %s\n", d->what.c_str());
+    std::vector<ace::ConformOp> repro = ace::ShrinkOps(config, std::move(ops));
+    std::printf("shrunk repro (%zu ops):\n", repro.size());
+    for (std::size_t i = 0; i < repro.size(); ++i) {
+      std::printf("  [%zu] %s\n", i, ace::FormatOp(repro[i]).c_str());
+    }
+    std::printf("rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d%s%s\n",
+                static_cast<unsigned long long>(opt.seed), opt.ops, name.c_str(), opt.threshold,
+                opt.inject == "none" ? "" : " --inject ",
+                opt.inject == "none" ? "" : opt.inject.c_str());
+    if (!opt.expect_divergence) {
+      failed = true;
+    }
+  }
+
+  return failed ? 1 : 0;
+}
