@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/numa/policies.h"
+#include "src/obs/observability.h"
 #include "src/sim/bus.h"
 #include "src/sim/clocks.h"
 #include "src/sim/machine_config.h"
@@ -100,8 +101,15 @@ struct Differ::Impl {
         clocks(machine.num_processors),
         policy(BuildPolicy(cc, &stats)),
         manager(machine, &phys, &clocks, &stats, &bus, policy.get(), &mappings),
-        model(BuildModelConfig(cc)) {
+        model(BuildModelConfig(cc)),
+        obs(cc.num_processors, cc.pages, &clocks) {
     manager.set_injected_fault(cc.fault);
+    // The conformance sweeps run with full observability attached: a protocol bug that
+    // only appears when tracing is on (or one the hooks themselves introduce) must not
+    // slip past the differ. The small ring keeps long sweeps cheap.
+    obs.EnableHeat();
+    obs.EnableTracing(1024);
+    manager.set_observability(&obs);
   }
 
   std::optional<std::string> CompareAll();
@@ -116,6 +124,7 @@ struct Differ::Impl {
   NullMappings mappings;
   NumaManager manager;
   RefModel model;
+  Observability obs;
 };
 
 std::optional<std::string> Differ::Impl::CompareAll() {
@@ -200,6 +209,8 @@ Differ::~Differ() { delete impl_; }
 NumaManager& Differ::manager() { return impl_->manager; }
 
 const RefModel& Differ::model() const { return impl_->model; }
+
+const MachineStats& Differ::stats() const { return impl_->stats; }
 
 std::optional<std::string> Differ::Step(const ConformOp& op) {
   Impl& im = *impl_;
@@ -331,12 +342,16 @@ std::vector<ConformOp> GenerateOps(const ConformConfig& config, std::uint64_t se
 }
 
 std::optional<Divergence> RunOps(const ConformConfig& config,
-                                 const std::vector<ConformOp>& ops) {
+                                 const std::vector<ConformOp>& ops,
+                                 MachineStats* final_stats) {
   Differ differ(config);
   for (std::size_t i = 0; i < ops.size(); ++i) {
     if (std::optional<std::string> what = differ.Step(ops[i])) {
       return Divergence{i, *what};
     }
+  }
+  if (final_stats != nullptr) {
+    *final_stats = differ.stats();
   }
   return std::nullopt;
 }

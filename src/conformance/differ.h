@@ -84,6 +84,8 @@ class Differ {
 
   NumaManager& manager();
   const RefModel& model() const;
+  // The real side's machine-wide counters (for the ace_conform success summary).
+  const MachineStats& stats() const;
 
  private:
   struct Impl;
@@ -94,8 +96,11 @@ class Differ {
 std::vector<ConformOp> GenerateOps(const ConformConfig& config, std::uint64_t seed,
                                    std::size_t count);
 
-// Run `ops` from a fresh pair of systems; first divergence, if any.
-std::optional<Divergence> RunOps(const ConformConfig& config, const std::vector<ConformOp>& ops);
+// Run `ops` from a fresh pair of systems; first divergence, if any. When the stream
+// completes without divergence and `final_stats` is non-null, the real side's
+// counters are copied there (for the per-policy summary ace_conform prints).
+std::optional<Divergence> RunOps(const ConformConfig& config, const std::vector<ConformOp>& ops,
+                                 MachineStats* final_stats = nullptr);
 
 // Shrink a diverging stream to a (locally) minimal one that still diverges.
 // `ops` must diverge; the result does too.

@@ -102,6 +102,14 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
       }
       clocks_.ChargeUser(proc, cost);
       stats_.RecordRef(proc, cls, kind);
+      if (obs_ != nullptr && obs_->heat_on()) {
+        // Recorded at the same point as RecordRef, so the heat profile's aggregate
+        // locality fraction agrees with MeasuredAlpha() exactly.
+        LogicalPage lp = pmap_->LookupLogicalPage(proc, vpage);
+        if (lp != kNoLogicalPage) {
+          obs_->OnRef(lp, proc, cls, kind);
+        }
+      }
       if (cls != MemoryClass::kLocal) {
         bus_.RecordTransfer(kWordBytes, clocks_.now(proc));
       }
@@ -219,6 +227,21 @@ std::uint32_t Machine::ReexamineGlobalPages(ProcId proc) {
     }
   }
   return count;
+}
+
+Observability& Machine::observability() {
+  if (obs_ == nullptr) {
+    obs_ = std::make_unique<Observability>(options_.config.num_processors,
+                                           options_.config.global_pages, &clocks_);
+    pmap_->manager().set_observability(obs_.get());
+    fault_handler_->SetObserver(
+        [](void* ctx, ProcId proc, LogicalPage lp, std::uint8_t status) {
+          static_cast<Observability*>(ctx)->OnEvent(TraceEventType::kPageFault, lp, proc,
+                                                    status);
+        },
+        obs_.get());
+  }
+  return *obs_;
 }
 
 MoveLimitPolicy* Machine::move_limit_policy() {

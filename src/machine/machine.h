@@ -30,6 +30,7 @@
 #include "src/numa/pmap_ace.h"
 #include "src/numa/policies.h"
 #include "src/numa/policy.h"
+#include "src/obs/observability.h"
 #include "src/sim/bus.h"
 #include "src/sim/clocks.h"
 #include "src/sim/machine_config.h"
@@ -191,6 +192,12 @@ class Machine {
     ref_observer_ctx_ = ctx;
   }
 
+  // The observability layer (src/obs). Created and wired into the NUMA manager and
+  // fault path on first call; machines that never ask for it keep every hook at its
+  // null-pointer fast path. Call EnableTracing()/EnableHeat() on the result.
+  Observability& observability();
+  bool has_observability() const { return obs_ != nullptr; }
+
  private:
   AccessStatus Access(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
                       std::uint32_t* value);
@@ -205,6 +212,8 @@ class Machine {
   PhysicalMemory phys_;
   std::unique_ptr<NumaPolicy> policy_;       // owned policy (when not custom)
   NumaPolicy* active_policy_ = nullptr;      // the policy actually in use
+  // Declared before pmap_ so the hooks stay valid while the pmap layer tears down.
+  std::unique_ptr<Observability> obs_;
   std::unique_ptr<PmapAce> pmap_;
   std::unique_ptr<PagePool> pool_;
   std::unique_ptr<AcePager> pager_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace ace {
 
@@ -121,6 +122,24 @@ void NumaManager::TraceCleanup(const char* what) {
   }
 }
 
+// --- observability hooks ---------------------------------------------------------------
+//
+// Out of line on purpose: every call site pays only the `obs_ != nullptr` test (never
+// taken unless an Observability has been attached); the event plumbing lives here.
+
+void NumaManager::ObsEvent(TraceEventType type, LogicalPage lp, ProcId proc,
+                           std::uint32_t aux) {
+  if (obs_ != nullptr) {
+    obs_->OnEvent(type, lp, proc, aux);
+  }
+}
+
+void NumaManager::ObsNoteState(LogicalPage lp, ProcId proc) {
+  if (obs_ != nullptr) {
+    obs_->NoteState(lp, Info(lp).state, proc);
+  }
+}
+
 void NumaManager::MarkZeroPending(LogicalPage lp) {
   NumaPageInfo& info = Info(lp);
   ACE_CHECK_MSG(info.state == PageState::kReadOnly && info.copies.Empty(),
@@ -152,6 +171,7 @@ void NumaManager::SyncOwner(LogicalPage lp, ProcId proc) {
   ChargeSystem(proc, cost + kernel_.consistency_op_ns);
   bus_->RecordTransfer(page_size_, clocks_->now(proc));
   stats_->page_syncs++;
+  ObsEvent(TraceEventType::kSync, lp, proc, static_cast<std::uint32_t>(info.owner));
 }
 
 void NumaManager::FlushCopy(LogicalPage lp, ProcId holder, ProcId proc) {
@@ -165,6 +185,7 @@ void NumaManager::FlushCopy(LogicalPage lp, ProcId holder, ProcId proc) {
   info.copies.Remove(holder);
   ChargeSystem(proc, kernel_.consistency_op_ns);
   stats_->page_flushes++;
+  ObsEvent(TraceEventType::kFlush, lp, proc, static_cast<std::uint32_t>(holder));
 }
 
 void NumaManager::FlushAllCopies(LogicalPage lp, ProcId proc) {
@@ -185,6 +206,7 @@ void NumaManager::UnmapAll(LogicalPage lp, ProcId proc) {
   mappings_->RemoveAllMappings(lp);
   ChargeSystem(proc, kernel_.consistency_op_ns);
   stats_->page_unmaps++;
+  ObsEvent(TraceEventType::kUnmap, lp, proc);
 }
 
 bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
@@ -195,6 +217,7 @@ bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
   FrameRef frame = phys_->AllocLocal(proc);
   if (!frame.valid()) {
     stats_->local_alloc_failures++;
+    ObsEvent(TraceEventType::kLocalAllocFail, lp, proc);
     return false;
   }
   TimeNs cost;
@@ -203,10 +226,12 @@ bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
     // of paper section 2.3.1 (avoid zeroing global memory and immediately copying).
     cost = phys_->ZeroPage(frame, proc);
     stats_->zero_fills++;
+    ObsEvent(TraceEventType::kZeroFill, lp, proc);
   } else {
     cost = phys_->CopyPage(FrameRef::Global(lp), frame, proc);
     bus_->RecordTransfer(page_size_, clocks_->now(proc));
     stats_->page_copies++;
+    ObsEvent(TraceEventType::kReplicate, lp, proc);
   }
   ChargeSystem(proc, cost);
   info.local_frame[static_cast<std::size_t>(proc)] = frame.index;
@@ -226,15 +251,17 @@ void NumaManager::MaterializeGlobalZero(LogicalPage lp, ProcId proc) {
   ChargeSystem(proc, cost);
   bus_->RecordTransfer(page_size_, clocks_->now(proc));
   stats_->zero_fills++;
+  ObsEvent(TraceEventType::kZeroFill, lp, proc);
   info.zero_pending = false;
 }
 
-void NumaManager::CountOwnershipMove(LogicalPage lp) {
+void NumaManager::CountOwnershipMove(LogicalPage lp, ProcId proc) {
   if (injected_fault_ == InjectedFault::kSkipMoveCount) {
     return;  // conformance-harness fault: the policy never sees its raw material
   }
   stats_->ownership_moves++;
   policy_->NoteOwnershipMove(lp);
+  ObsEvent(TraceEventType::kMigrate, lp, proc, static_cast<std::uint32_t>(proc));
 }
 
 void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
@@ -246,7 +273,7 @@ void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
   // logical content is no longer guaranteed zero.
   info.zero_pending = false;
   if (info.last_owner != kNoProc && info.last_owner != proc) {
-    CountOwnershipMove(lp);
+    CountOwnershipMove(lp, proc);
   }
   info.last_owner = proc;
 }
@@ -256,7 +283,14 @@ void NumaManager::BecomeOwner(LogicalPage lp, ProcId proc) {
 Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId proc,
                                       Protection max_prot) {
   NumaPageInfo& info = Info(lp);
+  // Pin detection: the policy pins internally (bumping stats_->pages_pinned) when the
+  // move limit is hit, so the pin event is recovered from the counter delta.
+  const bool observing = obs_ != nullptr;
+  const std::uint64_t pins_before = observing ? stats_->pages_pinned : 0;
   Placement decision = policy_->CachePolicy(lp, kind, proc);
+  if (observing && stats_->pages_pinned != pins_before) {
+    ObsEvent(TraceEventType::kPin, lp, proc);
+  }
 
   // If the policy wants LOCAL but this processor's local memory is exhausted, fall
   // back to global placement for this request (the policy is not told; the page is not
@@ -273,7 +307,11 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
   }
   if (needs_local_frame && phys_->FreeLocalFrames(proc) == 0) {
     stats_->local_alloc_failures++;
+    ObsEvent(TraceEventType::kLocalAllocFail, lp, proc);
     decision = Placement::kGlobal;
+  }
+  if (observing) {
+    obs_->NoteDecision(decision);
   }
 
   if (trace_actions_) {
@@ -299,6 +337,7 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
       last_trace_.cleanup.emplace_back("No action");
     }
   }
+  ObsNoteState(lp, proc);
   ACE_VERIFY_PAGE(lp);
   return r;
 }
@@ -340,7 +379,7 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         FlushCopy(lp, info.owner, proc);
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
-        CountOwnershipMove(lp);
+        CountOwnershipMove(lp, proc);
         ACE_CHECK(EnsureLocalCopy(lp, proc));
         break;
       }
@@ -364,7 +403,7 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         FlushCopy(lp, info.owner, proc);
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
-        CountOwnershipMove(lp);
+        CountOwnershipMove(lp, proc);
         ACE_CHECK(EnsureLocalCopy(lp, proc));
         break;
       }
@@ -517,7 +556,7 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
       ACE_CHECK(EnsureLocalCopy(lp, proc));
       UnmapAll(lp, proc);
       if (info.last_owner != kNoProc && info.last_owner != proc) {
-        CountOwnershipMove(lp);
+        CountOwnershipMove(lp, proc);
       }
       info.state = PageState::kRemoteHomed;
       info.owner = proc;
@@ -531,7 +570,7 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
       MaterializeGlobalZero(lp, proc);
       ACE_CHECK(EnsureLocalCopy(lp, proc));
       if (info.last_owner != kNoProc && info.last_owner != proc) {
-        CountOwnershipMove(lp);
+        CountOwnershipMove(lp, proc);
       }
       info.state = PageState::kRemoteHomed;
       info.owner = proc;
@@ -567,6 +606,8 @@ void NumaManager::ResetPage(LogicalPage lp, ProcId proc) {
   ChargeSystem(proc, kernel_.consistency_op_ns);
   info.Reset();
   policy_->NotePageFreed(lp);
+  ObsEvent(TraceEventType::kFree, lp, proc);
+  ObsNoteState(lp, proc);
   ACE_VERIFY_PAGE(lp);
 }
 
@@ -588,6 +629,7 @@ void NumaManager::CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc)
   ChargeSystem(proc, cost);
   bus_->RecordTransfer(2 * static_cast<std::uint64_t>(page_size_), clocks_->now(proc));
   stats_->page_copies++;
+  ObsEvent(TraceEventType::kReplicate, dst, proc, src);
   dst_info.zero_pending = false;
   ACE_VERIFY_PAGE(src);
   ACE_VERIFY_PAGE(dst);
@@ -607,8 +649,10 @@ std::uint32_t NumaManager::MigrateResidentPages(ProcId from, ProcId to) {
         info.state = PageState::kLocalWritable;
         info.owner = to;
         info.last_owner = to;  // deliberate relocation: the move count is not touched
+        ObsEvent(TraceEventType::kBulkMigrate, lp, to, static_cast<std::uint32_t>(to));
         ++moved;
       }
+      ObsNoteState(lp, to);
       // else: left read-only with its content in the global frame; the next touch
       // re-places it through the normal fault path.
       ACE_VERIFY_PAGE(lp);
@@ -633,6 +677,8 @@ const std::uint8_t* NumaManager::PrepareForPageout(LogicalPage lp, ProcId proc) 
   }
   info.state = PageState::kReadOnly;
   info.owner = kNoProc;
+  ObsEvent(TraceEventType::kPageout, lp, proc);
+  ObsNoteState(lp, proc);
   ACE_VERIFY_PAGE(lp);
   return phys_->FrameData(FrameRef::Global(lp));
 }
@@ -644,6 +690,7 @@ void NumaManager::LoadPageContent(LogicalPage lp, const std::uint8_t* bytes, Pro
                 "LoadPageContent requires a fresh page");
   std::memcpy(phys_->FrameData(FrameRef::Global(lp)), bytes, phys_->page_size());
   ChargeSystem(proc, kernel_.consistency_op_ns);
+  ObsEvent(TraceEventType::kPagein, lp, proc);
   ACE_VERIFY_PAGE(lp);
 }
 

@@ -19,6 +19,7 @@
 #include "src/common/types.h"
 #include "src/numa/page_state.h"
 #include "src/numa/policy.h"
+#include "src/obs/trace_event.h"
 #include "src/sim/bus.h"
 #include "src/sim/clocks.h"
 #include "src/sim/machine_config.h"
@@ -26,6 +27,8 @@
 #include "src/sim/stats.h"
 
 namespace ace {
+
+class Observability;
 
 // Dropping virtual mappings is the pmap manager's business (it owns the MMUs and the
 // mapping directory); the NUMA manager asks for it through this interface. This is the
@@ -135,6 +138,12 @@ class NumaManager {
   // Conformance-harness fault injection (see InjectedFault above).
   void set_injected_fault(InjectedFault fault) { injected_fault_ = fault; }
 
+  // Attach the observability layer (src/obs): every consistency action is then
+  // reported through its emit hooks. Null (the default) keeps the hot paths to a
+  // single never-taken branch per hook.
+  void set_observability(Observability* obs) { obs_ = obs; }
+  Observability* observability() const { return obs_; }
+
   // Protocol invariant checks (conformance subsystem). With the ACE_CHECK_INVARIANTS
   // CMake option ON these are compiled in and run automatically after every
   // state-changing operation; the public entry points below additionally let tests
@@ -169,11 +178,16 @@ class NumaManager {
   // Zero the global frame if a lazy zero-fill is pending (entering global-writable).
   void MaterializeGlobalZero(LogicalPage lp, ProcId proc);
   void BecomeOwner(LogicalPage lp, ProcId proc);
-  // Record one ownership transfer with the stats and the policy.
-  void CountOwnershipMove(LogicalPage lp);
+  // Record one ownership transfer with the stats and the policy; `proc` is the new
+  // holder (for the trace).
+  void CountOwnershipMove(LogicalPage lp, ProcId proc);
 
   void ChargeSystem(ProcId proc, TimeNs ns) { clocks_->ChargeSystem(proc, ns); }
   void TraceCleanup(const char* what);
+  // Observability emit hooks; out of line so the null check stays the only inline
+  // cost at the call sites.
+  void ObsEvent(TraceEventType type, LogicalPage lp, ProcId proc, std::uint32_t aux = 0);
+  void ObsNoteState(LogicalPage lp, ProcId proc);
 
   Resolution ResolveRead(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
   Resolution ResolveWrite(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
@@ -196,6 +210,7 @@ class NumaManager {
   bool trace_actions_ = false;
   ActionTrace last_trace_;
   InjectedFault injected_fault_ = InjectedFault::kNone;
+  Observability* obs_ = nullptr;
 };
 
 }  // namespace ace

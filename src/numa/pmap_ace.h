@@ -84,6 +84,15 @@ class PmapAce : public PmapSystem, public MappingControl {
 
   NumaManager& manager() { return manager_; }
   const NumaManager& manager() const { return manager_; }
+
+  // The logical page `proc` currently maps at `vpage`, or kNoLogicalPage. Used by the
+  // observability layer to attribute memory references to logical pages; reads the
+  // mapping directory, no MMU interaction, no clock charges.
+  LogicalPage LookupLogicalPage(ProcId proc, VirtPage vpage) const {
+    const auto& vmap = proc_vmap_[static_cast<std::size_t>(proc)];
+    auto it = vmap.find(vpage);
+    return it == vmap.end() ? kNoLogicalPage : it->second.lp;
+  }
   Mmu& mmu(ProcId proc) { return mmus_.At(proc); }
   const Mmu& mmu(ProcId proc) const { return mmus_.At(proc); }
 

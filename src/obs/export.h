@@ -1,0 +1,59 @@
+// Exporters and report renderers for the observability layer.
+//
+// Three machine-readable formats plus the human-readable numatop-style reports:
+//   * Chrome trace-event JSON (load in Perfetto / chrome://tracing): one instant
+//     event per trace record, one track (tid) per processor;
+//   * JSONL: one self-describing JSON object per line — a meta header, every retained
+//     trace event, per-processor reference totals, policy decision counts, and one
+//     heat record per referenced page. tools/ace_top renders reports from this file;
+//   * CSV heat table: one row per referenced page, for spreadsheets/pandas.
+//
+// The renderers (RenderHotPages / RenderLocality / RenderDecisions) produce the
+// same tables ace_top shows, so ace_run --report and ace_top agree by construction.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/heat.h"
+#include "src/obs/tracer.h"
+#include "src/sim/stats.h"
+
+namespace ace {
+
+// What an exporter may draw from; null members are simply omitted from the output.
+struct ExportContext {
+  const Tracer* tracer = nullptr;
+  const HeatProfile* heat = nullptr;
+  const MachineStats* stats = nullptr;
+  int num_processors = 0;
+  std::uint32_t page_size = 0;
+  std::uint32_t num_pages = 0;
+  const char* policy = "";
+  const char* app = "";
+};
+
+// Chrome trace-event JSON ({"traceEvents":[...]}); requires ctx.tracer.
+void WriteChromeTrace(const ExportContext& ctx, std::ostream& os);
+
+// JSONL event + heat dump (the ace_top input format).
+void WriteJsonl(const ExportContext& ctx, std::ostream& os);
+
+// CSV heat table, one row per referenced page.
+void WriteHeatCsv(const HeatProfile& heat, std::ostream& os);
+
+// numatop-style "hot pages" table: top-N pages by remote+global traffic.
+std::string RenderHotPages(const HeatProfile& heat, std::size_t top_n);
+
+// Per-processor locality breakdown from the machine-wide reference counters.
+std::string RenderLocality(const MachineStats& stats, int num_processors);
+
+// Policy decision counts and machine-wide protocol event totals.
+std::string RenderDecisions(const HeatProfile& heat);
+
+}  // namespace ace
+
+#endif  // SRC_OBS_EXPORT_H_

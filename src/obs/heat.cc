@@ -1,0 +1,56 @@
+#include "src/obs/heat.h"
+
+#include <algorithm>
+
+namespace ace {
+
+double HeatProfile::AggregateAlpha() const {
+  std::uint64_t local = 0;
+  std::uint64_t total = 0;
+  for (const PageHeat& h : pages_) {
+    local += h.LocalTotal();
+    total += h.Total();
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(local) / static_cast<double>(total);
+}
+
+std::uint64_t HeatProfile::TotalRefs() const {
+  std::uint64_t total = 0;
+  for (const PageHeat& h : pages_) {
+    total += h.Total();
+  }
+  return total;
+}
+
+std::vector<LogicalPage> HeatProfile::TopPages(std::size_t n) const {
+  std::vector<LogicalPage> referenced;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    if (pages_[lp].Total() > 0) {
+      referenced.push_back(lp);
+    }
+  }
+  auto hotter = [&](LogicalPage a, LogicalPage b) {
+    const PageHeat& ha = pages_[a];
+    const PageHeat& hb = pages_[b];
+    if (ha.OffNodeTotal() != hb.OffNodeTotal()) {
+      return ha.OffNodeTotal() > hb.OffNodeTotal();
+    }
+    if (ha.Total() != hb.Total()) {
+      return ha.Total() > hb.Total();
+    }
+    return a < b;
+  };
+  if (referenced.size() > n) {
+    std::partial_sort(referenced.begin(), referenced.begin() + static_cast<std::ptrdiff_t>(n),
+                      referenced.end(), hotter);
+    referenced.resize(n);
+  } else {
+    std::sort(referenced.begin(), referenced.end(), hotter);
+  }
+  return referenced;
+}
+
+}  // namespace ace

@@ -1,0 +1,268 @@
+#include "src/obs/json_lite.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ace {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key, std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->str : std::move(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      pos_++;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    pos_++;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    pos_++;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        pos_++;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          return Fail("dangling escape");
+        }
+        char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u':
+            // Keep \uXXXX verbatim; the exporters never emit it.
+            if (pos_ + 4 > text_.size()) {
+              return Fail("truncated \\u escape");
+            }
+            out->append("\\u");
+            out->append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      pos_++;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      pos_++;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("invalid number");
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("invalid number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  Parser parser(text, error);
+  return parser.Parse(out);
+}
+
+}  // namespace ace

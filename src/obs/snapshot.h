@@ -1,0 +1,59 @@
+// Counter snapshot/diff: field-wise deltas of MachineStats between two points.
+//
+// Used by the golden-counter tests (tests/golden_counters_test.cc) to assert exactly
+// which counters each NUMA-manager operation increments, by the overhead guardrail
+// bench, and by ace_conform's per-policy activity summary. Header-only on purpose —
+// usable from anything that already sees MachineStats.
+
+#ifndef SRC_OBS_SNAPSHOT_H_
+#define SRC_OBS_SNAPSHOT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/stats.h"
+
+namespace ace {
+
+// Field-wise `after - before`. Counters are monotone, so the result is well defined
+// whenever `before` was captured earlier on the same machine.
+inline MachineStats DiffStats(const MachineStats& before, const MachineStats& after) {
+  MachineStats d;
+  for (std::size_t p = 0; p < d.refs.size(); ++p) {
+    d.refs[p].fetch_local = after.refs[p].fetch_local - before.refs[p].fetch_local;
+    d.refs[p].fetch_global = after.refs[p].fetch_global - before.refs[p].fetch_global;
+    d.refs[p].fetch_remote = after.refs[p].fetch_remote - before.refs[p].fetch_remote;
+    d.refs[p].store_local = after.refs[p].store_local - before.refs[p].store_local;
+    d.refs[p].store_global = after.refs[p].store_global - before.refs[p].store_global;
+    d.refs[p].store_remote = after.refs[p].store_remote - before.refs[p].store_remote;
+  }
+  d.page_faults = after.page_faults - before.page_faults;
+  d.zero_fills = after.zero_fills - before.zero_fills;
+  d.page_copies = after.page_copies - before.page_copies;
+  d.page_syncs = after.page_syncs - before.page_syncs;
+  d.page_flushes = after.page_flushes - before.page_flushes;
+  d.page_unmaps = after.page_unmaps - before.page_unmaps;
+  d.ownership_moves = after.ownership_moves - before.ownership_moves;
+  d.pages_pinned = after.pages_pinned - before.pages_pinned;
+  d.local_alloc_failures = after.local_alloc_failures - before.local_alloc_failures;
+  return d;
+}
+
+// One-line summary of the protocol counters ("faults=3 copies=2 ..."), used in CI
+// logs so a sweep's activity is visible at a glance.
+inline std::string FormatProtocolCounters(const MachineStats& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "faults=%llu zero-fills=%llu copies=%llu syncs=%llu flushes=%llu "
+                "unmaps=%llu moves=%llu pins=%llu alloc-fails=%llu",
+                (unsigned long long)s.page_faults, (unsigned long long)s.zero_fills,
+                (unsigned long long)s.page_copies, (unsigned long long)s.page_syncs,
+                (unsigned long long)s.page_flushes, (unsigned long long)s.page_unmaps,
+                (unsigned long long)s.ownership_moves, (unsigned long long)s.pages_pinned,
+                (unsigned long long)s.local_alloc_failures);
+  return buf;
+}
+
+}  // namespace ace
+
+#endif  // SRC_OBS_SNAPSHOT_H_

@@ -1,0 +1,81 @@
+// Event vocabulary of the observability layer.
+//
+// Every consistency action the NUMA manager performs, plus the VM events around it
+// (faults, zero-fills, pageout round trips), can be recorded as a timestamped
+// TraceEvent in a per-processor ring buffer (src/obs/tracer.h). The same vocabulary
+// drives the per-page heat profile's event counters (src/obs/heat.h), so the trace
+// and the heat rollup never disagree about what happened.
+//
+// DESIGN.md section 6 documents the emit site of every event type.
+
+#ifndef SRC_OBS_TRACE_EVENT_H_
+#define SRC_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace ace {
+
+enum class TraceEventType : std::uint8_t {
+  kPageFault = 0,       // fault resolved by the VM layer (aux = FaultStatus)
+  kZeroFill = 1,        // lazy zero-fill materialized (local or global frame)
+  kReplicate = 2,       // global->local page copy (replication / caching)
+  kMigrate = 3,         // ownership transfer between local memories (aux = new owner)
+  kSync = 4,            // local-writable content copied back to the global frame
+  kFlush = 5,           // one cached local copy dropped (aux = holder)
+  kUnmap = 6,           // all virtual mappings of the page dropped
+  kPin = 7,             // policy permanently placed the page in global memory
+  kPageout = 8,         // page collapsed to its global frame for eviction
+  kPagein = 9,          // page content reloaded from backing store
+  kLocalAllocFail = 10, // wanted a local frame but local memory was full
+  kFree = 11,           // logical page freed; cache state and decisions reset
+  kBulkMigrate = 12,    // process migration moved the page to a new home (aux = dest)
+};
+
+inline constexpr int kNumTraceEventTypes = 13;
+
+inline const char* TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kPageFault:
+      return "page-fault";
+    case TraceEventType::kZeroFill:
+      return "zero-fill";
+    case TraceEventType::kReplicate:
+      return "replicate";
+    case TraceEventType::kMigrate:
+      return "migrate";
+    case TraceEventType::kSync:
+      return "sync";
+    case TraceEventType::kFlush:
+      return "flush";
+    case TraceEventType::kUnmap:
+      return "unmap";
+    case TraceEventType::kPin:
+      return "pin";
+    case TraceEventType::kPageout:
+      return "pageout";
+    case TraceEventType::kPagein:
+      return "pagein";
+    case TraceEventType::kLocalAllocFail:
+      return "local-alloc-fail";
+    case TraceEventType::kFree:
+      return "free";
+    case TraceEventType::kBulkMigrate:
+      return "bulk-migrate";
+  }
+  return "?";
+}
+
+// One recorded event. 24 bytes; rings are preallocated so recording never allocates.
+struct TraceEvent {
+  TimeNs ts = 0;          // acting processor's virtual clock at emit time
+  LogicalPage lp = kNoLogicalPage;
+  std::uint32_t aux = 0;  // event-specific detail (see TraceEventType comments)
+  std::int16_t proc = -1; // acting processor (always the ring's owner)
+  TraceEventType type = TraceEventType::kPageFault;
+};
+
+}  // namespace ace
+
+#endif  // SRC_OBS_TRACE_EVENT_H_

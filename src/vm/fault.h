@@ -44,8 +44,28 @@ class FaultHandler {
   FaultHandler(PmapSystem* pmap, PagePool* pool, Pager* pager = nullptr)
       : pmap_(pmap), pool_(pool), pager_(pager) {}
 
+  // Fault observer (observability layer). Called once per Handle with the outcome and
+  // the logical page that resolved the fault (kNoLogicalPage on errors). A function
+  // pointer rather than an interface keeps this header free of obs dependencies.
+  using Observer = void (*)(void* ctx, ProcId proc, LogicalPage lp, std::uint8_t status);
+  void SetObserver(Observer observer, void* ctx) {
+    observer_ = observer;
+    observer_ctx_ = ctx;
+  }
+
   // Resolve a fault on `va` in `task`, caused by an access of `kind` from `proc`.
   FaultStatus Handle(Task& task, VirtAddr va, AccessKind kind, ProcId proc) {
+    LogicalPage lp = kNoLogicalPage;
+    FaultStatus status = Resolve(task, va, kind, proc, &lp);
+    if (observer_ != nullptr) {
+      observer_(observer_ctx_, proc, lp, static_cast<std::uint8_t>(status));
+    }
+    return status;
+  }
+
+ private:
+  FaultStatus Resolve(Task& task, VirtAddr va, AccessKind kind, ProcId proc,
+                      LogicalPage* out_lp) {
     const Region* region = task.FindRegion(va);
     if (region == nullptr) {
       return FaultStatus::kBadAddress;
@@ -60,7 +80,7 @@ class FaultHandler {
 
     if (region->shadow != nullptr) {
       return HandleCopyOnWrite(task, *region, vpage, object_page,
-                               offset_in_region / task.page_size(), kind, proc);
+                               offset_in_region / task.page_size(), kind, proc, out_lp);
     }
 
     LogicalPage lp = MaterializePage(*region->object, object_page, proc);
@@ -71,20 +91,20 @@ class FaultHandler {
       pmap_->AdvisePlacement(lp, region->pragma);
     }
     pmap_->Enter(task.pmap(), vpage, lp, region->max_prot, min_prot, proc);
+    *out_lp = lp;
     return FaultStatus::kResolved;
   }
-
- private:
   // Copy-on-write resolution (paper section 2.1: protections are reduced to implement
   // copy-on-write). Reads are served from the backing object mapped at most read-only;
   // the first write to a page copies it into the region's private shadow object.
   FaultStatus HandleCopyOnWrite(Task& task, const Region& region, VirtPage vpage,
                                 std::uint64_t object_page, std::uint64_t shadow_page,
-                                AccessKind kind, ProcId proc) {
+                                AccessKind kind, ProcId proc, LogicalPage* out_lp) {
     LogicalPage shadow_lp = region.shadow->PageAt(shadow_page);
     if (shadow_lp != kNoLogicalPage) {
       // Already copied: the shadow page behaves like ordinary anonymous memory.
       pmap_->Enter(task.pmap(), vpage, shadow_lp, region.max_prot, MinProtFor(kind), proc);
+      *out_lp = shadow_lp;
       return FaultStatus::kResolved;
     }
     if (kind == AccessKind::kFetch) {
@@ -94,6 +114,7 @@ class FaultHandler {
       }
       // Cap the mapping at read-only so every write keeps faulting into the copy path.
       pmap_->Enter(task.pmap(), vpage, src, Protection::kRead, Protection::kRead, proc);
+      *out_lp = src;
       return FaultStatus::kResolved;
     }
     // Write: copy the backing page into a fresh private page.
@@ -114,6 +135,7 @@ class FaultHandler {
     // whole task observes the private copy from now on.
     pmap_->Remove(task.pmap(), vpage, vpage);
     pmap_->Enter(task.pmap(), vpage, dst, region.max_prot, Protection::kReadWrite, proc);
+    *out_lp = dst;
     return FaultStatus::kResolved;
   }
 
@@ -152,6 +174,8 @@ class FaultHandler {
   PmapSystem* pmap_;
   PagePool* pool_;
   Pager* pager_;
+  Observer observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
 };
 
 }  // namespace ace

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/conformance/differ.h"
+#include "src/obs/snapshot.h"
 
 namespace {
 
@@ -114,7 +115,8 @@ int main(int argc, char** argv) {
     config.fault = fault;
 
     std::vector<ace::ConformOp> ops = ace::GenerateOps(config, opt.seed, opt.ops);
-    std::optional<ace::Divergence> d = ace::RunOps(config, ops);
+    ace::MachineStats stats;
+    std::optional<ace::Divergence> d = ace::RunOps(config, ops, &stats);
     std::string name = ace::PolicyKindName(kind);
 
     if (!d.has_value()) {
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
       } else if (!opt.quiet) {
         std::printf("policy %s: %zu ops, no divergence (seed %llu)\n", name.c_str(), ops.size(),
                     static_cast<unsigned long long>(opt.seed));
+        std::printf("  %s\n", ace::FormatProtocolCounters(stats).c_str());
       }
       continue;
     }

@@ -12,14 +12,19 @@
 //   ace_run --app PlyTrace --optimal          # compare against the oracle placement
 //   ace_run --list
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/apps/app.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/table.h"
+#include "src/obs/export.h"
+#include "src/obs/observability.h"
 #include "src/trace/ref_trace.h"
 
 namespace {
@@ -41,7 +46,14 @@ void Usage() {
       "  --global-pages N       logical page pool size (default 4096)\n"
       "  --trace                print the sharing-class trace report\n"
       "  --optimal              print the optimal-placement comparison\n"
-      "  --experiment           run all three placements and print the model row\n");
+      "  --experiment           run all three placements and print the model row\n"
+      "observability (src/obs; all options also accept --opt=value):\n"
+      "  --trace-out FILE       write a Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --jsonl-out FILE       write the full observability dump as JSONL\n"
+      "  --heat-csv FILE        write the per-page heat table as CSV\n"
+      "  --report LIST          comma-separated: hot-pages,locality,decisions\n"
+      "  --top N                rows in the hot-pages report (default 10)\n"
+      "  --trace-buffer N       trace ring capacity per processor (default 65536)\n");
 }
 
 ace::PolicySpec ParsePolicy(const std::string& name, int threshold) {
@@ -80,10 +92,29 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool optimal = false;
   bool experiment = false;
+  std::string trace_out;
+  std::string jsonl_out;
+  std::string heat_csv;
+  std::string report_list;
+  int top_n = 10;
+  std::size_t trace_buffer = ace::Tracer::kDefaultCapacityPerProc;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) {
+        return inline_value.c_str();
+      }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
         std::exit(2);
@@ -120,6 +151,18 @@ int main(int argc, char** argv) {
       pager = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--jsonl-out") {
+      jsonl_out = next();
+    } else if (arg == "--heat-csv") {
+      heat_csv = next();
+    } else if (arg == "--report") {
+      report_list = next();
+    } else if (arg == "--top") {
+      top_n = std::atoi(next());
+    } else if (arg == "--trace-buffer") {
+      trace_buffer = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--optimal") {
       optimal = true;
     } else if (arg == "--experiment") {
@@ -167,6 +210,18 @@ int main(int argc, char** argv) {
   mo.enable_pager = pager;
   ace::Machine machine(mo);
 
+  const bool want_obs = !trace_out.empty() || !jsonl_out.empty() || !heat_csv.empty() ||
+                        !report_list.empty();
+  if (want_obs) {
+    ace::Observability& obs = machine.observability();
+    obs.EnableHeat();
+    if ((!trace_out.empty() || !jsonl_out.empty()) && !obs.EnableTracing(trace_buffer)) {
+      std::fprintf(stderr,
+                   "warning: event tracing compiled out (ACE_TRACE=OFF); "
+                   "trace outputs will carry no events\n");
+    }
+  }
+
   std::unique_ptr<ace::RefTracer> tracer;
   if (trace || optimal) {
     tracer = std::make_unique<ace::RefTracer>(&machine);
@@ -200,6 +255,69 @@ int main(int argc, char** argv) {
     std::printf("pager:          %llu pageouts, %llu pageins\n",
                 (unsigned long long)machine.pager()->stats().pageouts,
                 (unsigned long long)machine.pager()->stats().pageins);
+  }
+
+  if (want_obs) {
+    ace::Observability& obs = machine.observability();
+    const ace::HeatProfile& heat = obs.heat();
+
+    // Cross-check: the heat profile records references at the same point as
+    // MachineStats, so the two locality fractions must agree to double precision.
+    double heat_alpha = heat.AggregateAlpha();
+    double stats_alpha = s.MeasuredAlpha();
+    std::printf("heat alpha:     %.9f (stats %.9f)\n", heat_alpha, stats_alpha);
+    if (std::fabs(heat_alpha - stats_alpha) > 1e-9) {
+      std::fprintf(stderr, "ERROR: heat-profile alpha diverges from MeasuredAlpha\n");
+      return 1;
+    }
+
+    ace::ExportContext ctx;
+    ctx.tracer = obs.tracing() || obs.tracer().total_emitted() > 0 ? &obs.tracer() : nullptr;
+    ctx.heat = &heat;
+    ctx.stats = &s;
+    ctx.num_processors = threads;
+    ctx.page_size = page_size;
+    ctx.num_pages = global_pages;
+    ctx.policy = policy_name.c_str();
+    ctx.app = app_name.c_str();
+
+    auto write_file = [&](const std::string& path, const char* what, auto writer) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for %s output\n", path.c_str(), what);
+        std::exit(1);
+      }
+      writer(out);
+      std::printf("%-9s       %s\n", what, path.c_str());
+    };
+    if (!trace_out.empty()) {
+      write_file(trace_out, "trace", [&](std::ostream& o) { ace::WriteChromeTrace(ctx, o); });
+    }
+    if (!jsonl_out.empty()) {
+      write_file(jsonl_out, "jsonl", [&](std::ostream& o) { ace::WriteJsonl(ctx, o); });
+    }
+    if (!heat_csv.empty()) {
+      write_file(heat_csv, "heat-csv", [&](std::ostream& o) { ace::WriteHeatCsv(heat, o); });
+    }
+
+    // --report hot-pages,locality,decisions
+    std::string rest = report_list;
+    while (!rest.empty()) {
+      auto comma = rest.find(',');
+      std::string name = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (name == "hot-pages") {
+        std::printf("\n%s", ace::RenderHotPages(heat, static_cast<std::size_t>(top_n)).c_str());
+      } else if (name == "locality") {
+        std::printf("\n%s", ace::RenderLocality(s, threads).c_str());
+      } else if (name == "decisions") {
+        std::printf("\n%s", ace::RenderDecisions(heat).c_str());
+      } else if (!name.empty()) {
+        std::fprintf(stderr, "unknown report '%s' (hot-pages, locality, decisions)\n",
+                     name.c_str());
+        return 2;
+      }
+    }
   }
 
   if (trace) {

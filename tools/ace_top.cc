@@ -1,0 +1,340 @@
+// ace_top — render numatop-style reports from an observability dump, and validate
+// trace files.
+//
+// Input is either a JSONL dump (ace_run --jsonl-out) for the reports, or a Chrome
+// trace-event JSON (ace_run --trace-out) / JSONL for --validate. Validation parses the
+// file with the in-tree JSON parser and checks the structural properties the exporters
+// guarantee: every event names a known processor and per-processor timestamps are
+// monotone nondecreasing (each track is a virtual clock). The CI trace test drives it.
+//
+// Examples:
+//   ace_run --app IMatMult --jsonl-out run.jsonl
+//   ace_top run.jsonl
+//   ace_top --top 20 run.jsonl
+//   ace_top --validate trace.json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/heat.h"
+#include "src/obs/json_lite.h"
+#include "src/sim/stats.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ace_top [--top N] [--validate] FILE\n"
+               "  FILE            JSONL dump from ace_run --jsonl-out (reports), or a\n"
+               "                  Chrome trace JSON / JSONL for --validate\n"
+               "  --top N         rows in the hot-pages table (default 10)\n"
+               "  --validate      parse FILE and check per-processor timestamp order\n");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ace_top: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Map an exported event name back to its TraceEventType; -1 for non-protocol names
+// (metadata events in Chrome traces).
+int EventTypeByName(const std::string& name) {
+  for (int t = 0; t < ace::kNumTraceEventTypes; ++t) {
+    if (name == ace::TraceEventTypeName(static_cast<ace::TraceEventType>(t))) {
+      return t;
+    }
+  }
+  return -1;
+}
+
+// --- validation ------------------------------------------------------------------------
+
+bool ValidateChromeTrace(const std::string& text) {
+  ace::JsonValue doc;
+  std::string error;
+  if (!ace::ParseJson(text, &doc, &error)) {
+    std::fprintf(stderr, "ace_top: JSON parse error: %s\n", error.c_str());
+    return false;
+  }
+  const ace::JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "ace_top: no traceEvents array\n");
+    return false;
+  }
+  std::map<int, double> last_ts;  // per tid
+  std::size_t instants = 0;
+  for (const ace::JsonValue& e : events->items) {
+    if (!e.is_object()) {
+      std::fprintf(stderr, "ace_top: traceEvents entry is not an object\n");
+      return false;
+    }
+    if (e.StringOr("ph", "") != "i") {
+      continue;  // metadata
+    }
+    std::string name = e.StringOr("name", "");
+    if (EventTypeByName(name) < 0) {
+      std::fprintf(stderr, "ace_top: unknown event name '%s'\n", name.c_str());
+      return false;
+    }
+    int tid = static_cast<int>(e.NumberOr("tid", -1));
+    double ts = e.NumberOr("ts", -1.0);
+    if (tid < 0 || ts < 0) {
+      std::fprintf(stderr, "ace_top: instant event without tid/ts\n");
+      return false;
+    }
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end() && ts < it->second) {
+      std::fprintf(stderr, "ace_top: timestamps regress on tid %d (%.3f < %.3f)\n", tid,
+                   ts, it->second);
+      return false;
+    }
+    last_ts[tid] = ts;
+    ++instants;
+  }
+  std::printf("valid Chrome trace: %zu events on %zu tracks, timestamps monotone\n",
+              instants, last_ts.size());
+  return true;
+}
+
+bool ValidateJsonl(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::map<int, long long> last_ts;  // per proc
+  std::size_t lineno = 0;
+  std::size_t events = 0;
+  bool saw_meta = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    ace::JsonValue v;
+    std::string error;
+    if (!ace::ParseJson(line, &v, &error)) {
+      std::fprintf(stderr, "ace_top: line %zu: %s\n", lineno, error.c_str());
+      return false;
+    }
+    std::string type = v.StringOr("type", "");
+    if (type == "meta") {
+      if (v.StringOr("format", "") != "ace-obs") {
+        std::fprintf(stderr, "ace_top: line %zu: not an ace-obs dump\n", lineno);
+        return false;
+      }
+      saw_meta = true;
+    } else if (type == "event") {
+      if (EventTypeByName(v.StringOr("ev", "")) < 0) {
+        std::fprintf(stderr, "ace_top: line %zu: unknown event type\n", lineno);
+        return false;
+      }
+      int proc = static_cast<int>(v.NumberOr("proc", -1));
+      long long ts = static_cast<long long>(v.NumberOr("ts_ns", -1));
+      if (proc < 0 || ts < 0) {
+        std::fprintf(stderr, "ace_top: line %zu: event without proc/ts_ns\n", lineno);
+        return false;
+      }
+      auto it = last_ts.find(proc);
+      if (it != last_ts.end() && ts < it->second) {
+        std::fprintf(stderr, "ace_top: line %zu: timestamps regress on proc %d\n", lineno,
+                     proc);
+        return false;
+      }
+      last_ts[proc] = ts;
+      ++events;
+    }
+  }
+  if (!saw_meta) {
+    std::fprintf(stderr, "ace_top: missing meta line\n");
+    return false;
+  }
+  std::printf("valid ace-obs JSONL: %zu events on %zu processors, timestamps monotone\n",
+              events, last_ts.size());
+  return true;
+}
+
+// --- report rendering ------------------------------------------------------------------
+
+int RenderFromJsonl(const std::string& text, std::size_t top_n) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+
+  int procs = 0;
+  std::uint32_t pages = 0;
+  std::string app;
+  std::string policy;
+  ace::MachineStats stats;
+  std::vector<ace::JsonValue> heat_lines;
+  ace::JsonValue decisions_line;
+  bool have_decisions = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    ace::JsonValue v;
+    std::string error;
+    if (!ace::ParseJson(line, &v, &error)) {
+      std::fprintf(stderr, "ace_top: line %zu: %s\n", lineno, error.c_str());
+      return 1;
+    }
+    std::string type = v.StringOr("type", "");
+    if (type == "meta") {
+      if (v.StringOr("format", "") != "ace-obs") {
+        std::fprintf(stderr, "ace_top: not an ace-obs JSONL dump (need --jsonl-out)\n");
+        return 1;
+      }
+      procs = static_cast<int>(v.NumberOr("procs", 0));
+      pages = static_cast<std::uint32_t>(v.NumberOr("pages", 0));
+      app = v.StringOr("app", "?");
+      policy = v.StringOr("policy", "?");
+    } else if (type == "proc") {
+      int p = static_cast<int>(v.NumberOr("proc", -1));
+      if (p >= 0 && p < static_cast<int>(ace::kMaxProcessors)) {
+        ace::ProcRefCounts& c = stats.refs[static_cast<std::size_t>(p)];
+        c.fetch_local = static_cast<std::uint64_t>(v.NumberOr("fetch_local", 0));
+        c.fetch_global = static_cast<std::uint64_t>(v.NumberOr("fetch_global", 0));
+        c.fetch_remote = static_cast<std::uint64_t>(v.NumberOr("fetch_remote", 0));
+        c.store_local = static_cast<std::uint64_t>(v.NumberOr("store_local", 0));
+        c.store_global = static_cast<std::uint64_t>(v.NumberOr("store_global", 0));
+        c.store_remote = static_cast<std::uint64_t>(v.NumberOr("store_remote", 0));
+      }
+    } else if (type == "decisions") {
+      decisions_line = v;
+      have_decisions = true;
+    } else if (type == "heat") {
+      heat_lines.push_back(std::move(v));
+    }
+  }
+  if (procs <= 0 || pages == 0) {
+    std::fprintf(stderr, "ace_top: missing or incomplete meta line\n");
+    return 1;
+  }
+
+  ace::HeatProfile heat(procs, pages);
+  if (have_decisions) {
+    heat.AddDecisions(ace::Placement::kLocal,
+                      static_cast<std::uint64_t>(decisions_line.NumberOr("local", 0)));
+    heat.AddDecisions(ace::Placement::kGlobal,
+                      static_cast<std::uint64_t>(decisions_line.NumberOr("global", 0)));
+    heat.AddDecisions(ace::Placement::kRemoteHome,
+                      static_cast<std::uint64_t>(decisions_line.NumberOr("remote_home", 0)));
+  }
+  // Per-event-type JSONL keys, in TraceEventType order.
+  static const char* const kEventKeys[ace::kNumTraceEventTypes] = {
+      "faults",  "zero_fills", "replicates", "migrates",    "syncs",
+      "flushes", "unmaps",     "pins",       "pageouts",    "pageins",
+      "alloc_fails", "frees",  "bulk_migrates"};
+  for (const ace::JsonValue& v : heat_lines) {
+    std::uint32_t lp = static_cast<std::uint32_t>(v.NumberOr("lp", pages));
+    if (lp >= pages) {
+      continue;
+    }
+    ace::PageHeat& h = heat.MutablePage(lp);
+    h.fetch_local = static_cast<std::uint64_t>(v.NumberOr("fetch_local", 0));
+    h.fetch_global = static_cast<std::uint64_t>(v.NumberOr("fetch_global", 0));
+    h.fetch_remote = static_cast<std::uint64_t>(v.NumberOr("fetch_remote", 0));
+    h.store_local = static_cast<std::uint64_t>(v.NumberOr("store_local", 0));
+    h.store_global = static_cast<std::uint64_t>(v.NumberOr("store_global", 0));
+    h.store_remote = static_cast<std::uint64_t>(v.NumberOr("store_remote", 0));
+    std::string state = v.StringOr("state", "ro");
+    h.state = state == "lw"   ? ace::PageState::kLocalWritable
+              : state == "gw" ? ace::PageState::kGlobalWritable
+              : state == "rh" ? ace::PageState::kRemoteHomed
+                              : ace::PageState::kReadOnly;
+    for (int t = 0; t < ace::kNumTraceEventTypes; ++t) {
+      std::uint32_t n = static_cast<std::uint32_t>(v.NumberOr(kEventKeys[t], 0));
+      h.events[static_cast<std::size_t>(t)] = n;
+      heat.AddMachineEvents(static_cast<ace::TraceEventType>(t), n);
+    }
+    h.time_in_state[0] = static_cast<ace::TimeNs>(v.NumberOr("t_ro_ns", 0));
+    h.time_in_state[1] = static_cast<ace::TimeNs>(v.NumberOr("t_lw_ns", 0));
+    h.time_in_state[2] = static_cast<ace::TimeNs>(v.NumberOr("t_gw_ns", 0));
+    h.time_in_state[3] = static_cast<ace::TimeNs>(v.NumberOr("t_rh_ns", 0));
+    const ace::JsonValue* by_proc = v.Find("by_proc");
+    if (by_proc != nullptr && by_proc->is_array()) {
+      for (std::size_t p = 0; p < by_proc->items.size() && p < ace::kMaxProcessors; ++p) {
+        h.refs_by_proc[p] = static_cast<std::uint64_t>(by_proc->items[p].number);
+      }
+    }
+  }
+
+  std::printf("ace_top — %s under %s (%d processors, %u pages)\n\n", app.c_str(),
+              policy.c_str(), procs, pages);
+  std::printf("%s\n", ace::RenderHotPages(heat, top_n).c_str());
+  std::printf("%s\n", ace::RenderLocality(stats, procs).c_str());
+  std::printf("%s", ace::RenderDecisions(heat).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top_n = 10;
+  bool validate = false;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        Usage();
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top_n = static_cast<std::size_t>(std::atol(arg.c_str() + 6));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ace_top: unknown option '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      file = arg;
+    }
+  }
+  if (file.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::string text = ReadFile(file);
+  // A Chrome trace is one JSON object; the JSONL dump starts with a meta line. Sniff
+  // by the first non-space content.
+  auto pos = text.find_first_not_of(" \t\r\n");
+  bool looks_jsonl = text.find("\"type\":\"meta\"") != std::string::npos &&
+                     text.find("\"traceEvents\"") == std::string::npos;
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "ace_top: %s is empty\n", file.c_str());
+    return 1;
+  }
+
+  if (validate) {
+    bool ok = looks_jsonl ? ValidateJsonl(text) : ValidateChromeTrace(text);
+    return ok ? 0 : 1;
+  }
+  if (!looks_jsonl) {
+    std::fprintf(stderr,
+                 "ace_top: reports need the JSONL dump (ace_run --jsonl-out); Chrome "
+                 "traces only support --validate\n");
+    return 2;
+  }
+  return RenderFromJsonl(text, top_n);
+}
