@@ -8,52 +8,60 @@
 // applications the policy placed well — i.e. automatic placement matters more, not
 // less, on machines with worse ratios.
 //
-// Usage: bench_gl_sensitivity [num_threads]
+// The table is rendered from the sweep engine's results (src/metrics/sweep), so it
+// shows exactly the numbers `ace_bench --suite gl` emits as JSON.
+//
+// Usage: bench_gl_sensitivity [num_threads] [--workers=N] [--json=FILE]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
-#include <vector>
 
-#include "src/metrics/experiment.h"
-#include "src/metrics/table.h"
+#include "src/metrics/sweep/matrix.h"
+#include "src/metrics/sweep/render.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
 
 int main(int argc, char** argv) {
-  int num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
-  const std::vector<double> ratios = {1.2, 1.5, 2.0, 3.0, 4.0};
-  const std::vector<std::string> apps = {"IMatMult", "Primes2", "Primes3", "Gfetch"};
-
-  std::printf("G/L latency-ratio sweep — gamma = Tnuma/Tlocal per application (%d threads)\n\n",
-              num_threads);
-
-  ace::TextTable table([&] {
-    std::vector<std::string> headers = {"G/L ratio"};
-    for (const auto& app : apps) {
-      headers.push_back(app);
+  int num_threads = 7;
+  int workers = 0;
+  std::string json_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
+    } else if (positional == 0) {
+      num_threads = std::atoi(argv[i]);
+      positional++;
     }
-    return headers;
-  }());
-
-  for (double ratio : ratios) {
-    std::vector<std::string> row = {ace::Fmt("%.1f", ratio)};
-    for (const auto& app_name : apps) {
-      ace::ExperimentOptions options;
-      options.num_threads = num_threads;
-      options.config.num_processors = num_threads;
-      // Scale global latencies to the requested ratio over the local ones.
-      options.config.latency.global_fetch_ns =
-          static_cast<ace::TimeNs>(options.config.latency.local_fetch_ns * ratio);
-      options.config.latency.global_store_ns =
-          static_cast<ace::TimeNs>(options.config.latency.local_store_ns * ratio);
-      ace::ExperimentResult r = ace::RunExperiment(app_name, options);
-      row.push_back(ace::Fmt("%.2f", r.model.gamma) + (r.AllOk() ? "" : " FAILED"));
-    }
-    table.AddRow(row);
   }
-  table.Print();
+
+  ace::Suite suite = ace::MakeSuite("gl", num_threads);
+  ace::SweepOptions options;
+  options.workers = workers;
+  ace::SweepResult result = ace::RunSweep(suite.name, suite.cells, options);
+
+  std::printf("G/L latency-ratio sweep — gamma = Tnuma/Tlocal per application (%d threads)\n",
+              num_threads);
+  std::printf("(%zu cells in %.2fs wall on %d workers)\n\n", result.cells.size(),
+              result.host.wall_seconds, result.host.workers);
+  std::fputs(ace::RenderGlTable(result).c_str(), stdout);
   std::printf(
       "\nwell-placed applications (IMatMult, Primes2) keep gamma ~ 1 at every ratio;\n"
       "sharing-bound ones (Primes3, Gfetch by construction) degrade with the ratio —\n"
       "the penalty automatic placement cannot remove grows with NUMA-ness.\n");
-  return 0;
+
+  if (!json_out.empty()) {
+    std::string error;
+    if (!ace::WriteSweepJsonFile(result, json_out, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", json_out.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  return result.AllOk() ? 0 : 1;
 }

@@ -9,81 +9,68 @@
 // automatic policy, and which (Gfetch by design, Primes3 by legitimate heavy sharing)
 // do not.
 //
-// Usage: bench_table3_placement [num_threads] [scale]
+// The table is rendered from the sweep engine's results (src/metrics/sweep), so it
+// shows exactly the numbers `ace_bench --suite table3` emits as JSON.
+//
+// Usage: bench_table3_placement [num_threads] [scale] [--workers=N] [--json=FILE]
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <string>
 
-#include "src/apps/app.h"
-#include "src/metrics/experiment.h"
-#include "src/metrics/table.h"
-
-namespace {
-
-struct PaperRow {
-  double t_global, t_numa, t_local;
-  const char* alpha;
-  const char* beta;
-  const char* gamma;
-};
-
-// Table 3 of the paper, verbatim.
-const std::map<std::string, PaperRow> kPaperTable3 = {
-    {"ParMult", {67.4, 67.4, 67.3, "na", ".00", "1.00"}},
-    {"Gfetch", {60.2, 60.2, 26.5, "0", "1.0", "2.27"}},
-    {"IMatMult", {82.1, 69.0, 68.2, ".94", ".26", "1.01"}},
-    {"Primes1", {18502.2, 17413.9, 17413.3, "1.0", ".06", "1.00"}},
-    {"Primes2", {5754.3, 4972.9, 4968.9, ".99", ".16", "1.00"}},
-    {"Primes3", {39.1, 37.4, 28.8, ".17", ".36", "1.30"}},
-    {"FFT", {687.4, 449.0, 438.4, ".96", ".56", "1.02"}},
-    {"PlyTrace", {56.9, 38.8, 38.0, ".96", ".50", "1.02"}},
-};
-
-}  // namespace
+#include "src/metrics/sweep/matrix.h"
+#include "src/metrics/sweep/render.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
 
 int main(int argc, char** argv) {
-  ace::ExperimentOptions options;
-  options.num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
-  options.scale = argc > 2 ? std::atof(argv[2]) : 1.0;
-  options.config.num_processors = options.num_threads;
+  int num_threads = 7;
+  double scale = 1.0;
+  int workers = 0;
+  std::string json_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
+    } else if (positional == 0) {
+      num_threads = std::atoi(argv[i]);
+      positional++;
+    } else {
+      scale = std::atof(argv[i]);
+      positional++;
+    }
+  }
+
+  ace::Suite suite = ace::MakeSuite("table3", num_threads, scale);
+  ace::SweepOptions options;
+  options.workers = workers;
+  ace::SweepResult result = ace::RunSweep(suite.name, suite.cells, options);
 
   std::printf("Table 3 reproduction — measured user times and model parameters\n");
-  std::printf("machine: %d processors, page size %u, G/L fetch ratio %.2f, pin threshold 4\n\n",
-              options.config.num_processors, options.config.page_size,
-              options.config.latency.FetchRatio());
+  std::printf("machine: %d processors, page size %u, G/L fetch ratio %.2f, pin threshold 4\n",
+              num_threads, result.base_config.page_size,
+              result.base_config.latency.FetchRatio());
+  std::printf("(%zu cells in %.2fs wall on %d workers)\n\n", result.cells.size(),
+              result.host.wall_seconds, result.host.workers);
 
-  ace::TextTable table({"Application", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta", "gamma",
-                        "alpha(ref)", "| paper:", "alpha", "beta", "gamma", "verified"});
-
-  bool all_ok = true;
-  for (const ace::AppFactory& factory : ace::AllAppFactories()) {
-    std::string name = factory()->name();
-    ace::ExperimentResult r = ace::RunExperiment(name, options);
-    all_ok = all_ok && r.AllOk();
-    const PaperRow& paper = kPaperTable3.at(name);
-    table.AddRow({
-        name,
-        ace::Fmt("%.3f", r.global.user_sec),
-        ace::Fmt("%.3f", r.numa.user_sec),
-        ace::Fmt("%.3f", r.local.user_sec),
-        r.model.alpha_defined ? ace::Fmt("%.2f", r.model.alpha) : "na",
-        ace::Fmt("%.2f", r.model.beta),
-        ace::Fmt("%.2f", r.model.gamma),
-        ace::Fmt("%.2f", r.numa.measured_alpha),
-        "|",
-        paper.alpha,
-        paper.beta,
-        paper.gamma,
-        r.AllOk() ? "ok" : "FAILED",
-    });
-  }
-  table.Print();
+  std::fputs(ace::RenderTable3(result).c_str(), stdout);
   std::printf(
       "\nalpha/beta/gamma: derived from times via eqs. 4/5/1; alpha(ref) is the directly\n"
       "counted local fraction of data references under the NUMA policy (validation).\n");
-  if (!all_ok) {
+
+  if (!json_out.empty()) {
+    std::string error;
+    if (!ace::WriteSweepJsonFile(result, json_out, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", json_out.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  if (!result.AllOk()) {
     std::printf("\nERROR: at least one application failed verification\n");
     return 1;
   }

@@ -8,69 +8,64 @@
 // amount of memory that is copied from local memory to local memory a few times and
 // then pinned.
 //
-// Usage: bench_table4_overhead [num_threads] [scale]
+// The table is rendered from the sweep engine's results (src/metrics/sweep), so it
+// shows exactly the numbers `ace_bench --suite table4` emits as JSON.
+//
+// Usage: bench_table4_overhead [num_threads] [scale] [--workers=N] [--json=FILE]
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <string>
 
-#include "src/metrics/experiment.h"
-#include "src/metrics/table.h"
-
-namespace {
-
-struct PaperRow {
-  double s_numa, s_global, delta_s, t_numa;
-  const char* ratio;
-};
-
-// Table 4 of the paper, verbatim (7-processor runs).
-const std::map<std::string, PaperRow> kPaperTable4 = {
-    {"IMatMult", {4.5, 1.2, 3.3, 82.1, "4.0%"}},
-    {"Primes1", {1.4, 2.3, -1.0, 17413.9, "0%"}},
-    {"Primes2", {29.9, 8.5, 21.4, 4972.9, "0.4%"}},
-    {"Primes3", {11.2, 1.9, 9.3, 37.4, "24.9%"}},
-    {"FFT", {21.1, 10.0, 11.1, 449.0, "2.5%"}},
-};
-
-const char* kApps[] = {"IMatMult", "Primes1", "Primes2", "Primes3", "FFT"};
-
-}  // namespace
+#include "src/metrics/sweep/matrix.h"
+#include "src/metrics/sweep/render.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
 
 int main(int argc, char** argv) {
-  ace::ExperimentOptions options;
-  options.num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
-  options.scale = argc > 2 ? std::atof(argv[2]) : 1.0;
-  options.config.num_processors = options.num_threads;
-
-  std::printf("Table 4 reproduction — total system time for runs on %d processors\n\n",
-              options.num_threads);
-
-  ace::TextTable table({"Application", "Snuma", "Sglobal", "dS", "Tnuma", "dS/Tnuma",
-                        "| paper dS/Tnuma", "verified"});
-  bool all_ok = true;
-  for (const char* name : kApps) {
-    ace::ExperimentResult r = ace::RunExperiment(name, options);
-    all_ok = all_ok && r.AllOk();
-    double delta_s = r.numa.system_sec - r.global.system_sec;
-    double ratio = delta_s > 0 ? delta_s / r.numa.user_sec : 0.0;
-    const PaperRow& paper = kPaperTable4.at(name);
-    table.AddRow({
-        name,
-        ace::Fmt("%.3f", r.numa.system_sec),
-        ace::Fmt("%.3f", r.global.system_sec),
-        ace::Fmt("%.3f", delta_s),
-        ace::Fmt("%.3f", r.numa.user_sec),
-        ace::Fmt("%.1f%%", 100.0 * ratio),
-        paper.ratio,
-        r.AllOk() ? "ok" : "FAILED",
-    });
+  int num_threads = 7;
+  double scale = 1.0;
+  int workers = 0;
+  std::string json_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
+    } else if (positional == 0) {
+      num_threads = std::atoi(argv[i]);
+      positional++;
+    } else {
+      scale = std::atof(argv[i]);
+      positional++;
+    }
   }
-  table.Print();
+
+  ace::Suite suite = ace::MakeSuite("table4", num_threads, scale);
+  ace::SweepOptions options;
+  options.workers = workers;
+  ace::SweepResult result = ace::RunSweep(suite.name, suite.cells, options);
+
+  std::printf("Table 4 reproduction — total system time for runs on %d processors\n",
+              num_threads);
+  std::printf("(%zu cells in %.2fs wall on %d workers)\n\n", result.cells.size(),
+              result.host.wall_seconds, result.host.workers);
+  std::fputs(ace::RenderTable4(result).c_str(), stdout);
   std::printf(
       "\nThe reproduced claim: page-movement overhead is a few percent or less for every\n"
       "application except Primes3, whose rapidly-allocated, soon-pinned sieve pays the\n"
       "highest relative system-time cost (paper: 24.9%%).\n");
-  return all_ok ? 0 : 1;
+
+  if (!json_out.empty()) {
+    std::string error;
+    if (!ace::WriteSweepJsonFile(result, json_out, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", json_out.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  return result.AllOk() ? 0 : 1;
 }

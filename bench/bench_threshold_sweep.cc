@@ -7,55 +7,63 @@
 // forever; the small default captures private/replicable pages while pinning the
 // genuinely shared ones quickly.
 //
-// Usage: bench_threshold_sweep [num_threads] [scale]
+// The table is rendered from the sweep engine's results (src/metrics/sweep), so it
+// shows exactly the numbers `ace_bench --suite threshold` emits as JSON.
+//
+// Usage: bench_threshold_sweep [num_threads] [scale] [--workers=N] [--json=FILE]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
-#include <vector>
 
-#include "src/metrics/experiment.h"
-#include "src/metrics/table.h"
+#include "src/metrics/sweep/matrix.h"
+#include "src/metrics/sweep/render.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
 
 int main(int argc, char** argv) {
-  int num_threads = argc > 1 ? std::atoi(argv[1]) : 7;
-  double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  int num_threads = 7;
+  double scale = 1.0;
+  int workers = 0;
+  std::string json_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
+    } else if (positional == 0) {
+      num_threads = std::atoi(argv[i]);
+      positional++;
+    } else {
+      scale = std::atof(argv[i]);
+      positional++;
+    }
+  }
 
-  const std::vector<int> thresholds = {0, 1, 2, 4, 8, 16, 1 << 30};
-  const std::vector<std::string> apps = {"IMatMult", "Primes3", "FFT", "PlyTrace"};
+  ace::Suite suite = ace::MakeSuite("threshold", num_threads, scale);
+  ace::SweepOptions options;
+  options.workers = workers;
+  ace::SweepResult result = ace::RunSweep(suite.name, suite.cells, options);
 
   std::printf("Pin-threshold sweep (default 4) — %d threads\n", num_threads);
-  std::printf("cells: Tnuma seconds (pages pinned)\n\n");
-
-  ace::TextTable table([&] {
-    std::vector<std::string> headers = {"threshold"};
-    for (const auto& app : apps) {
-      headers.push_back(app);
-    }
-    return headers;
-  }());
-
-  for (int threshold : thresholds) {
-    std::vector<std::string> row;
-    row.push_back(threshold == (1 << 30) ? "inf" : std::to_string(threshold));
-    for (const auto& app_name : apps) {
-      ace::ExperimentOptions options;
-      options.num_threads = num_threads;
-      options.config.num_processors = num_threads;
-      options.scale = scale;
-      options.move_threshold = threshold;
-      std::unique_ptr<ace::App> app = ace::CreateAppByName(app_name);
-      ace::PlacementRun run = ace::RunPlacement(
-          *app, options, ace::PolicySpec::MoveLimit(threshold), num_threads, num_threads);
-      row.push_back(ace::Fmt("%.3f", run.user_sec) + " (" +
-                    std::to_string(run.pages_pinned) + ")" + (run.app.ok ? "" : " FAILED"));
-    }
-    table.AddRow(row);
-  }
-  table.Print();
+  std::printf("cells: Tnuma seconds (pages pinned); %zu cells in %.2fs wall on %d workers\n\n",
+              result.cells.size(), result.host.wall_seconds, result.host.workers);
+  std::fputs(ace::RenderThresholdTable(result).c_str(), stdout);
   std::printf(
       "\nthreshold 0 = all data global (the Tglobal baseline); inf = never pin (pure\n"
       "migration/replication, thrashes on writably-shared pages). The paper's default\n"
       "of 4 sits at or near the minimum user time for the full mix.\n");
-  return 0;
+
+  if (!json_out.empty()) {
+    std::string error;
+    if (!ace::WriteSweepJsonFile(result, json_out, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", json_out.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  return result.AllOk() ? 0 : 1;
 }

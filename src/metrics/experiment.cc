@@ -4,10 +4,21 @@
 
 namespace ace {
 
+MachineConfig EffectiveConfig(const ExperimentOptions& options) {
+  MachineConfig config = options.config;
+  if (options.gl_ratio > 0.0) {
+    config.latency.global_fetch_ns =
+        static_cast<TimeNs>(config.latency.local_fetch_ns * options.gl_ratio);
+    config.latency.global_store_ns =
+        static_cast<TimeNs>(config.latency.local_store_ns * options.gl_ratio);
+  }
+  return config;
+}
+
 PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec policy,
                           int num_processors, int num_threads) {
   Machine::Options mo;
-  mo.config = options.config;
+  mo.config = EffectiveConfig(options);
   mo.config.num_processors = num_processors;
   mo.policy = policy;
   mo.bus.model_contention = options.bus_contention;
@@ -35,7 +46,7 @@ ExperimentResult RunExperiment(const std::string& app_name, const ExperimentOpti
 
   ExperimentResult result;
   result.app_name = app_name;
-  result.gl_ratio = app->ModelGL(options.config.latency);
+  result.gl_ratio = app->ModelGL(EffectiveConfig(options).latency);
 
   // Tnuma: the automatic policy with the configured move threshold.
   result.numa = RunPlacement(*app, options, PolicySpec::MoveLimit(options.move_threshold),

@@ -29,7 +29,14 @@ struct ExperimentOptions {
   int move_threshold = 4;       // MoveLimit pin threshold for the numa run
   SchedulerKind scheduler = SchedulerKind::kAffinity;
   bool bus_contention = false;
+  // When > 0, scale the global-memory latencies to this ratio over the local ones
+  // (the section 4.4 G/L sensitivity knob). 0 keeps the machine's default latencies.
+  double gl_ratio = 0.0;
 };
+
+// The machine config `options` actually runs with: `config` with the G/L latency
+// override applied (identity when gl_ratio is 0).
+MachineConfig EffectiveConfig(const ExperimentOptions& options);
 
 // One placement run of one application.
 struct PlacementRun {

@@ -1,0 +1,69 @@
+// One cell of the experiment matrix.
+//
+// The paper's whole evaluation is a matrix — application × placement × policy knobs
+// (Tables 3-5, the threshold and G/L sweeps) — and every reproduced table is a view
+// over the same cell shape. A cell names one (app, threads, scale, move-threshold,
+// G/L ratio) combination; *running* it produces either the full three-placement
+// experiment (Tnuma/Tglobal/Tlocal plus the derived model, as Tables 3/4 need) or
+// just the NUMA placement (as the threshold sweep needs). Cells are independent and
+// deterministic, which is what lets the sweep engine (runner.h) dispatch them onto a
+// host-thread pool without changing any measured value.
+
+#ifndef SRC_METRICS_SWEEP_CELL_H_
+#define SRC_METRICS_SWEEP_CELL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/threads/runtime.h"
+
+namespace ace {
+
+// Sentinel move threshold meaning "never pin" (rendered as "inf" in keys/tables).
+inline constexpr int kInfMoveThreshold = 1 << 30;
+
+enum class CellMode {
+  kFullExperiment,  // numa + global + local placements, model solved (Tables 3/4)
+  kNumaOnly,        // the automatic-policy run alone (threshold-sweep style cells)
+};
+
+struct SweepCell {
+  std::string app;
+  int threads = 7;
+  double scale = 1.0;
+  int move_threshold = 4;
+  // G/L latency ratio override; 0 = the machine's default latencies (~2.3 fetch).
+  double gl_ratio = 0.0;
+  CellMode mode = CellMode::kFullExperiment;
+  SchedulerKind scheduler = SchedulerKind::kAffinity;
+
+  // Unique, human-readable identity: "FFT/t7/s1/mt4/gl0". Baseline comparison and
+  // deduplication key cells by this string.
+  std::string Key() const;
+};
+
+// The measured values of one executed cell. Metrics are kept as an ordered
+// name/value list (not a struct) so serialization, baseline comparison, and future
+// metrics stay generic; the order is fixed by the runner and deterministic.
+// Undefined values (alpha for an app with no data references) are NaN and serialize
+// as JSON null.
+struct CellResult {
+  SweepCell cell;
+  bool ok = false;            // application self-verification across all placements
+  std::string detail;         // verification detail of the numa run
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double MetricOr(const std::string& name, double fallback) const {
+    for (const auto& [key, value] : metrics) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return fallback;
+  }
+};
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_SWEEP_CELL_H_

@@ -1,0 +1,161 @@
+#include "src/metrics/sweep/matrix.h"
+
+#include <cstdio>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/metrics/table.h"
+
+namespace ace {
+
+namespace {
+
+// The paper's row orders (Table 3; Table 4 is its 5-app subset with system times).
+const std::vector<std::string> kAllApps = {"ParMult", "Gfetch",  "IMatMult", "Primes1",
+                                           "Primes2", "Primes3", "FFT",      "PlyTrace"};
+const std::vector<std::string> kTable4Apps = {"IMatMult", "Primes1", "Primes2", "Primes3",
+                                              "FFT"};
+const std::vector<std::string> kThresholdApps = {"IMatMult", "Primes3", "FFT", "PlyTrace"};
+const std::vector<std::string> kGlApps = {"IMatMult", "Primes2", "Primes3", "Gfetch"};
+
+const std::vector<int> kThresholds = {0, 1, 2, 4, 8, 16, kInfMoveThreshold};
+const std::vector<double> kGlRatios = {1.2, 1.5, 2.0, 3.0, 4.0};
+
+void Override(std::vector<SweepCell>& cells, int threads_override, double scale_override) {
+  for (SweepCell& cell : cells) {
+    if (threads_override > 0) {
+      cell.threads = threads_override;
+    }
+    if (scale_override > 0.0) {
+      cell.scale = scale_override;
+    }
+  }
+}
+
+}  // namespace
+
+std::string SweepCell::Key() const {
+  std::string key = app;
+  key += "/t" + std::to_string(threads);
+  key += "/s" + Fmt("%g", scale);
+  key += "/mt" + (move_threshold == kInfMoveThreshold ? std::string("inf")
+                                                      : std::to_string(move_threshold));
+  key += "/gl" + Fmt("%g", gl_ratio);
+  if (mode == CellMode::kNumaOnly) {
+    key += "/numa-only";
+  }
+  return key;
+}
+
+std::vector<SweepCell> SweepMatrix::Enumerate() const {
+  std::vector<SweepCell> cells;
+  cells.reserve(apps.size() * threads.size() * scales.size() * move_thresholds.size() *
+                gl_ratios.size());
+  for (const std::string& app : apps) {
+    for (int t : threads) {
+      for (double s : scales) {
+        for (int mt : move_thresholds) {
+          for (double gl : gl_ratios) {
+            SweepCell cell;
+            cell.app = app;
+            cell.threads = t;
+            cell.scale = s;
+            cell.move_threshold = mt;
+            cell.gl_ratio = gl;
+            cell.mode = mode;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void AppendUnique(std::vector<SweepCell>& cells, const std::vector<SweepCell>& extra) {
+  std::set<std::string> seen;
+  for (const SweepCell& cell : cells) {
+    seen.insert(cell.Key());
+  }
+  for (const SweepCell& cell : extra) {
+    if (seen.insert(cell.Key()).second) {
+      cells.push_back(cell);
+    }
+  }
+}
+
+const std::vector<std::string>& SuiteNames() {
+  static const std::vector<std::string> kNames = {"smoke",     "full", "table3",
+                                                  "table4",    "threshold", "gl"};
+  return kNames;
+}
+
+bool IsKnownSuite(const std::string& name) {
+  for (const std::string& known : SuiteNames()) {
+    if (known == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Suite MakeSuite(const std::string& name, int threads_override, double scale_override) {
+  Suite suite;
+  suite.name = name;
+  if (name == "table3") {
+    suite.description = "Table 3: user times and model parameters, all 8 applications";
+    SweepMatrix m;
+    m.apps = kAllApps;
+    suite.cells = m.Enumerate();
+  } else if (name == "table4") {
+    suite.description = "Table 4: system-time overhead, 5 applications on 7 processors";
+    SweepMatrix m;
+    m.apps = kTable4Apps;
+    suite.cells = m.Enumerate();
+  } else if (name == "threshold") {
+    suite.description = "Section 2.3.2: move-limit threshold sweep (numa placement only)";
+    SweepMatrix m;
+    m.apps = kThresholdApps;
+    m.move_thresholds = kThresholds;
+    m.mode = CellMode::kNumaOnly;
+    suite.cells = m.Enumerate();
+  } else if (name == "gl") {
+    suite.description = "Section 4.4: G/L latency-ratio sensitivity sweep";
+    SweepMatrix m;
+    m.apps = kGlApps;
+    m.gl_ratios = kGlRatios;
+    suite.cells = m.Enumerate();
+  } else if (name == "smoke") {
+    suite.description =
+        "CI-sized sample: all apps at reduced scale plus mini threshold/G-L sweeps";
+    SweepMatrix base;
+    base.apps = kAllApps;
+    base.threads = {4};
+    base.scales = {0.25};
+    suite.cells = base.Enumerate();
+    SweepMatrix threshold;
+    threshold.apps = {"IMatMult", "Primes3"};
+    threshold.threads = {4};
+    threshold.scales = {0.25};
+    threshold.move_thresholds = {0, 4, kInfMoveThreshold};
+    threshold.mode = CellMode::kNumaOnly;
+    AppendUnique(suite.cells, threshold.Enumerate());
+    SweepMatrix gl;
+    gl.apps = {"Primes3"};
+    gl.threads = {4};
+    gl.scales = {0.25};
+    gl.gl_ratios = {3.0};
+    AppendUnique(suite.cells, gl.Enumerate());
+  } else if (name == "full") {
+    suite.description = "The full paper matrix: table3 + threshold + gl, deduplicated";
+    suite.cells = MakeSuite("table3").cells;
+    AppendUnique(suite.cells, MakeSuite("threshold").cells);
+    AppendUnique(suite.cells, MakeSuite("gl").cells);
+  } else {
+    ACE_CHECK_MSG(false, "unknown suite name");
+  }
+  Override(suite.cells, threads_override, scale_override);
+  return suite;
+}
+
+}  // namespace ace

@@ -1,0 +1,37 @@
+// Render the paper's tables from sweep results.
+//
+// The migrated bench binaries (bench_table3_placement, bench_table4_overhead,
+// bench_threshold_sweep, bench_gl_sensitivity) and `ace_bench --render` all draw
+// their human-readable tables from the same SweepResult the JSON is emitted from, so
+// a table and its BENCH_*.json can never disagree. Paper reference values (Tables 3
+// and 4, verbatim) live here with the renderers.
+//
+// Each renderer selects the cells it knows how to display (by mode/threshold/ratio)
+// and ignores the rest, so they compose over the "full" suite as well as over their
+// dedicated suites. A renderer given zero matching cells returns a note to that
+// effect rather than an empty table.
+
+#ifndef SRC_METRICS_SWEEP_RENDER_H_
+#define SRC_METRICS_SWEEP_RENDER_H_
+
+#include <string>
+
+#include "src/metrics/sweep/runner.h"
+
+namespace ace {
+
+// Table 3: Tglobal/Tnuma/Tlocal + alpha/beta/gamma per app, against paper values.
+std::string RenderTable3(const SweepResult& result);
+
+// Table 4: system-time overhead (Snuma, Sglobal, dS/Tnuma) against paper values.
+std::string RenderTable4(const SweepResult& result);
+
+// Section 2.3.2: Tnuma (pages pinned) per app x move threshold.
+std::string RenderThresholdTable(const SweepResult& result);
+
+// Section 4.4: gamma per app x G/L ratio.
+std::string RenderGlTable(const SweepResult& result);
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_SWEEP_RENDER_H_

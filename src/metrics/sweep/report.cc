@@ -1,0 +1,225 @@
+#include "src/metrics/sweep/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/json_lite.h"
+
+namespace ace {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, double v, bool* first) {
+  if (!*first) {
+    out += ",";
+  }
+  *first = false;
+  AppendEscaped(out, key);
+  out += ":";
+  AppendNumber(out, v);
+}
+
+void AppendStringField(std::string& out, const char* key, std::string_view v, bool* first) {
+  if (!*first) {
+    out += ",";
+  }
+  *first = false;
+  AppendEscaped(out, key);
+  out += ":";
+  AppendEscaped(out, v);
+}
+
+}  // namespace
+
+std::string SerializeSweep(const SweepResult& result, bool include_host) {
+  std::string out;
+  out.reserve(4096 + result.cells.size() * 512);
+  out += "{";
+  bool first = true;
+  AppendStringField(out, "schema", kBenchSchemaName, &first);
+  AppendStringField(out, "suite", result.suite, &first);
+
+  out += ",\"machine\":{";
+  bool mfirst = true;
+  AppendField(out, "processors", result.base_config.num_processors, &mfirst);
+  AppendField(out, "page_size", result.base_config.page_size, &mfirst);
+  AppendField(out, "global_pages", result.base_config.global_pages, &mfirst);
+  AppendField(out, "local_pages_per_proc", result.base_config.local_pages_per_proc, &mfirst);
+  AppendField(out, "gl_fetch_ratio", result.base_config.latency.FetchRatio(), &mfirst);
+  out += "}";
+
+  if (include_host) {
+    out += ",\"host\":{";
+    bool hfirst = true;
+    AppendField(out, "workers", result.host.workers, &hfirst);
+    AppendField(out, "wall_seconds", result.host.wall_seconds, &hfirst);
+    AppendField(out, "runs_per_second", result.host.runs_per_second, &hfirst);
+    AppendField(out, "steals", static_cast<double>(result.host.steals), &hfirst);
+    AppendField(out, "simulated_seconds", result.host.simulated_seconds, &hfirst);
+    out += "}";
+  }
+
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\n{";
+    bool cfirst = true;
+    AppendStringField(out, "key", cell.cell.Key(), &cfirst);
+    AppendStringField(out, "app", cell.cell.app, &cfirst);
+    AppendField(out, "threads", cell.cell.threads, &cfirst);
+    AppendField(out, "scale", cell.cell.scale, &cfirst);
+    AppendField(out, "move_threshold", cell.cell.move_threshold, &cfirst);
+    AppendField(out, "gl_ratio", cell.cell.gl_ratio, &cfirst);
+    AppendStringField(out, "mode",
+                      cell.cell.mode == CellMode::kNumaOnly ? "numa-only" : "full", &cfirst);
+    out += ",\"ok\":";
+    out += cell.ok ? "true" : "false";
+    out += ",\"metrics\":{";
+    bool metric_first = true;
+    for (const auto& [name, value] : cell.metrics) {
+      AppendField(out, name.c_str(), value, &metric_first);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool ValidateSweepJson(std::string_view json, std::string* error) {
+  JsonValue doc;
+  if (!ParseJson(json, &doc, error)) {
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error = "top level is not an object";
+    return false;
+  }
+  if (doc.StringOr("schema", "") != kBenchSchemaName) {
+    *error = "schema member missing or not '" + std::string(kBenchSchemaName) + "'";
+    return false;
+  }
+  if (doc.StringOr("suite", "").empty()) {
+    *error = "suite member missing";
+    return false;
+  }
+  const JsonValue* machine = doc.Find("machine");
+  if (machine == nullptr || !machine->is_object()) {
+    *error = "machine member missing or not an object";
+    return false;
+  }
+  const JsonValue* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    *error = "cells member missing or not an array";
+    return false;
+  }
+  for (std::size_t i = 0; i < cells->items.size(); ++i) {
+    const JsonValue& cell = cells->items[i];
+    std::string where = "cells[" + std::to_string(i) + "]";
+    if (!cell.is_object()) {
+      *error = where + " is not an object";
+      return false;
+    }
+    for (const char* key : {"key", "app", "mode"}) {
+      const JsonValue* v = cell.Find(key);
+      if (v == nullptr || !v->is_string() || v->str.empty()) {
+        *error = where + "." + key + " missing or not a non-empty string";
+        return false;
+      }
+    }
+    for (const char* key : {"threads", "scale", "move_threshold", "gl_ratio"}) {
+      const JsonValue* v = cell.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        *error = where + "." + key + " missing or not a number";
+        return false;
+      }
+    }
+    const JsonValue* ok = cell.Find("ok");
+    if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+      *error = where + ".ok missing or not a boolean";
+      return false;
+    }
+    const JsonValue* metrics = cell.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      *error = where + ".metrics missing or not an object";
+      return false;
+    }
+    const JsonValue* t_numa = metrics->Find("t_numa");
+    if (t_numa == nullptr) {
+      *error = where + ".metrics.t_numa missing";
+      return false;
+    }
+    for (const auto& [name, value] : metrics->members) {
+      if (value.kind != JsonValue::Kind::kNumber && value.kind != JsonValue::Kind::kNull) {
+        *error = where + ".metrics." + name + " is neither number nor null";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool WriteSweepJsonFile(const SweepResult& result, const std::string& path,
+                        std::string* error) {
+  std::string json = SerializeSweep(result, /*include_host=*/true);
+  if (!ValidateSweepJson(json, error)) {
+    *error = "self-validation failed: " + *error;
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << json;
+  out.close();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ace

@@ -1,0 +1,52 @@
+// Machine-readable sweep results: the BENCH_<suite>.json format.
+//
+// Schema ("ace-bench-v1"):
+//   {
+//     "schema": "ace-bench-v1",
+//     "suite": "<name>",
+//     "machine": { "processors", "page_size", "global_pages",
+//                  "local_pages_per_proc", "gl_fetch_ratio" },
+//     "host":    { "workers", "wall_seconds", "runs_per_second", "steals",
+//                  "simulated_seconds" },           -- omitted when include_host=false
+//     "cells": [ { "key", "app", "threads", "scale", "move_threshold", "gl_ratio",
+//                  "mode", "ok", "metrics": { "<name>": <number|null>, ... } } ]
+//   }
+//
+// Everything under "cells" is a pure function of the cell parameters (deterministic
+// simulation); everything under "host" is wall-clock and varies run to run. The
+// determinism test and the baseline comparator therefore operate on the cells alone.
+// Doubles serialize with %.17g (exact round-trip); NaN serializes as null.
+//
+// Writers self-validate: WriteSweepJsonFile re-parses its own output with
+// src/obs/json_lite and re-checks the schema before the file is considered written.
+
+#ifndef SRC_METRICS_SWEEP_REPORT_H_
+#define SRC_METRICS_SWEEP_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/metrics/sweep/runner.h"
+
+namespace ace {
+
+inline constexpr const char* kBenchSchemaName = "ace-bench-v1";
+
+// Serialize to the schema above. `include_host` false drops the host object (and
+// nothing else), giving the wall-time-free form two runs of the same matrix must
+// agree on byte for byte.
+std::string SerializeSweep(const SweepResult& result, bool include_host);
+
+// Validate that `json` parses and conforms to the schema. Returns false and sets
+// `error` on the first violation.
+bool ValidateSweepJson(std::string_view json, std::string* error);
+
+// Serialize (with host stats), self-validate, and write to `path` atomically enough
+// for CI (write then rename is overkill for a single artifact; failures surface in
+// `error`).
+bool WriteSweepJsonFile(const SweepResult& result, const std::string& path,
+                        std::string* error);
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_SWEEP_REPORT_H_

@@ -1,0 +1,123 @@
+#include "src/metrics/sweep/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "src/apps/app.h"
+#include "src/common/check.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/sweep/pool.h"
+
+namespace ace {
+
+namespace {
+
+double NanIfUndefined(bool defined, double value) {
+  return defined ? value : std::nan("");
+}
+
+void AppendRunCounters(const char* prefix, const PlacementRun& run,
+                       std::vector<std::pair<std::string, double>>& metrics) {
+  const MachineStats& s = run.stats;
+  std::string p = prefix;
+  metrics.emplace_back(p + "pages_pinned", static_cast<double>(s.pages_pinned));
+  metrics.emplace_back(p + "page_faults", static_cast<double>(s.page_faults));
+  metrics.emplace_back(p + "page_copies", static_cast<double>(s.page_copies));
+  metrics.emplace_back(p + "page_syncs", static_cast<double>(s.page_syncs));
+  metrics.emplace_back(p + "page_flushes", static_cast<double>(s.page_flushes));
+  metrics.emplace_back(p + "ownership_moves", static_cast<double>(s.ownership_moves));
+  metrics.emplace_back(p + "local_alloc_failures",
+                       static_cast<double>(s.local_alloc_failures));
+}
+
+ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& base_config) {
+  ExperimentOptions options;
+  options.config = base_config;
+  options.config.num_processors = cell.threads;
+  options.num_threads = cell.threads;
+  options.scale = cell.scale;
+  options.move_threshold = cell.move_threshold;
+  options.gl_ratio = cell.gl_ratio;
+  options.scheduler = cell.scheduler;
+  return options;
+}
+
+}  // namespace
+
+CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config) {
+  ExperimentOptions options = OptionsForCell(cell, base_config);
+
+  CellResult result;
+  result.cell = cell;
+
+  if (cell.mode == CellMode::kNumaOnly) {
+    std::unique_ptr<App> app = CreateAppByName(cell.app);
+    ACE_CHECK_MSG(app != nullptr, "unknown application in sweep cell");
+    PlacementRun run = RunPlacement(*app, options, PolicySpec::MoveLimit(cell.move_threshold),
+                                    cell.threads, cell.threads);
+    result.ok = run.app.ok;
+    result.detail = run.app.detail;
+    result.metrics.emplace_back("t_numa", run.user_sec);
+    result.metrics.emplace_back("s_numa", run.system_sec);
+    result.metrics.emplace_back("measured_alpha", run.measured_alpha);
+    AppendRunCounters("", run, result.metrics);
+    return result;
+  }
+
+  ExperimentResult r = RunExperiment(cell.app, options);
+  result.ok = r.AllOk();
+  result.detail = r.numa.app.detail;
+  result.metrics.emplace_back("t_numa", r.numa.user_sec);
+  result.metrics.emplace_back("t_global", r.global.user_sec);
+  result.metrics.emplace_back("t_local", r.local.user_sec);
+  result.metrics.emplace_back("s_numa", r.numa.system_sec);
+  result.metrics.emplace_back("s_global", r.global.system_sec);
+  result.metrics.emplace_back("alpha", NanIfUndefined(r.model.alpha_defined, r.model.alpha));
+  result.metrics.emplace_back("beta", r.model.beta);
+  result.metrics.emplace_back("gamma", r.model.gamma);
+  result.metrics.emplace_back("measured_alpha", r.numa.measured_alpha);
+  result.metrics.emplace_back("model_gl", r.gl_ratio);
+  AppendRunCounters("", r.numa, result.metrics);
+  return result;
+}
+
+SweepResult RunSweep(const std::string& suite_name, const std::vector<SweepCell>& cells,
+                     const SweepOptions& options) {
+  SweepResult result;
+  result.suite = suite_name;
+  result.base_config = options.base_config;
+  result.cells.resize(cells.size());
+
+  WorkStealingPool pool(options.workers);
+  std::atomic<std::size_t> done{0};
+
+  auto start = std::chrono::steady_clock::now();
+  WorkStealingPool::RunStats pool_stats = pool.Run(cells.size(), [&](std::size_t i) {
+    result.cells[i] = RunCell(cells[i], options.base_config);
+    std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.progress != nullptr) {
+      options.progress(options.progress_ctx, result.cells[i], completed, cells.size());
+    }
+  });
+  auto end = std::chrono::steady_clock::now();
+
+  result.host.workers = pool.num_workers();
+  result.host.wall_seconds = std::chrono::duration<double>(end - start).count();
+  result.host.runs_per_second = result.host.wall_seconds > 0.0
+                                    ? static_cast<double>(cells.size()) / result.host.wall_seconds
+                                    : 0.0;
+  result.host.steals = pool_stats.steals;
+  for (const CellResult& cell : result.cells) {
+    // Every placement's user+system time contributes to the serial simulated cost.
+    result.host.simulated_seconds += cell.MetricOr("t_numa", 0.0) +
+                                     cell.MetricOr("s_numa", 0.0) +
+                                     cell.MetricOr("t_global", 0.0) +
+                                     cell.MetricOr("s_global", 0.0) +
+                                     cell.MetricOr("t_local", 0.0);
+  }
+  return result;
+}
+
+}  // namespace ace

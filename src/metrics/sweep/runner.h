@@ -1,0 +1,70 @@
+// The sweep engine: execute a list of cells on the work-stealing pool.
+//
+// Every cell runs against its own freshly constructed Machine and Runtime (per-run
+// isolation; the simulator keeps no cross-machine state), so results depend only on
+// the cell's parameters — the same matrix produces identical metric values whether it
+// runs on 1 worker or 8. Host wall-time is the only thing parallelism changes, and it
+// is reported separately (SweepResult::host) so serialized results can be compared
+// modulo wall-time.
+
+#ifndef SRC_METRICS_SWEEP_RUNNER_H_
+#define SRC_METRICS_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/metrics/sweep/cell.h"
+#include "src/sim/machine_config.h"
+
+namespace ace {
+
+struct SweepOptions {
+  int workers = 0;          // <= 0: hardware concurrency
+  MachineConfig base_config;  // per-cell overrides (threads, G/L ratio) apply on top
+  // Progress callback (may be null). Called after each cell completes, from the
+  // worker thread that ran it; `done` counts completions so far.
+  void (*progress)(void* ctx, const CellResult& result, std::size_t done,
+                   std::size_t total) = nullptr;
+  void* progress_ctx = nullptr;
+};
+
+// Host-side execution statistics — everything here varies run to run and is excluded
+// from determinism comparisons and baseline gating.
+struct HostStats {
+  int workers = 0;
+  double wall_seconds = 0.0;
+  double runs_per_second = 0.0;
+  std::uint64_t steals = 0;
+  // Sum of simulated user+system seconds across all runs of all cells: the serial
+  // simulated cost the pool parallelized over.
+  double simulated_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::string suite;
+  MachineConfig base_config;
+  std::vector<CellResult> cells;  // in the input cells' order, independent of dispatch
+  HostStats host;
+
+  bool AllOk() const {
+    for (const CellResult& cell : cells) {
+      if (!cell.ok) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Execute one cell in isolation. Exposed for tests and for callers that need a
+// single cell outside a sweep.
+CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config);
+
+// Execute `cells` on the pool and assemble the result in input order.
+SweepResult RunSweep(const std::string& suite_name, const std::vector<SweepCell>& cells,
+                     const SweepOptions& options);
+
+}  // namespace ace
+
+#endif  // SRC_METRICS_SWEEP_RUNNER_H_

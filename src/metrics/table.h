@@ -3,6 +3,7 @@
 #ifndef SRC_METRICS_TABLE_H_
 #define SRC_METRICS_TABLE_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,7 +16,7 @@ class TextTable {
 
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
-  void Print(std::FILE* out = stdout) const {
+  std::string ToString() const {
     std::vector<std::size_t> widths(headers_.size(), 0);
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       widths[c] = headers_[c].size();
@@ -27,31 +28,37 @@ class TextTable {
         }
       }
     }
-    PrintRow(out, headers_, widths);
-    std::string rule;
+    std::string out;
+    AppendRow(out, headers_, widths);
     for (std::size_t c = 0; c < widths.size(); ++c) {
-      rule += std::string(widths[c] + 2, '-');
+      out += std::string(widths[c] + 2, '-');
       if (c + 1 < widths.size()) {
-        rule += "+";
+        out += "+";
       }
     }
-    std::fprintf(out, "%s\n", rule.c_str());
+    out += "\n";
     for (const auto& row : rows_) {
-      PrintRow(out, row, widths);
+      AppendRow(out, row, widths);
     }
+    return out;
+  }
+
+  void Print(std::FILE* out = stdout) const {
+    std::string rendered = ToString();
+    std::fwrite(rendered.data(), 1, rendered.size(), out);
   }
 
  private:
-  static void PrintRow(std::FILE* out, const std::vector<std::string>& cells,
-                       const std::vector<std::size_t>& widths) {
+  static void AppendRow(std::string& out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
     for (std::size_t c = 0; c < widths.size(); ++c) {
       const std::string& cell = c < cells.size() ? cells[c] : std::string();
-      std::fprintf(out, " %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      out += " " + cell + std::string(widths[c] - std::min(widths[c], cell.size()), ' ') + " ";
       if (c + 1 < widths.size()) {
-        std::fprintf(out, "|");
+        out += "|";
       }
     }
-    std::fprintf(out, "\n");
+    out += "\n";
   }
 
   std::vector<std::string> headers_;

@@ -2,7 +2,7 @@
 
 namespace ace {
 
-Runtime* Runtime::active_ = nullptr;
+thread_local Runtime* Runtime::active_ = nullptr;
 
 // --- Env ---------------------------------------------------------------------------------
 

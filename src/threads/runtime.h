@@ -144,7 +144,9 @@ class Runtime {
   std::uint64_t context_switches_ = 0;
   std::uint64_t migrations_ = 0;
 
-  static Runtime* active_;
+  // Thread-local so independent simulations may run concurrently on host threads
+  // (the sweep engine, src/metrics/sweep); a runtime never spans host threads.
+  static thread_local Runtime* active_;
 };
 
 }  // namespace ace

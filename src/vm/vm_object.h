@@ -8,6 +8,7 @@
 #ifndef SRC_VM_VM_OBJECT_H_
 #define SRC_VM_VM_OBJECT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,7 +24,7 @@ class VmObject {
  public:
   VmObject(std::string name, std::uint64_t num_pages)
       : name_(std::move(name)),
-        id_(next_id_++),
+        id_(next_id_.fetch_add(1, std::memory_order_relaxed)),
         pages_(static_cast<std::size_t>(num_pages), kNoLogicalPage) {}
 
   VmObject(const VmObject&) = delete;
@@ -76,7 +77,10 @@ class VmObject {
   }
 
  private:
-  static inline std::uint64_t next_id_ = 1;
+  // Atomic: machines may be constructed concurrently on sweep-engine worker threads.
+  // The id only keys backing store within one machine, so cross-machine interleaving
+  // of the values is harmless.
+  static inline std::atomic<std::uint64_t> next_id_{1};
 
   std::string name_;
   std::uint64_t id_;

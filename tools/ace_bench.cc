@@ -1,0 +1,204 @@
+// ace_bench — the experiment-sweep driver and perf-regression gate.
+//
+// Runs a named suite of the paper's evaluation matrix on the work-stealing sweep
+// engine (src/metrics/sweep), emits the results as BENCH_<suite>.json, and optionally
+// compares them against a committed baseline, exiting nonzero when any metric
+// breaches its tolerance. This is the single measurement substrate behind the
+// reproduced tables: bench_table3_placement and friends render their tables from the
+// same engine, and CI gates every change on `ace_bench --suite smoke --baseline ...`.
+//
+// Examples:
+//   ace_bench --suite smoke
+//   ace_bench --suite smoke --workers 8 --out BENCH_smoke.json
+//   ace_bench --suite smoke --baseline bench/baselines/BENCH_smoke.json
+//   ace_bench --suite full --render
+//   ace_bench --list
+//
+// Exit codes: 0 success; 1 baseline regression; 2 usage error; 3 an application's
+// self-verification failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/metrics/sweep/baseline.h"
+#include "src/metrics/sweep/matrix.h"
+#include "src/metrics/sweep/render.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
+#include "src/metrics/table.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: ace_bench --suite NAME [options]\n"
+      "  --list                 list available suites and their cell counts\n"
+      "  --suite NAME           suite to run: smoke | full | table3 | table4 |\n"
+      "                         threshold | gl\n"
+      "  --workers N            host worker threads (default: hardware concurrency)\n"
+      "  --out FILE             write results as BENCH JSON (self-validated)\n"
+      "  --baseline FILE        compare against a baseline BENCH JSON; exit 1 on any\n"
+      "                         tolerance breach\n"
+      "  --render               print the paper-table views of the results\n"
+      "  --threads N            override every cell's thread count\n"
+      "  --scale X              override every cell's workload scale\n"
+      "  --quiet                suppress per-cell progress lines\n"
+      "all options also accept the --opt=value spelling.\n");
+}
+
+struct Args {
+  std::string suite;
+  int workers = 0;
+  std::string out;
+  std::string baseline;
+  bool render = false;
+  bool list = false;
+  bool quiet = false;
+  int threads = 0;
+  double scale = 0.0;
+};
+
+// Returns the option value for `name` ("--name value" or "--name=value"), advancing
+// `i` as needed, or nullptr if argv[i] is not this option.
+const char* OptValue(int argc, char** argv, int* i, const char* name) {
+  const char* arg = argv[*i];
+  std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return nullptr;
+  }
+  if (arg[len] == '=') {
+    return arg + len + 1;
+  }
+  if (arg[len] == '\0') {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", name);
+      std::exit(2);
+    }
+    *i += 1;
+    return argv[*i];
+  }
+  return nullptr;
+}
+
+bool OptFlag(const char* arg, const char* name) { return std::strcmp(arg, name) == 0; }
+
+void Progress(void* ctx, const ace::CellResult& result, std::size_t done,
+              std::size_t total) {
+  (void)ctx;
+  std::fprintf(stderr, "[%3zu/%3zu] %-40s %s\n", done, total, result.cell.Key().c_str(),
+               result.ok ? "ok" : "FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if ((v = OptValue(argc, argv, &i, "--suite")) != nullptr) {
+      args.suite = v;
+    } else if ((v = OptValue(argc, argv, &i, "--workers")) != nullptr) {
+      args.workers = std::atoi(v);
+    } else if ((v = OptValue(argc, argv, &i, "--out")) != nullptr) {
+      args.out = v;
+    } else if ((v = OptValue(argc, argv, &i, "--baseline")) != nullptr) {
+      args.baseline = v;
+    } else if ((v = OptValue(argc, argv, &i, "--threads")) != nullptr) {
+      args.threads = std::atoi(v);
+    } else if ((v = OptValue(argc, argv, &i, "--scale")) != nullptr) {
+      args.scale = std::atof(v);
+    } else if (OptFlag(argv[i], "--render")) {
+      args.render = true;
+    } else if (OptFlag(argv[i], "--list")) {
+      args.list = true;
+    } else if (OptFlag(argv[i], "--quiet")) {
+      args.quiet = true;
+    } else if (OptFlag(argv[i], "--help") || OptFlag(argv[i], "-h")) {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+
+  if (args.list) {
+    ace::TextTable table({"suite", "cells", "description"});
+    for (const std::string& name : ace::SuiteNames()) {
+      ace::Suite suite = ace::MakeSuite(name);
+      table.AddRow({name, std::to_string(suite.cells.size()), suite.description});
+    }
+    table.Print();
+    return 0;
+  }
+
+  if (args.suite.empty() || !ace::IsKnownSuite(args.suite)) {
+    std::fprintf(stderr, args.suite.empty() ? "--suite is required\n"
+                                            : "unknown suite '%s'\n",
+                 args.suite.c_str());
+    Usage();
+    return 2;
+  }
+
+  ace::Suite suite = ace::MakeSuite(args.suite, args.threads, args.scale);
+  ace::SweepOptions options;
+  options.workers = args.workers;
+  if (!args.quiet) {
+    options.progress = Progress;
+  }
+
+  std::fprintf(stderr, "suite %s: %zu cells on %s workers\n", suite.name.c_str(),
+               suite.cells.size(),
+               args.workers > 0 ? std::to_string(args.workers).c_str() : "auto");
+  ace::SweepResult result = ace::RunSweep(suite.name, suite.cells, options);
+
+  std::printf("suite %s: %zu cells, %d workers, %.2fs wall (%.2f runs/sec, %.1fs simulated, "
+              "%llu steals)\n",
+              result.suite.c_str(), result.cells.size(), result.host.workers,
+              result.host.wall_seconds, result.host.runs_per_second,
+              result.host.simulated_seconds,
+              static_cast<unsigned long long>(result.host.steals));
+
+  if (args.render) {
+    std::printf("\n-- Table 3 view --\n%s", ace::RenderTable3(result).c_str());
+    std::printf("\n-- Table 4 view --\n%s", ace::RenderTable4(result).c_str());
+    std::printf("\n-- threshold view --\n%s", ace::RenderThresholdTable(result).c_str());
+    std::printf("\n-- G/L view --\n%s", ace::RenderGlTable(result).c_str());
+  }
+
+  if (!args.out.empty()) {
+    std::string error;
+    if (!ace::WriteSweepJsonFile(result, args.out, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", args.out.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", args.out.c_str());
+  }
+
+  int exit_code = 0;
+  if (!args.baseline.empty()) {
+    ace::BaselineComparison cmp = ace::CompareAgainstBaselineFile(result, args.baseline);
+    std::printf("\nbaseline %s:\n%s", args.baseline.c_str(),
+                ace::RenderComparison(cmp).c_str());
+    if (cmp.HasRegression()) {
+      std::printf("RESULT: REGRESSION\n");
+      exit_code = 1;
+    } else {
+      std::printf("RESULT: ok\n");
+    }
+  }
+
+  if (!result.AllOk()) {
+    for (const ace::CellResult& cell : result.cells) {
+      if (!cell.ok) {
+        std::fprintf(stderr, "verification FAILED: %s: %s\n", cell.cell.Key().c_str(),
+                     cell.detail.c_str());
+      }
+    }
+    return 3;
+  }
+  return exit_code;
+}
