@@ -103,7 +103,12 @@ struct Differ::Impl {
         manager(machine, &phys, &clocks, &stats, &bus, policy.get(), &mappings),
         model(BuildModelConfig(cc)),
         obs(cc.num_processors, cc.pages, &clocks) {
-    manager.set_injected_fault(cc.fault);
+    if (!cc.plan.empty()) {
+      injector = std::make_unique<FaultInjector>(cc.plan, cc.fault_seed);
+      injector->set_clocks(&clocks);
+      phys.set_fault_injector(injector.get());
+      manager.set_fault_injector(injector.get());
+    }
     // The conformance sweeps run with full observability attached: a protocol bug that
     // only appears when tracing is on (or one the hooks themselves introduce) must not
     // slip past the differ. The small ring keeps long sweeps cheap.
@@ -125,6 +130,7 @@ struct Differ::Impl {
   NumaManager manager;
   RefModel model;
   Observability obs;
+  std::unique_ptr<FaultInjector> injector;
 };
 
 std::optional<std::string> Differ::Impl::CompareAll() {

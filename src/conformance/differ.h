@@ -19,6 +19,7 @@
 
 #include "src/common/types.h"
 #include "src/conformance/ref_model.h"
+#include "src/inject/fault_plan.h"
 #include "src/numa/numa_manager.h"
 #include "src/vm/pmap.h"
 
@@ -34,7 +35,10 @@ struct ConformConfig {
   std::uint32_t page_size = 256;
   RefModel::PolicyKind policy = RefModel::PolicyKind::kMoveLimit;
   int move_threshold = 4;
-  NumaManager::InjectedFault fault = NumaManager::InjectedFault::kNone;
+  // Fault plan armed on the real side only (the RefModel is never told): any schedule
+  // that actually fires must surface as a divergence. Empty = no injection.
+  FaultPlan plan;
+  std::uint64_t fault_seed = 0;
 
   std::uint32_t WordsPerPage() const { return page_size / kWordBytes; }
 };

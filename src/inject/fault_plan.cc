@@ -1,0 +1,277 @@
+#include "src/inject/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+namespace {
+
+// SplitMix64, the same generator the conformance differ uses for op streams: tiny,
+// seedable, and statistically fine for fire/no-fire draws.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct SiteName {
+  FaultSite site;
+  const char* name;
+};
+
+constexpr SiteName kSiteNames[kNumFaultSites] = {
+    {FaultSite::kLocalExhausted, "local-exhausted"},
+    {FaultSite::kGlobalPoolExhausted, "pool-exhausted"},
+    {FaultSite::kPageoutVictimContention, "victim-contention"},
+    {FaultSite::kFrameAllocTransient, "frame-alloc"},
+    {FaultSite::kReplicationCopyFail, "copy-fail"},
+    {FaultSite::kSkipSync, "skip-sync"},
+    {FaultSite::kSkipMoveCount, "skip-move-count"},
+};
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  std::string buf(text);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value < 0.0 || value > 1.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string FormatProbability(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  for (const SiteName& s : kSiteNames) {
+    if (s.site == site) {
+      return s.name;
+    }
+  }
+  return "?";
+}
+
+bool ParseFaultSite(std::string_view name, FaultSite* out) {
+  for (const SiteName& s : kSiteNames) {
+    if (name == s.name) {
+      *out = s.site;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultSchedule::Format() const {
+  std::ostringstream out;
+  out << FaultSiteName(site) << '@';
+  switch (kind) {
+    case Kind::kNth:
+      out << "nth:" << n;
+      break;
+    case Kind::kEveryK:
+      out << "every:" << n;
+      break;
+    case Kind::kProbability:
+      out << "p:" << FormatProbability(probability);
+      if (seed != 0) {
+        out << ':' << seed;
+      }
+      break;
+    case Kind::kWindow:
+      out << "window:" << t_begin << ':' << t_end;
+      break;
+    case Kind::kAlways:
+      out << "always";
+      break;
+  }
+  return out.str();
+}
+
+std::string FaultPlan::Format() const {
+  std::string out;
+  for (const FaultSchedule& s : schedules) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += s.Format();
+  }
+  return out;
+}
+
+bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t sep = text.find(';', pos);
+    std::string_view item = text.substr(pos, sep == std::string_view::npos ? sep : sep - pos);
+    pos = sep == std::string_view::npos ? text.size() : sep + 1;
+    if (item.empty()) {
+      continue;  // tolerate stray separators ("a;;b", trailing ';')
+    }
+
+    std::size_t at = item.find('@');
+    if (at == std::string_view::npos) {
+      return fail("schedule '" + std::string(item) + "' lacks '@trigger'");
+    }
+    FaultSchedule sched;
+    if (!ParseFaultSite(item.substr(0, at), &sched.site)) {
+      return fail("unknown fault site '" + std::string(item.substr(0, at)) + "'");
+    }
+    std::string_view trigger = item.substr(at + 1);
+
+    auto field = [&trigger](std::size_t idx) -> std::string_view {
+      // trigger fields are ':'-separated: kind[:a[:b]]
+      std::size_t start = 0;
+      for (std::size_t i = 0; i < idx; ++i) {
+        std::size_t colon = trigger.find(':', start);
+        if (colon == std::string_view::npos) {
+          return {};
+        }
+        start = colon + 1;
+      }
+      std::size_t end = trigger.find(':', start);
+      return trigger.substr(start, end == std::string_view::npos ? end : end - start);
+    };
+    std::string_view kind = field(0);
+
+    if (kind == "always") {
+      sched.kind = FaultSchedule::Kind::kAlways;
+    } else if (kind == "nth" || kind == "every") {
+      sched.kind = kind == "nth" ? FaultSchedule::Kind::kNth : FaultSchedule::Kind::kEveryK;
+      if (!ParseU64(field(1), &sched.n) || sched.n == 0) {
+        return fail("trigger '" + std::string(trigger) + "' needs a positive count");
+      }
+    } else if (kind == "p") {
+      sched.kind = FaultSchedule::Kind::kProbability;
+      if (!ParseProbability(field(1), &sched.probability)) {
+        return fail("trigger '" + std::string(trigger) + "' needs a probability in [0,1]");
+      }
+      std::string_view seed_field = field(2);
+      if (!seed_field.empty() && !ParseU64(seed_field, &sched.seed)) {
+        return fail("trigger '" + std::string(trigger) + "' has a malformed seed");
+      }
+    } else if (kind == "window") {
+      sched.kind = FaultSchedule::Kind::kWindow;
+      std::uint64_t t0 = 0, t1 = 0;
+      if (!ParseU64(field(1), &t0) || !ParseU64(field(2), &t1) || t1 <= t0) {
+        return fail("trigger '" + std::string(trigger) + "' needs window:T0:T1 with T1 > T0");
+      }
+      sched.t_begin = static_cast<TimeNs>(t0);
+      sched.t_end = static_cast<TimeNs>(t1);
+    } else {
+      return fail("unknown trigger kind '" + std::string(kind) + "'");
+    }
+    plan.schedules.push_back(sched);
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {
+  rng_.reserve(plan_.schedules.size());
+  for (std::size_t i = 0; i < plan_.schedules.size(); ++i) {
+    // Distinct streams per schedule even when neither seed was given: fold in the
+    // schedule's position so two p-triggers on one site do not fire in lockstep.
+    rng_.push_back(seed_ ^ plan_.schedules[i].seed ^ (0x5851f42d4c957f2dULL * (i + 1)));
+  }
+}
+
+TimeNs FaultInjector::Now(ProcId proc) const {
+  if (clocks_ == nullptr) {
+    return 0;
+  }
+  if (proc != kNoProc) {
+    return clocks_->now(proc);
+  }
+  TimeNs max_now = 0;
+  for (ProcId p = 0; p < clocks_->num_processors(); ++p) {
+    max_now = std::max(max_now, clocks_->now(p));
+  }
+  return max_now;
+}
+
+bool FaultInjector::ShouldInject(FaultSite site, ProcId proc) {
+  std::uint64_t occ = ++occurrences_[static_cast<std::size_t>(site)];
+  bool fire = false;
+  for (std::size_t i = 0; i < plan_.schedules.size(); ++i) {
+    const FaultSchedule& s = plan_.schedules[i];
+    if (s.site != site) {
+      continue;
+    }
+    switch (s.kind) {
+      case FaultSchedule::Kind::kNth:
+        fire = fire || occ == s.n;
+        break;
+      case FaultSchedule::Kind::kEveryK:
+        fire = fire || occ % s.n == 0;
+        break;
+      case FaultSchedule::Kind::kProbability: {
+        // Always draw, even if another schedule already fired: the stream must not
+        // depend on which other schedules are in the plan being evaluated first.
+        double u = static_cast<double>(SplitMix64(&rng_[i]) >> 11) * 0x1.0p-53;
+        fire = fire || u < s.probability;
+        break;
+      }
+      case FaultSchedule::Kind::kWindow: {
+        TimeNs now = Now(proc);
+        fire = fire || (now >= s.t_begin && now < s.t_end);
+        break;
+      }
+      case FaultSchedule::Kind::kAlways:
+        fire = true;
+        break;
+    }
+  }
+  if (fire) {
+    fires_[static_cast<std::size_t>(site)]++;
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t f : fires_) {
+    total += f;
+  }
+  return total;
+}
+
+}  // namespace ace

@@ -1,0 +1,125 @@
+// Deterministic fault injection: plans, schedules and the runtime injector.
+//
+// The paper's pmap layer survives on real hardware because every placement decision
+// has a fallback (replication failure -> map global, local memory full -> pageout or
+// remote map). To keep those degraded paths first-class and continuously tested, the
+// memory subsystems expose named fault *sites* and a FaultPlan describes *when* each
+// site fires: on the nth occurrence, every k occurrences, with a seeded probability,
+// inside a virtual-time window, or always. A FaultInjector evaluates the plan at run
+// time; consumers hold a nullable pointer to it, so an unarmed build pays exactly one
+// never-taken branch per site (see the bench_trace_overhead guardrail).
+//
+// Plans have a stable string form so a failing soak run can print a reproducer that
+// ace_run / ace_soak / ace_conform replay verbatim:
+//
+//     local-exhausted@every:3;copy-fail@nth:5;pool-exhausted@p:0.02:7
+//
+// Grammar (see also DESIGN.md section 8):
+//     plan      := schedule (';' schedule)*
+//     schedule  := site '@' trigger
+//     trigger   := 'nth:' N | 'every:' K | 'p:' P [':' SEED]
+//                | 'window:' T0 ':' T1 | 'always'
+// Occurrence counts are per site (1-based); P is a probability in [0,1]; T0/T1 are
+// virtual nanoseconds (the acting processor's clock, end-exclusive).
+
+#ifndef SRC_INJECT_FAULT_PLAN_H_
+#define SRC_INJECT_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/clocks.h"
+
+namespace ace {
+
+// Every named fault site in the memory subsystems. The first five are resource
+// faults with documented graceful degradation; the last two are deliberate protocol
+// mutations kept for the conformance harness (the differential checker must be able
+// to demonstrate it catches a silently broken consistency action).
+enum class FaultSite : std::uint8_t {
+  kLocalExhausted = 0,          // NumaManager: local memory reads as full at the precheck
+  kGlobalPoolExhausted = 1,     // PagePool::Alloc behaves as if the pool were empty
+  kPageoutVictimContention = 2, // AcePager: eviction candidate reads as referenced
+  kFrameAllocTransient = 3,     // PhysicalMemory::AllocLocal fails this occurrence
+  kReplicationCopyFail = 4,     // NumaManager: copy into a freshly allocated frame fails
+  kSkipSync = 5,                // protocol mutation: SyncOwner becomes a no-op
+  kSkipMoveCount = 6,           // protocol mutation: ownership moves are not counted
+};
+
+inline constexpr int kNumFaultSites = 7;
+
+const char* FaultSiteName(FaultSite site);
+bool ParseFaultSite(std::string_view name, FaultSite* out);
+
+// When one site fires. `n` is the 1-based occurrence for kNth and the period for
+// kEveryK; probability draws use SplitMix64 seeded from (injector seed ^ schedule
+// seed), so the same plan string under the same --seed replays bit-identically.
+struct FaultSchedule {
+  enum class Kind : std::uint8_t { kNth = 0, kEveryK = 1, kProbability = 2, kWindow = 3, kAlways = 4 };
+
+  FaultSite site = FaultSite::kLocalExhausted;
+  Kind kind = Kind::kNth;
+  std::uint64_t n = 1;
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  TimeNs t_begin = 0;
+  TimeNs t_end = 0;
+
+  std::string Format() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSchedule> schedules;
+
+  bool empty() const { return schedules.empty(); }
+
+  // Round-trippable string form ('' for the empty plan).
+  std::string Format() const;
+  // Parse the grammar above; on failure returns false and, when `error` is non-null,
+  // a one-line description of what was rejected.
+  static bool Parse(std::string_view text, FaultPlan* out, std::string* error = nullptr);
+};
+
+// Evaluates a plan against the per-site occurrence stream. Not thread-safe; one
+// injector belongs to one machine (the simulator runs one host thread per machine).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0);
+
+  // Window schedules need virtual time; without clocks they never fire. The acting
+  // processor's clock is used when the site reports one, the machine-wide maximum
+  // otherwise (PagePool::Alloc has no acting processor).
+  void set_clocks(const ProcClocks* clocks) { clocks_ = clocks; }
+
+  // Count one occurrence of `site` and report whether any schedule fires for it.
+  // Out of line so consumer headers pay only the null-pointer test.
+  bool ShouldInject(FaultSite site, ProcId proc = kNoProc);
+
+  std::uint64_t occurrences(FaultSite site) const {
+    return occurrences_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t fires(FaultSite site) const {
+    return fires_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t total_fires() const;
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  TimeNs Now(ProcId proc) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  const ProcClocks* clocks_ = nullptr;
+  std::array<std::uint64_t, kNumFaultSites> occurrences_{};
+  std::array<std::uint64_t, kNumFaultSites> fires_{};
+  std::vector<std::uint64_t> rng_;  // per-schedule SplitMix64 state (probability kind)
+};
+
+}  // namespace ace
+
+#endif  // SRC_INJECT_FAULT_PLAN_H_

@@ -55,7 +55,18 @@ Machine::Machine(Options options)
         [](void* ctx, LogicalPage lp) { static_cast<AcePager*>(ctx)->NoteFreed(lp); },
         pager_.get());
   }
-  fault_handler_ = std::make_unique<FaultHandler>(pmap_.get(), pool_.get(), pager_.get());
+  fault_handler_ =
+      std::make_unique<FaultHandler>(pmap_.get(), pool_.get(), pager_.get(), &stats_);
+  if (!options_.fault_plan.empty()) {
+    injector_ = std::make_unique<FaultInjector>(options_.fault_plan, options_.fault_seed);
+    injector_->set_clocks(&clocks_);
+    phys_.set_fault_injector(injector_.get());
+    pool_->set_fault_injector(injector_.get());
+    pmap_->manager().set_fault_injector(injector_.get());
+    if (pager_ != nullptr) {
+      pager_->set_fault_injector(injector_.get());
+    }
+  }
 }
 
 Machine::~Machine() {
@@ -185,9 +196,15 @@ LogicalPage Machine::ResolveDebugPage(Task& task, VirtAddr va, bool materialize)
   const Region* region = task.FindRegion(va);
   ACE_CHECK_MSG(region != nullptr, "debug access outside any region");
   // Copy-on-write regions: a private shadow copy, when present, is the current page.
+  // An *evicted* shadow copy still exists (in backing store) and must be paged back
+  // in — falling through to the backing object would read/write the wrong data.
   if (region->shadow != nullptr) {
     std::uint64_t shadow_page = (va - region->start) / options_.config.page_size;
     LogicalPage lp = region->shadow->PageAt(shadow_page);
+    if (lp == kNoLogicalPage && pager_ != nullptr &&
+        pager_->IsPagedOut(*region->shadow, shadow_page)) {
+      lp = fault_handler_->MaterializeForDebug(*region->shadow, shadow_page);
+    }
     if (lp != kNoLogicalPage) {
       return lp;
     }
@@ -195,9 +212,19 @@ LogicalPage Machine::ResolveDebugPage(Task& task, VirtAddr va, bool materialize)
   std::uint64_t object_page =
       (region->object_offset + (va - region->start)) / options_.config.page_size;
   if (materialize) {
-    return region->object->GetOrCreatePage(object_page, *pool_, *pmap_);
+    // Through the fault handler, not VmObject::GetOrCreatePage: on a pager machine an
+    // evicted page must be paged back in here — a fresh zero page would silently
+    // clobber its content on the next DebugWrite.
+    return fault_handler_->MaterializeForDebug(*region->object, object_page);
   }
-  return region->object->PageAt(object_page);
+  LogicalPage lp = region->object->PageAt(object_page);
+  if (lp == kNoLogicalPage && pager_ != nullptr &&
+      pager_->IsPagedOut(*region->object, object_page)) {
+    // Non-materializing reads still restore evicted content (untouched pages keep
+    // reading as zero without allocating anything).
+    lp = fault_handler_->MaterializeForDebug(*region->object, object_page);
+  }
+  return lp;
 }
 
 std::uint32_t Machine::DebugRead(Task& task, VirtAddr va) {

@@ -26,6 +26,7 @@
 #include "src/common/check.h"
 #include "src/common/protection.h"
 #include "src/common/types.h"
+#include "src/inject/fault_plan.h"
 #include "src/numa/numa_manager.h"
 #include "src/numa/pmap_ace.h"
 #include "src/numa/policies.h"
@@ -107,6 +108,12 @@ class Machine {
     // resetting its placement decisions — the paper's section 4.3 footnote).
     bool enable_pager = false;
     PagerOptions pager;
+    // Deterministic fault injection (src/inject). An empty plan (the default) leaves
+    // every fault site disarmed at a single never-taken branch; a non-empty plan arms
+    // one FaultInjector shared by all subsystems. `fault_seed` seeds the probability
+    // schedules' random streams.
+    FaultPlan fault_plan;
+    std::uint64_t fault_seed = 0;
   };
 
   explicit Machine(Options options);
@@ -167,6 +174,8 @@ class Machine {
   NumaPolicy& policy() { return *active_policy_; }
   // The pageout daemon, or nullptr when the machine runs without backing store.
   AcePager* pager() { return pager_.get(); }
+  // The armed fault injector, or nullptr when Options::fault_plan was empty.
+  FaultInjector* fault_injector() { return injector_.get(); }
   const PolicySpec& policy_spec() const { return options_.policy; }
 
   // Typed policy accessors (nullptr if the machine runs a different policy).
@@ -209,6 +218,9 @@ class Machine {
   MachineStats stats_;
   ProcClocks clocks_;
   IpcBus bus_;
+  // Declared before every consumer that holds a pointer into it (phys_, pool_, pager_,
+  // the NUMA manager) so the injector outlives them all.
+  std::unique_ptr<FaultInjector> injector_;
   PhysicalMemory phys_;
   std::unique_ptr<NumaPolicy> policy_;       // owned policy (when not custom)
   NumaPolicy* active_policy_ = nullptr;      // the policy actually in use

@@ -60,7 +60,12 @@ bool AcePager::EvictSomePage(ProcId proc) {
     if (!r.valid || r.generation != entry.generation) {
       continue;  // stale entry: the page was freed or re-registered since
     }
-    if (pmap_->HasMappings(lp)) {
+    bool referenced = pmap_->HasMappings(lp);
+    if (injector_ != nullptr &&
+        injector_->ShouldInject(FaultSite::kPageoutVictimContention, proc)) {
+      referenced = true;
+    }
+    if (referenced) {
       // Referenced since we last looked: drop the mappings (they will fault back in
       // if the page is still in use) and spare the page this round.
       pmap_->RemoveAll(lp);

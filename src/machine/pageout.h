@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/inject/fault_plan.h"
 #include "src/numa/pmap_ace.h"
 #include "src/sim/clocks.h"
 #include "src/sim/machine_config.h"
@@ -61,6 +62,12 @@ class AcePager : public Pager {
   // Page freed through the normal VM path (not evicted): forget the residence record.
   void NoteFreed(LogicalPage lp);
 
+  // Arm fault injection for EvictSomePage: a kPageoutVictimContention fire makes the
+  // candidate under examination read as referenced (it is spared and re-queued, like a
+  // page another processor touched mid-scan). The scan budget already bounds the
+  // extra work, so a contended scan still terminates.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   const PagerStats& stats() const { return stats_; }
   std::size_t backing_pages() const { return backing_.size(); }
 
@@ -96,6 +103,7 @@ class AcePager : public Pager {
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> backing_;
 
   PagerStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ace

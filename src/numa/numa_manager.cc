@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/inject/fault_plan.h"
 #include "src/obs/observability.h"
 
 namespace ace {
@@ -160,8 +161,8 @@ void NumaManager::SyncOwner(LogicalPage lp, ProcId proc) {
   ACE_CHECK((info.state == PageState::kLocalWritable ||
              info.state == PageState::kRemoteHomed) &&
             info.owner != kNoProc);
-  if (injected_fault_ == InjectedFault::kSkipSync) {
-    return;  // conformance-harness fault: leave the global copy stale
+  if (injector_ != nullptr && injector_->ShouldInject(FaultSite::kSkipSync, proc)) {
+    return;  // conformance-harness protocol mutation: leave the global copy stale
   }
   std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
   ACE_CHECK(frame_idx != NumaPageInfo::kNoFrame);
@@ -220,6 +221,16 @@ bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
     ObsEvent(TraceEventType::kLocalAllocFail, lp, proc);
     return false;
   }
+  if (injector_ != nullptr &&
+      injector_->ShouldInject(FaultSite::kReplicationCopyFail, proc)) {
+    // The copy into the fresh frame failed; give the frame back and report the same
+    // "no local copy" outcome as exhaustion, so the caller degrades identically.
+    phys_->FreeLocal(frame);
+    stats_->degraded_copy_failures++;
+    ObsEvent(TraceEventType::kDegrade, lp, proc,
+             static_cast<std::uint32_t>(FaultSite::kReplicationCopyFail));
+    return false;
+  }
   TimeNs cost;
   if (info.zero_pending) {
     // Lazy zero-fill lands directly in the destination local memory — the optimization
@@ -256,8 +267,8 @@ void NumaManager::MaterializeGlobalZero(LogicalPage lp, ProcId proc) {
 }
 
 void NumaManager::CountOwnershipMove(LogicalPage lp, ProcId proc) {
-  if (injected_fault_ == InjectedFault::kSkipMoveCount) {
-    return;  // conformance-harness fault: the policy never sees its raw material
+  if (injector_ != nullptr && injector_->ShouldInject(FaultSite::kSkipMoveCount, proc)) {
+    return;  // conformance-harness protocol mutation: the policy never sees its raw material
   }
   stats_->ownership_moves++;
   policy_->NoteOwnershipMove(lp);
@@ -305,10 +316,19 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
     needs_local_frame = (decision == Placement::kLocal || decision == Placement::kRemoteHome) &&
                         !info.copies.Contains(proc);
   }
-  if (needs_local_frame && phys_->FreeLocalFrames(proc) == 0) {
-    stats_->local_alloc_failures++;
-    ObsEvent(TraceEventType::kLocalAllocFail, lp, proc);
-    decision = Placement::kGlobal;
+  if (needs_local_frame) {
+    bool exhausted = phys_->FreeLocalFrames(proc) == 0;
+    // The injector is consulted first so the site's occurrence stream does not depend
+    // on how full local memory happens to be (nth/every-k plans replay exactly).
+    if (injector_ != nullptr &&
+        injector_->ShouldInject(FaultSite::kLocalExhausted, proc)) {
+      exhausted = true;
+    }
+    if (exhausted) {
+      stats_->local_alloc_failures++;
+      ObsEvent(TraceEventType::kLocalAllocFail, lp, proc);
+      decision = Placement::kGlobal;
+    }
   }
   if (observing) {
     obs_->NoteDecision(decision);
@@ -325,7 +345,7 @@ Resolution NumaManager::HandleRequest(LogicalPage lp, AccessKind kind, ProcId pr
 
   Resolution r;
   if (decision == Placement::kRemoteHome) {
-    r = ResolveRemote(lp, proc, max_prot);
+    r = ResolveRemote(lp, proc, max_prot, kind);
   } else {
     r = kind == AccessKind::kFetch ? ResolveRead(lp, proc, max_prot, decision)
                                    : ResolveWrite(lp, proc, max_prot, decision);
@@ -349,14 +369,18 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
     switch (info.state) {
       case PageState::kReadOnly: {
         // Table 1 [LOCAL x Read-Only]: copy to local; stays Read-Only.
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kFetch, proc, max_prot);
+        }
         break;
       }
       case PageState::kGlobalWritable: {
         // Table 1 [LOCAL x Global-Writable]: unmap all; copy to local; Read-Only.
         TraceCleanup("unmap all");
         UnmapAll(lp, proc);
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kFetch, proc, max_prot);
+        }
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
         break;
@@ -380,7 +404,9 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
         CountOwnershipMove(lp, proc);
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kFetch, proc, max_prot);
+        }
         break;
       }
       case PageState::kLocalWritable: {
@@ -404,7 +430,9 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
         info.state = PageState::kReadOnly;
         info.owner = kNoProc;
         CountOwnershipMove(lp, proc);
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kFetch, proc, max_prot);
+        }
         break;
       }
     }
@@ -464,7 +492,9 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
           TraceCleanup("flush other");
         }
         FlushCopiesExcept(lp, proc, proc);
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kStore, proc, max_prot);
+        }
         BecomeOwner(lp, proc);
         break;
       }
@@ -472,7 +502,9 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
         // Table 2 [LOCAL x Global-Writable]: unmap all; copy to local; Local-Writable.
         TraceCleanup("unmap all");
         UnmapAll(lp, proc);
-        ACE_CHECK(EnsureLocalCopy(lp, proc));
+        if (!EnsureLocalCopy(lp, proc)) {
+          return DegradeToGlobal(lp, AccessKind::kStore, proc, max_prot);
+        }
         BecomeOwner(lp, proc);
         break;
       }
@@ -485,7 +517,9 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
           FlushCopy(lp, info.owner, proc);
           info.state = PageState::kReadOnly;  // transiently, until we take ownership
           info.owner = kNoProc;
-          ACE_CHECK(EnsureLocalCopy(lp, proc));
+          if (!EnsureLocalCopy(lp, proc)) {
+            return DegradeToGlobal(lp, AccessKind::kStore, proc, max_prot);
+          }
           BecomeOwner(lp, proc);
         } else {
           info.state = PageState::kLocalWritable;
@@ -501,7 +535,9 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
           FlushCopy(lp, info.owner, proc);
           info.state = PageState::kReadOnly;  // transiently, until we take ownership
           info.owner = kNoProc;
-          ACE_CHECK(EnsureLocalCopy(lp, proc));
+          if (!EnsureLocalCopy(lp, proc)) {
+            return DegradeToGlobal(lp, AccessKind::kStore, proc, max_prot);
+          }
           BecomeOwner(lp, proc);
         }
         // else Table 2 [LOCAL x Local-Writable on own node]: no action.
@@ -542,7 +578,8 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
   return Resolution{FrameRef::Global(lp), max_prot};
 }
 
-Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot) {
+Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot,
+                                      AccessKind kind) {
   NumaPageInfo& info = Info(lp);
   switch (info.state) {
     case PageState::kReadOnly: {
@@ -553,7 +590,9 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
         TraceCleanup("flush other");
       }
       FlushCopiesExcept(lp, proc, proc);
-      ACE_CHECK(EnsureLocalCopy(lp, proc));
+      if (!EnsureLocalCopy(lp, proc)) {
+        return DegradeToGlobal(lp, kind, proc, max_prot);
+      }
       UnmapAll(lp, proc);
       if (info.last_owner != kNoProc && info.last_owner != proc) {
         CountOwnershipMove(lp, proc);
@@ -568,7 +607,9 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
       TraceCleanup("unmap all");
       UnmapAll(lp, proc);
       MaterializeGlobalZero(lp, proc);
-      ACE_CHECK(EnsureLocalCopy(lp, proc));
+      if (!EnsureLocalCopy(lp, proc)) {
+        return DegradeToGlobal(lp, kind, proc, max_prot);
+      }
       if (info.last_owner != kNoProc && info.last_owner != proc) {
         CountOwnershipMove(lp, proc);
       }
@@ -591,6 +632,18 @@ Resolution NumaManager::ResolveRemote(LogicalPage lp, ProcId proc, Protection ma
   // Remote-homed pages are mapped with maximum permissions on every processor (like
   // global-writable pages, there is no replica state to protect).
   return Resolution{FrameRef::Local(info.owner, frame_idx), max_prot};
+}
+
+Resolution NumaManager::DegradeToGlobal(LogicalPage lp, AccessKind kind, ProcId proc,
+                                        Protection max_prot) {
+  stats_->degraded_global_fallbacks++;
+  ObsEvent(TraceEventType::kDegrade, lp, proc, ~0u);
+  // The GLOBAL rows of Tables 1/2 never need a local frame, so re-resolving from the
+  // page's current (consistent) state cannot fail again.
+  if (kind == AccessKind::kFetch) {
+    return ResolveRead(lp, proc, max_prot, Placement::kGlobal);
+  }
+  return ResolveWrite(lp, proc, max_prot, Placement::kGlobal);
 }
 
 // --- lifecycle -------------------------------------------------------------------------

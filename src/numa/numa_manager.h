@@ -28,6 +28,7 @@
 
 namespace ace {
 
+class FaultInjector;
 class Observability;
 
 // Dropping virtual mappings is the pmap manager's business (it owns the MMUs and the
@@ -63,16 +64,6 @@ struct ActionTrace {
 
 class NumaManager {
  public:
-  // Deliberate protocol mutations for the conformance harness (tools/ace_conform,
-  // tests/conformance_test): each one silently breaks a single consistency action so
-  // the differential checker can demonstrate that it detects the breakage. Never set
-  // outside tests.
-  enum class InjectedFault : std::uint8_t {
-    kNone = 0,
-    kSkipSync = 1,       // SyncOwner becomes a no-op: global copies go stale
-    kSkipMoveCount = 2,  // ownership transfers stop being counted: pages never pin
-  };
-
   NumaManager(const MachineConfig& config, PhysicalMemory* phys, ProcClocks* clocks,
               MachineStats* stats, IpcBus* bus, NumaPolicy* policy, MappingControl* mappings);
 
@@ -135,8 +126,12 @@ class NumaManager {
   void set_trace_actions(bool on) { trace_actions_ = on; }
   const ActionTrace& last_trace() const { return last_trace_; }
 
-  // Conformance-harness fault injection (see InjectedFault above).
-  void set_injected_fault(InjectedFault fault) { injected_fault_ = fault; }
+  // Arm fault injection (src/inject). The manager owns four sites: kLocalExhausted
+  // (the placement precheck reads local memory as full), kReplicationCopyFail (the
+  // copy into a freshly allocated frame fails and the frame is returned), and the two
+  // protocol mutations kSkipSync / kSkipMoveCount kept for the conformance harness.
+  // Null (the default) keeps every site at a single never-taken branch.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Attach the observability layer (src/obs): every consistency action is then
   // reported through its emit hooks. Null (the default) keeps the hot paths to a
@@ -192,8 +187,14 @@ class NumaManager {
   Resolution ResolveRead(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
   Resolution ResolveWrite(LogicalPage lp, ProcId proc, Protection max_prot, Placement decision);
   // Section 4.4 extension: place/keep the page in one processor's local memory with
-  // remote mappings from everyone else.
-  Resolution ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot);
+  // remote mappings from everyone else. `kind` is only consulted if placement fails
+  // mid-operation and the request degrades to the global path.
+  Resolution ResolveRemote(LogicalPage lp, ProcId proc, Protection max_prot, AccessKind kind);
+  // Graceful degradation: a local copy could not be obtained after cleanup already
+  // ran (local memory lost mid-operation, or an injected allocation/copy fault).
+  // Re-resolves the request down the GLOBAL path — which never needs a local frame —
+  // from whatever consistent state the page is in now, and counts the fallback.
+  Resolution DegradeToGlobal(LogicalPage lp, AccessKind kind, ProcId proc, Protection max_prot);
 
   PhysicalMemory* phys_;
   ProcClocks* clocks_;
@@ -209,7 +210,7 @@ class NumaManager {
 
   bool trace_actions_ = false;
   ActionTrace last_trace_;
-  InjectedFault injected_fault_ = InjectedFault::kNone;
+  FaultInjector* injector_ = nullptr;
   Observability* obs_ = nullptr;
 };
 

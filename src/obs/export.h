@@ -34,6 +34,11 @@ struct ExportContext {
   std::uint32_t num_pages = 0;
   const char* policy = "";
   const char* app = "";
+  // Run seed (fault-plan probability streams and any future randomized knobs) and the
+  // armed fault plan, echoed in the JSONL meta header so a run is replayable from its
+  // dump alone. Empty plan = no injection.
+  std::uint64_t seed = 0;
+  const char* fault_plan = "";
 };
 
 // Chrome trace-event JSON ({"traceEvents":[...]}); requires ctx.tracer.

@@ -31,9 +31,12 @@ enum class TraceEventType : std::uint8_t {
   kLocalAllocFail = 10, // wanted a local frame but local memory was full
   kFree = 11,           // logical page freed; cache state and decisions reset
   kBulkMigrate = 12,    // process migration moved the page to a new home (aux = dest)
+  kDegrade = 13,        // graceful degradation: placement fell back to the global path
+                        // after cleanup began, or a local copy failed post-allocation
+                        // (aux = FaultSite when injected, ~0u for genuine exhaustion)
 };
 
-inline constexpr int kNumTraceEventTypes = 13;
+inline constexpr int kNumTraceEventTypes = 14;
 
 inline const char* TraceEventTypeName(TraceEventType t) {
   switch (t) {
@@ -63,6 +66,8 @@ inline const char* TraceEventTypeName(TraceEventType t) {
       return "free";
     case TraceEventType::kBulkMigrate:
       return "bulk-migrate";
+    case TraceEventType::kDegrade:
+      return "degrade";
   }
   return "?";
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/inject/fault_plan.h"
+
 namespace ace {
 
 PhysicalMemory::PhysicalMemory(const MachineConfig& config)
@@ -30,6 +32,10 @@ PhysicalMemory::PhysicalMemory(const MachineConfig& config)
 
 FrameRef PhysicalMemory::AllocLocal(ProcId proc) {
   ACE_CHECK(proc >= 0 && proc < num_processors_);
+  if (injector_ != nullptr &&
+      injector_->ShouldInject(FaultSite::kFrameAllocTransient, proc)) {
+    return FrameRef::Invalid();
+  }
   auto& free_list = local_free_[static_cast<std::size_t>(proc)];
   if (free_list.empty()) {
     return FrameRef::Invalid();

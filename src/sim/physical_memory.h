@@ -20,6 +20,8 @@
 
 namespace ace {
 
+class FaultInjector;
+
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(const MachineConfig& config);
@@ -35,8 +37,14 @@ class PhysicalMemory {
 
   // Allocate a frame from processor `proc`'s local memory. Returns an invalid FrameRef
   // if that local memory is exhausted (the caller falls back to global placement).
+  // A scheduled kFrameAllocTransient fault (src/inject) fails the allocation the same
+  // way, so every caller's exhaustion path is reachable on any machine size.
   FrameRef AllocLocal(ProcId proc);
   void FreeLocal(FrameRef frame);
+
+  // Arm fault injection for AllocLocal. Null (the default) keeps the hot path at a
+  // single never-taken branch.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   std::uint32_t FreeLocalFrames(ProcId proc) const;
   std::uint32_t local_pages_per_proc() const { return local_pages_per_proc_; }
@@ -78,6 +86,8 @@ class PhysicalMemory {
 
   // Per-processor free lists of local frame indices.
   std::vector<std::vector<std::uint32_t>> local_free_;
+
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ace

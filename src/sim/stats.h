@@ -45,6 +45,15 @@ struct MachineStats {
   std::uint64_t pages_pinned = 0;       // pages the policy permanently placed global
   std::uint64_t local_alloc_failures = 0;  // wanted a local frame, local memory full
 
+  // Graceful-degradation accounting (DESIGN.md section 8). All four stay zero unless
+  // memory is lost *mid-operation* (after cleanup already began) or a fault plan
+  // (src/inject) is armed; the pre-cleanup exhaustion fallback is counted above as
+  // local_alloc_failures, exactly as before.
+  std::uint64_t degraded_global_fallbacks = 0;  // resolution re-routed to the GLOBAL path
+  std::uint64_t degraded_copy_failures = 0;     // local copy failed after frame allocation
+  std::uint64_t degraded_pool_retries = 0;      // extra evict+alloc rounds beyond the first
+  std::uint64_t degraded_oom_faults = 0;        // fault gave up after the bounded retries
+
   void RecordRef(ProcId proc, MemoryClass cls, AccessKind kind) {
     ProcRefCounts& c = refs[static_cast<std::size_t>(proc)];
     switch (cls) {

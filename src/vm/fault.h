@@ -10,6 +10,7 @@
 
 #include "src/common/protection.h"
 #include "src/common/types.h"
+#include "src/sim/stats.h"
 #include "src/vm/page_pool.h"
 #include "src/vm/pager.h"
 #include "src/vm/pmap.h"
@@ -40,9 +41,18 @@ inline const char* FaultStatusName(FaultStatus s) {
 
 class FaultHandler {
  public:
+  // How many evict-then-retry rounds a single allocation may drive before the fault
+  // reports out-of-memory. One round reproduces the historical behavior; the extra
+  // rounds absorb transient failures (a spared pageout victim, an injected pool
+  // fault) instead of failing the fault on the first miss.
+  static constexpr int kMaxEvictRetries = 6;
+
   // `pager` may be null (no backing store: allocation failure is fatal to the fault).
-  FaultHandler(PmapSystem* pmap, PagePool* pool, Pager* pager = nullptr)
-      : pmap_(pmap), pool_(pool), pager_(pager) {}
+  // `stats` may be null; when set, the degradation counters record retry rounds beyond
+  // the first and allocations that still failed after the retry budget.
+  FaultHandler(PmapSystem* pmap, PagePool* pool, Pager* pager = nullptr,
+               MachineStats* stats = nullptr)
+      : pmap_(pmap), pool_(pool), pager_(pager), stats_(stats) {}
 
   // Fault observer (observability layer). Called once per Handle with the outcome and
   // the logical page that resolved the fault (kNoLogicalPage on errors). A function
@@ -61,6 +71,14 @@ class FaultHandler {
       observer_(observer_ctx_, proc, lp, static_cast<std::uint8_t>(status));
     }
     return status;
+  }
+
+  // Materialize `object`'s page `index` outside a fault (debug read/write paths): on a
+  // pager machine an evicted page must be paged back in, not observed as absent. Goes
+  // through the same retry-with-pageout path as a real fault; returns kNoLogicalPage
+  // only if the pool stays exhausted.
+  LogicalPage MaterializeForDebug(VmObject& object, std::uint64_t index, ProcId proc = 0) {
+    return MaterializePage(object, index, proc);
   }
 
  private:
@@ -139,23 +157,36 @@ class FaultHandler {
     return FaultStatus::kResolved;
   }
 
-  LogicalPage AllocateFresh(ProcId proc) {
+  // Allocate a logical page, driving pageout to free space when the pool is empty.
+  // Bounded at kMaxEvictRetries rounds; stops early once the pager has nothing left to
+  // evict. Rounds beyond the first count as degraded_pool_retries (the first round is
+  // the ordinary alloc-evict-alloc path), and a final failure as a degraded_oom_fault.
+  LogicalPage AllocWithRetry(ProcId proc) {
     LogicalPage lp = pool_->Alloc();
-    if (lp == kNoLogicalPage && pager_ != nullptr && pager_->EvictSomePage(proc)) {
+    for (int attempt = 0;
+         lp == kNoLogicalPage && pager_ != nullptr && attempt < kMaxEvictRetries; ++attempt) {
+      if (attempt > 0 && stats_ != nullptr) {
+        stats_->degraded_pool_retries++;
+      }
+      if (!pager_->EvictSomePage(proc)) {
+        break;
+      }
       lp = pool_->Alloc();
+    }
+    if (lp == kNoLogicalPage && stats_ != nullptr) {
+      stats_->degraded_oom_faults++;
     }
     return lp;
   }
+
+  LogicalPage AllocateFresh(ProcId proc) { return AllocWithRetry(proc); }
 
   LogicalPage MaterializePage(VmObject& object, std::uint64_t index, ProcId proc) {
     LogicalPage lp = object.PageAt(index);
     if (lp != kNoLogicalPage) {
       return lp;
     }
-    lp = pool_->Alloc();
-    if (lp == kNoLogicalPage && pager_ != nullptr && pager_->EvictSomePage(proc)) {
-      lp = pool_->Alloc();
-    }
+    lp = AllocWithRetry(proc);
     if (lp == kNoLogicalPage) {
       return kNoLogicalPage;
     }
@@ -174,6 +205,7 @@ class FaultHandler {
   PmapSystem* pmap_;
   PagePool* pool_;
   Pager* pager_;
+  MachineStats* stats_ = nullptr;
   Observer observer_ = nullptr;
   void* observer_ctx_ = nullptr;
 };

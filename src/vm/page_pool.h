@@ -18,6 +18,7 @@
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/inject/fault_plan.h"
 #include "src/vm/pmap.h"
 
 namespace ace {
@@ -32,8 +33,16 @@ class PagePool {
     total_ = num_pages;
   }
 
+  // Arm fault injection for Alloc (kGlobalPoolExhausted behaves as an empty pool for
+  // that occurrence). Null (the default) keeps the hot path at one never-taken branch.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   // Allocate a logical page; returns kNoLogicalPage when memory is exhausted.
   LogicalPage Alloc() {
+    if (injector_ != nullptr &&
+        injector_->ShouldInject(FaultSite::kGlobalPoolExhausted)) {
+      return kNoLogicalPage;
+    }
     if (free_.empty()) {
       if (deferred_.empty()) {
         return kNoLogicalPage;
@@ -80,6 +89,7 @@ class PagePool {
   std::vector<LogicalPage> free_;
   std::deque<Deferred> deferred_;
   std::uint32_t total_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ace

@@ -130,7 +130,7 @@ TEST(Conformance, InvariantSweepPassesAfterRandomStream) {
 
 TEST(Conformance, SkippedSyncIsCaughtAndShrunkToAShortRepro) {
   ConformConfig config;
-  config.fault = NumaManager::InjectedFault::kSkipSync;
+  ASSERT_TRUE(FaultPlan::Parse("skip-sync@always", &config.plan));
   std::vector<ConformOp> ops = GenerateOps(config, 5, 4000);
   std::optional<Divergence> d = RunOps(config, ops);
   ASSERT_TRUE(d.has_value()) << "skipped sync was not detected";
@@ -142,7 +142,7 @@ TEST(Conformance, SkippedSyncIsCaughtAndShrunkToAShortRepro) {
 TEST(Conformance, SkippedMoveCountIsCaught) {
   ConformConfig config;
   config.move_threshold = 2;
-  config.fault = NumaManager::InjectedFault::kSkipMoveCount;
+  ASSERT_TRUE(FaultPlan::Parse("skip-move-count@always", &config.plan));
   std::vector<ConformOp> ops = GenerateOps(config, 6, 4000);
   std::optional<Divergence> d = RunOps(config, ops);
   ASSERT_TRUE(d.has_value()) << "skipped move count was not detected";

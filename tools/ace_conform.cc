@@ -7,7 +7,11 @@
 // Typical runs:
 //   ace_conform --seed 7 --ops 12000                  # all shipped policies
 //   ace_conform --policy move-limit --threshold 1     # pin-happy variant
-//   ace_conform --policy move-limit --inject skip-sync --expect-divergence
+//   ace_conform --policy move-limit --plan skip-sync@always --expect-divergence
+//
+// --plan takes a fault-plan string (src/inject/fault_plan.h grammar) armed on the
+// real side only; any schedule that fires must surface as a divergence. --seed also
+// seeds the plan's probability schedules.
 //
 // To reproduce a reported divergence, re-run with the printed seed and policy; the
 // shrink is deterministic and prints the same minimal operation sequence.
@@ -29,7 +33,7 @@ struct Options {
   std::size_t ops = 12000;
   std::string policy = "all";
   int threshold = 4;
-  std::string inject = "none";
+  std::string plan;
   bool expect_divergence = false;
   bool quiet = false;
 };
@@ -38,7 +42,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--ops N] [--policy move-limit|remote-home|"
                "all-global|all-local|all]\n"
-               "          [--threshold N] [--inject none|skip-sync|skip-move-count]\n"
+               "          [--threshold N] [--plan FAULT-PLAN]\n"
                "          [--expect-divergence] [--quiet]\n",
                argv0);
   std::exit(2);
@@ -61,8 +65,8 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->policy = next();
     } else if (arg == "--threshold") {
       opt->threshold = std::atoi(next());
-    } else if (arg == "--inject") {
-      opt->inject = next();
+    } else if (arg == "--plan") {
+      opt->plan = next();
     } else if (arg == "--expect-divergence") {
       opt->expect_divergence = true;
     } else if (arg == "--quiet") {
@@ -82,13 +86,13 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
   }
 
-  ace::NumaManager::InjectedFault fault = ace::NumaManager::InjectedFault::kNone;
-  if (opt.inject == "skip-sync") {
-    fault = ace::NumaManager::InjectedFault::kSkipSync;
-  } else if (opt.inject == "skip-move-count") {
-    fault = ace::NumaManager::InjectedFault::kSkipMoveCount;
-  } else if (opt.inject != "none") {
-    Usage(argv[0]);
+  ace::FaultPlan plan;
+  if (!opt.plan.empty()) {
+    std::string error;
+    if (!ace::FaultPlan::Parse(opt.plan, &plan, &error)) {
+      std::fprintf(stderr, "bad --plan: %s\n", error.c_str());
+      return 2;
+    }
   }
 
   std::vector<ace::RefModel::PolicyKind> kinds;
@@ -112,7 +116,8 @@ int main(int argc, char** argv) {
     ace::ConformConfig config;
     config.policy = kind;
     config.move_threshold = opt.threshold;
-    config.fault = fault;
+    config.plan = plan;
+    config.fault_seed = opt.seed;
 
     std::vector<ace::ConformOp> ops = ace::GenerateOps(config, opt.seed, opt.ops);
     ace::MachineStats stats;
@@ -132,9 +137,9 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, inject %s)\n",
+    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, plan %s)\n",
                 name.c_str(), d->op_index, static_cast<unsigned long long>(opt.seed),
-                opt.threshold, opt.inject.c_str());
+                opt.threshold, opt.plan.empty() ? "-" : opt.plan.c_str());
     std::printf("  %s\n", d->what.c_str());
     std::vector<ace::ConformOp> repro = ace::ShrinkOps(config, std::move(ops));
     std::printf("shrunk repro (%zu ops):\n", repro.size());
@@ -143,8 +148,8 @@ int main(int argc, char** argv) {
     }
     std::printf("rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d%s%s\n",
                 static_cast<unsigned long long>(opt.seed), opt.ops, name.c_str(), opt.threshold,
-                opt.inject == "none" ? "" : " --inject ",
-                opt.inject == "none" ? "" : opt.inject.c_str());
+                opt.plan.empty() ? "" : " --plan ",
+                opt.plan.empty() ? "" : opt.plan.c_str());
     if (!opt.expect_divergence) {
       failed = true;
     }

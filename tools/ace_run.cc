@@ -44,6 +44,9 @@ void Usage() {
       "  --scheduler S          affinity | migrating (default affinity)\n"
       "  --pager                enable pageout to backing store\n"
       "  --global-pages N       logical page pool size (default 4096)\n"
+      "  --seed N               run seed (fault-plan probability streams; default 0)\n"
+      "  --plan STR             arm a fault-injection plan (src/inject grammar, e.g.\n"
+      "                         'local-exhausted@every:3;copy-fail@nth:5')\n"
       "  --trace                print the sharing-class trace report\n"
       "  --optimal              print the optimal-placement comparison\n"
       "  --experiment           run all three placements and print the model row\n"
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool optimal = false;
   bool experiment = false;
+  std::uint64_t seed = 0;
+  std::string plan_text;
   std::string trace_out;
   std::string jsonl_out;
   std::string heat_csv;
@@ -147,6 +152,10 @@ int main(int argc, char** argv) {
       global_pages = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--scheduler") {
       scheduler = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--plan") {
+      plan_text = next();
     } else if (arg == "--pager") {
       pager = true;
     } else if (arg == "--trace") {
@@ -208,6 +217,14 @@ int main(int argc, char** argv) {
   mo.config = options.config;
   mo.policy = ParsePolicy(policy_name, threshold);
   mo.enable_pager = pager;
+  mo.fault_seed = seed;
+  if (!plan_text.empty()) {
+    std::string error;
+    if (!ace::FaultPlan::Parse(plan_text, &mo.fault_plan, &error)) {
+      std::fprintf(stderr, "bad --plan: %s\n", error.c_str());
+      return 2;
+    }
+  }
   ace::Machine machine(mo);
 
   const bool want_obs = !trace_out.empty() || !jsonl_out.empty() || !heat_csv.empty() ||
@@ -241,6 +258,9 @@ int main(int argc, char** argv) {
   std::printf("policy:         %s (threshold %d)\n", policy_name.c_str(), threshold);
   std::printf("machine:        %d processors, %u-byte pages, %u global pages%s\n", threads,
               page_size, global_pages, pager ? ", pager on" : "");
+  std::printf("seed:           %llu%s%s\n", (unsigned long long)seed,
+              plan_text.empty() ? "" : "   fault plan: ",
+              plan_text.empty() ? "" : plan_text.c_str());
   std::printf("user time:      %.4f s   system time: %.4f s\n",
               machine.clocks().TotalUser() * 1e-9, machine.clocks().TotalSystem() * 1e-9);
   const ace::MachineStats& s = machine.stats();
@@ -255,6 +275,15 @@ int main(int argc, char** argv) {
     std::printf("pager:          %llu pageouts, %llu pageins\n",
                 (unsigned long long)machine.pager()->stats().pageouts,
                 (unsigned long long)machine.pager()->stats().pageins);
+  }
+  if (machine.fault_injector() != nullptr) {
+    std::printf("degradation:    %llu fired faults, %llu global fallbacks, "
+                "%llu copy failures, %llu pool retries, %llu oom faults\n",
+                (unsigned long long)machine.fault_injector()->total_fires(),
+                (unsigned long long)s.degraded_global_fallbacks,
+                (unsigned long long)s.degraded_copy_failures,
+                (unsigned long long)s.degraded_pool_retries,
+                (unsigned long long)s.degraded_oom_faults);
   }
 
   if (want_obs) {
@@ -280,6 +309,8 @@ int main(int argc, char** argv) {
     ctx.num_pages = global_pages;
     ctx.policy = policy_name.c_str();
     ctx.app = app_name.c_str();
+    ctx.seed = seed;
+    ctx.fault_plan = plan_text.c_str();
 
     auto write_file = [&](const std::string& path, const char* what, auto writer) {
       std::ofstream out(path);

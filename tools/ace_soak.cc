@@ -1,0 +1,484 @@
+// ace_soak — randomized fault-injection soak harness.
+//
+// Each seed derives one run: an application from the suite, a machine shape
+// (threads, policy, threshold, scheduler, pager on/off) and a generated fault plan
+// of 1–3 schedules over the graceful-degradation fault sites (src/inject). The run
+// executes in a forked child so that an ACE_CHECK abort — a degradation path that
+// crashed instead of degrading — is caught as a violation instead of killing the
+// harness. After the application finishes, the child checks:
+//   * the application's own result verification (every app computes and checks a
+//     real result through simulated memory),
+//   * the full protocol invariant sweep (VerifyAllInvariants; aborts on violation),
+//   * counter identities that must survive any injection: page_syncs <= page_copies
+//     + zero_fills, pageins <= pageouts, measured alpha in [0, 1],
+//   * on clean runs (every 8th seed carries an empty plan), that every degradation
+//     counter stayed zero — injection must be zero-cost when unarmed.
+//
+// A failing run's plan is shrunk to a minimal subset of schedules that still fails
+// and printed as a replayable `ace_soak --replay ...` command line (also written to
+// --repro-out for CI artifact upload). --replay executes in-process, so an abort
+// produces a debuggable stack instead of a harness report.
+//
+// Generated plans are constrained to stay *survivable*: the sites with graceful
+// fallbacks (local-exhausted, frame-alloc, copy-fail) may fire at any rate, while
+// pool-exhausted and victim-contention are kept transient — a plan that permanently
+// empties the page pool makes the application legitimately run out of memory, which
+// is not a robustness bug. The protocol-mutation sites (skip-sync, skip-move-count)
+// are excluded: they corrupt results by design and belong to ace_conform.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/inject/fault_plan.h"
+#include "src/machine/machine.h"
+#include "src/threads/runtime.h"
+
+namespace {
+
+// SplitMix64 (same generator the differ uses for operation streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t Below(std::uint32_t n) { return static_cast<std::uint32_t>(Next() % n); }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Everything needed to rebuild one soak run exactly.
+struct RunSpec {
+  std::string app = "IMatMult";
+  int threads = 4;
+  double scale = 0.25;
+  int variant = 0;
+  std::string policy = "move-limit";
+  int threshold = 4;
+  bool migrating = false;
+  bool pager = false;
+  std::uint32_t global_pages = 4096;
+  ace::FaultPlan plan;
+  std::uint64_t fault_seed = 0;
+};
+
+ace::PolicySpec ParsePolicy(const std::string& name, int threshold) {
+  if (name == "move-limit") {
+    return ace::PolicySpec::MoveLimit(threshold);
+  }
+  if (name == "all-global") {
+    return ace::PolicySpec::AllGlobal();
+  }
+  if (name == "all-local") {
+    return ace::PolicySpec::AllLocal();
+  }
+  if (name == "reconsider") {
+    return ace::PolicySpec::Reconsider(threshold, 50'000'000);
+  }
+  if (name == "remote-home") {
+    return ace::PolicySpec::RemoteHome(threshold);
+  }
+  std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+ace::FaultSchedule GenSchedule(Rng& rng, bool pager) {
+  using ace::FaultSite;
+  static const FaultSite kGraceful[] = {FaultSite::kLocalExhausted,
+                                        FaultSite::kFrameAllocTransient,
+                                        FaultSite::kReplicationCopyFail};
+  ace::FaultSchedule s;
+  // Victim contention only has a consumer when the pageout daemon runs, and pool
+  // exhaustion is only survivable there (the evict-and-retry loop needs a pager; on a
+  // pager-less machine an empty pool is architecturally fatal to the faulting app).
+  std::uint32_t pick = rng.Below(pager ? 5 : 3);
+  bool transient_only = false;
+  if (pick < 3) {
+    s.site = kGraceful[pick];
+  } else if (pick == 3) {
+    s.site = FaultSite::kGlobalPoolExhausted;
+    transient_only = true;
+  } else {
+    s.site = FaultSite::kPageoutVictimContention;
+    transient_only = true;
+  }
+  // Sites without a graceful fallback of their own must fire transiently — a retry
+  // after the injected miss has to be able to succeed (never kAlways, every-K >= 2,
+  // low probabilities) or the app legitimately runs out of memory.
+  switch (rng.Below(transient_only ? 3u : 4u)) {
+    case 0:
+      s.kind = ace::FaultSchedule::Kind::kNth;
+      s.n = 1 + rng.Below(50);
+      break;
+    case 1:
+      s.kind = ace::FaultSchedule::Kind::kEveryK;
+      s.n = transient_only ? 2 + rng.Below(7) : 1 + rng.Below(8);
+      break;
+    case 2: {
+      s.kind = ace::FaultSchedule::Kind::kProbability;
+      double cap = s.site == ace::FaultSite::kGlobalPoolExhausted
+                       ? 0.05
+                       : (s.site == ace::FaultSite::kPageoutVictimContention ? 0.2 : 0.3);
+      s.probability = cap * static_cast<double>(1 + rng.Below(100)) / 100.0;
+      s.seed = rng.Next() & 0xffff;
+      break;
+    }
+    default:
+      s.kind = ace::FaultSchedule::Kind::kAlways;
+      break;
+  }
+  return s;
+}
+
+RunSpec DeriveRun(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  RunSpec spec;
+  spec.fault_seed = seed;
+  static const char* kApps[] = {"ParMult", "Gfetch",  "IMatMult", "Primes1",
+                                "Primes2", "Primes3", "FFT",      "PlyTrace"};
+  spec.app = kApps[rng.Below(8)];
+  spec.threads = 2 + static_cast<int>(rng.Below(5));
+  spec.scale = 0.25;
+  if (spec.app == "Primes2" || spec.app == "PlyTrace") {
+    spec.variant = static_cast<int>(rng.Below(2));
+  }
+  static const char* kPolicies[] = {"move-limit", "remote-home", "all-global", "all-local",
+                                    "reconsider"};
+  spec.policy = kPolicies[rng.Below(5)];
+  spec.threshold = 1 + static_cast<int>(rng.Below(6));
+  spec.migrating = rng.Below(4) == 0;
+  spec.pager = rng.Below(2) == 0;
+  // With the pager on, a tight pool forces real pageout traffic under injection.
+  spec.global_pages = spec.pager ? 1024 : 4096;
+  if (seed % 8 != 0) {  // every 8th run stays clean to assert zero-cost-when-unarmed
+    std::uint32_t count = 1 + rng.Below(3);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      spec.plan.schedules.push_back(GenSchedule(rng, spec.pager));
+    }
+  }
+  return spec;
+}
+
+std::string ReplayCommand(const RunSpec& spec) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "ace_soak --replay --app %s --threads %d --scale %g --variant %d "
+                "--policy %s --threshold %d%s%s --fault-seed %llu --plan '%s'",
+                spec.app.c_str(), spec.threads, spec.scale, spec.variant, spec.policy.c_str(),
+                spec.threshold, spec.migrating ? " --migrating" : "",
+                spec.pager ? " --pager" : "",
+                static_cast<unsigned long long>(spec.fault_seed),
+                spec.plan.Format().c_str());
+  return buf;
+}
+
+std::string DescribeRun(const RunSpec& spec) {
+  char buf[384];
+  std::snprintf(buf, sizeof buf, "%-8s threads=%d policy=%-11s%s%s plan=%s", spec.app.c_str(),
+                spec.threads, spec.policy.c_str(), spec.migrating ? " migrating" : "",
+                spec.pager ? " pager" : "", spec.plan.empty() ? "-" : spec.plan.Format().c_str());
+  return buf;
+}
+
+// Build the machine, run the application, run every check. Empty string = run OK;
+// otherwise the first violation. ACE_CHECK failures abort (caught by the fork layer).
+std::string RunInProcess(const RunSpec& spec) {
+  std::unique_ptr<ace::App> app = ace::CreateAppByName(spec.app);
+  if (app == nullptr) {
+    return "unknown application '" + spec.app + "'";
+  }
+  ace::Machine::Options mo;
+  mo.config.num_processors = spec.threads;
+  mo.config.global_pages = spec.global_pages;
+  mo.policy = ParsePolicy(spec.policy, spec.threshold);
+  mo.enable_pager = spec.pager;
+  mo.fault_plan = spec.plan;
+  mo.fault_seed = spec.fault_seed;
+  ace::Machine machine(mo);
+
+  ace::AppConfig cfg;
+  cfg.num_threads = spec.threads;
+  cfg.scale = spec.scale;
+  cfg.variant = spec.variant;
+  cfg.runtime.scheduler =
+      spec.migrating ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
+  ace::AppResult result = app->Run(machine, cfg);
+
+  if (!result.ok) {
+    return "application verification failed: " + result.detail;
+  }
+  machine.numa_manager().VerifyAllInvariants();
+
+  const ace::MachineStats& s = machine.stats();
+  auto fail = [](const char* what, std::uint64_t a, std::uint64_t b) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "counter identity violated: %s (%llu vs %llu)", what,
+                  static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+    return std::string(buf);
+  };
+  // Every synced copy was created by a replication or a zero-fill.
+  if (s.page_syncs > s.page_copies + s.zero_fills) {
+    return fail("page_syncs <= page_copies + zero_fills", s.page_syncs,
+                s.page_copies + s.zero_fills);
+  }
+  if (machine.pager() != nullptr &&
+      machine.pager()->stats().pageins > machine.pager()->stats().pageouts) {
+    return fail("pageins <= pageouts", machine.pager()->stats().pageins,
+                machine.pager()->stats().pageouts);
+  }
+  double alpha = s.MeasuredAlpha();
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "measured alpha out of range: %f", alpha);
+    return buf;
+  }
+  if (spec.plan.empty()) {
+    std::uint64_t degraded = s.degraded_global_fallbacks + s.degraded_copy_failures +
+                             s.degraded_pool_retries + s.degraded_oom_faults;
+    if (degraded != 0 || machine.fault_injector() != nullptr) {
+      return fail("clean run must not degrade (disarmed injection is zero-cost)", degraded, 0);
+    }
+  }
+  return "";
+}
+
+// Run the spec in a forked child: an ACE_CHECK abort (SIGABRT) or any other crash
+// becomes a reported violation instead of taking the harness down.
+std::string RunForked(const RunSpec& spec) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(2);
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    std::string what = RunInProcess(spec);
+    if (!what.empty()) {
+      ssize_t ignored = write(fds[1], what.data(), what.size());
+      (void)ignored;
+    }
+    close(fds[1]);
+    _exit(what.empty() ? 0 : 1);
+  }
+  close(fds[1]);
+  std::string what;
+  char buf[256];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof buf)) > 0) {
+    what.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) {
+    char sig[96];
+    std::snprintf(sig, sizeof sig, "child died with signal %d (%s)", WTERMSIG(status),
+                  WTERMSIG(status) == SIGABRT ? "ACE_CHECK abort" : strsignal(WTERMSIG(status)));
+    return sig;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    return "";
+  }
+  return what.empty() ? "child exited with failure but reported nothing" : what;
+}
+
+// Greedy schedule-subset minimization: drop any schedule whose removal keeps the
+// violation alive, to a locally minimal (often single-schedule) reproducer.
+RunSpec ShrinkPlan(RunSpec spec) {
+  bool progress = true;
+  while (progress && spec.plan.schedules.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < spec.plan.schedules.size(); ++i) {
+      RunSpec candidate = spec;
+      candidate.plan.schedules.erase(candidate.plan.schedules.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+      if (!RunForked(candidate).empty()) {
+        spec = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start-seed N] [--time-budget SECONDS[s]]\n"
+               "          [--repro-out FILE] [--quiet]\n"
+               "   or: %s --replay --app NAME --threads N --scale X --variant N\n"
+               "          --policy P --threshold N [--migrating] [--pager]\n"
+               "          --fault-seed N --plan STR\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+double ParseSeconds(const char* text) {
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (end == text || v < 0) {
+    std::fprintf(stderr, "bad --time-budget '%s'\n", text);
+    std::exit(2);
+  }
+  if (*end == 'm') {
+    v *= 60;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 64;
+  std::uint64_t start_seed = 1;
+  double time_budget_sec = 0;  // 0 = unlimited
+  std::string repro_out;
+  bool quiet = false;
+  bool replay = false;
+  RunSpec replay_spec;
+  std::string replay_plan;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) {
+        return inline_value.c_str();
+      }
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--start-seed") {
+      start_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--time-budget") {
+      time_budget_sec = ParseSeconds(next());
+    } else if (arg == "--repro-out") {
+      repro_out = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--app") {
+      replay_spec.app = next();
+    } else if (arg == "--threads") {
+      replay_spec.threads = std::atoi(next());
+    } else if (arg == "--scale") {
+      replay_spec.scale = std::atof(next());
+    } else if (arg == "--variant") {
+      replay_spec.variant = std::atoi(next());
+    } else if (arg == "--policy") {
+      replay_spec.policy = next();
+    } else if (arg == "--threshold") {
+      replay_spec.threshold = std::atoi(next());
+    } else if (arg == "--migrating") {
+      replay_spec.migrating = true;
+    } else if (arg == "--pager") {
+      replay_spec.pager = true;
+    } else if (arg == "--fault-seed") {
+      replay_spec.fault_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--plan") {
+      replay_plan = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+
+  if (replay) {
+    if (!replay_plan.empty()) {
+      std::string error;
+      if (!ace::FaultPlan::Parse(replay_plan, &replay_spec.plan, &error)) {
+        std::fprintf(stderr, "bad --plan: %s\n", error.c_str());
+        return 2;
+      }
+    }
+    replay_spec.global_pages = replay_spec.pager ? 1024 : 4096;
+    std::printf("replay: %s\n", DescribeRun(replay_spec).c_str());
+    std::string what = RunInProcess(replay_spec);  // in-process: aborts are debuggable
+    if (!what.empty()) {
+      std::printf("VIOLATION: %s\n", what.c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  std::uint64_t ran = 0;
+  int failures = 0;
+  for (std::uint64_t n = 0; n < seeds; ++n) {
+    if (time_budget_sec > 0 && elapsed() > time_budget_sec) {
+      std::printf("time budget (%.0fs) reached after %llu of %llu seeds\n", time_budget_sec,
+                  static_cast<unsigned long long>(ran), static_cast<unsigned long long>(seeds));
+      break;
+    }
+    std::uint64_t seed = start_seed + n;
+    RunSpec spec = DeriveRun(seed);
+    std::string what = RunForked(spec);
+    ++ran;
+    if (what.empty()) {
+      if (!quiet) {
+        std::printf("seed %-4llu ok    %s\n", static_cast<unsigned long long>(seed),
+                    DescribeRun(spec).c_str());
+      }
+      continue;
+    }
+    ++failures;
+    std::printf("seed %-4llu FAIL  %s\n", static_cast<unsigned long long>(seed),
+                DescribeRun(spec).c_str());
+    std::printf("  violation: %s\n", what.c_str());
+    RunSpec shrunk = ShrinkPlan(spec);
+    std::string repro = ReplayCommand(shrunk);
+    std::printf("  shrunk to %zu schedule(s): %s\n", shrunk.plan.schedules.size(),
+                shrunk.plan.Format().c_str());
+    std::printf("  replay: %s\n", repro.c_str());
+    if (!repro_out.empty()) {
+      std::ofstream out(repro_out, failures == 1 ? std::ios::trunc : std::ios::app);
+      out << repro << "\n";
+    }
+  }
+
+  std::printf("soak: %llu run(s), %d violation(s), %.1fs\n",
+              static_cast<unsigned long long>(ran), failures, elapsed());
+  return failures > 0 ? 1 : 0;
+}
