@@ -72,6 +72,13 @@ std::unique_ptr<App> CreatePrimes3();
 std::unique_ptr<App> CreateFft();
 std::unique_ptr<App> CreatePlyTrace();
 
+// Hidden resilience-test fixtures (resilience_fixtures.cc): resolvable through
+// CreateAppByName so sweeps/replay lines can name them, never part of
+// AllAppFactories or any suite.
+std::unique_ptr<App> CreatePingPongForever();
+std::unique_ptr<App> CreateThrowOnRun();
+std::unique_ptr<App> CreateAbortOnRun();
+
 // The Table 3 suite, in the paper's row order.
 std::vector<AppFactory> AllAppFactories();
 std::unique_ptr<App> CreateAppByName(const std::string& name);

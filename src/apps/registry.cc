@@ -17,6 +17,15 @@ std::unique_ptr<App> CreateAppByName(const std::string& name) {
       return app;
     }
   }
+  // Hidden resilience fixtures: addressable by name, never enumerated into suites.
+  for (const AppFactory& factory :
+       {AppFactory(CreatePingPongForever), AppFactory(CreateThrowOnRun),
+        AppFactory(CreateAbortOnRun)}) {
+    std::unique_ptr<App> app = factory();
+    if (name == app->name()) {
+      return app;
+    }
+  }
   return nullptr;
 }
 

@@ -130,9 +130,14 @@ std::string FaultPlan::Format() const {
 
 bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error) {
   FaultPlan plan;
+  // Every rejection names the offending schedule substring and its byte offset in
+  // the plan text, so a bad entry buried in "a;b;c;d" is findable without bisecting.
+  std::string_view item;
+  std::size_t item_start = 0;
   auto fail = [&](const std::string& what) {
     if (error != nullptr) {
-      *error = what;
+      *error = what + " in schedule '" + std::string(item) + "' at offset " +
+               std::to_string(item_start);
     }
     return false;
   };
@@ -140,7 +145,8 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t sep = text.find(';', pos);
-    std::string_view item = text.substr(pos, sep == std::string_view::npos ? sep : sep - pos);
+    item_start = pos;
+    item = text.substr(pos, sep == std::string_view::npos ? sep : sep - pos);
     pos = sep == std::string_view::npos ? text.size() : sep + 1;
     if (item.empty()) {
       continue;  // tolerate stray separators ("a;;b", trailing ';')
@@ -148,7 +154,7 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
 
     std::size_t at = item.find('@');
     if (at == std::string_view::npos) {
-      return fail("schedule '" + std::string(item) + "' lacks '@trigger'");
+      return fail("missing '@trigger'");
     }
     FaultSchedule sched;
     if (!ParseFaultSite(item.substr(0, at), &sched.site)) {

@@ -80,7 +80,8 @@ struct FaultPlan {
   // Round-trippable string form ('' for the empty plan).
   std::string Format() const;
   // Parse the grammar above; on failure returns false and, when `error` is non-null,
-  // a one-line description of what was rejected.
+  // a one-line description of what was rejected, naming the offending schedule
+  // substring and its byte offset in the plan text.
   static bool Parse(std::string_view text, FaultPlan* out, std::string* error = nullptr);
 };
 

@@ -206,6 +206,9 @@ class Machine {
   // null-pointer fast path. Call EnableTracing()/EnableHeat() on the result.
   Observability& observability();
   bool has_observability() const { return obs_ != nullptr; }
+  // Read-only view that never creates the layer (nullptr when not attached); the
+  // watchdog's kill report uses it to scan the trace rings without arming anything.
+  const Observability* observability_if_attached() const { return obs_.get(); }
 
  private:
   AccessStatus Access(Task& task, ProcId proc, VirtAddr va, AccessKind kind,

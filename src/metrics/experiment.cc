@@ -22,13 +22,19 @@ PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec
   mo.config.num_processors = num_processors;
   mo.policy = policy;
   mo.bus.model_contention = options.bus_contention;
+  mo.fault_plan = options.fault_plan;
+  mo.fault_seed = options.fault_seed;
   Machine machine(mo);
+  if (options.watchdog.enabled()) {
+    machine.observability().EnableTracing();
+  }
 
   AppConfig cfg;
   cfg.num_threads = num_threads;
   cfg.scale = options.scale;
   cfg.variant = options.variant;
   cfg.runtime.scheduler = options.scheduler;
+  cfg.runtime.watchdog = options.watchdog;
 
   PlacementRun run;
   run.app = app.Run(machine, cfg);

@@ -32,6 +32,13 @@ struct ExperimentOptions {
   // When > 0, scale the global-memory latencies to this ratio over the local ones
   // (the section 4.4 G/L sensitivity knob). 0 keeps the machine's default latencies.
   double gl_ratio = 0.0;
+  // Deterministic fault injection for every placement run (empty = disarmed).
+  FaultPlan fault_plan;
+  std::uint64_t fault_seed = 0;
+  // Hung-run limits for the runtime (disabled by default). When armed, event tracing
+  // is enabled on the machine so a kill report can name the ping-ponging page and the
+  // last trace events; tracing never changes virtual time, so metrics are unaffected.
+  WatchdogLimits watchdog;
 };
 
 // The machine config `options` actually runs with: `config` with the G/L latency

@@ -37,9 +37,15 @@ struct SweepCell {
   double gl_ratio = 0.0;
   CellMode mode = CellMode::kFullExperiment;
   SchedulerKind scheduler = SchedulerKind::kAffinity;
+  // Deterministic fault-injection plan for this cell (src/inject grammar), normally
+  // empty. Non-empty plans are part of the cell's identity (Key) — the same matrix
+  // with and without injection must never collide in baselines or checkpoints.
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;
 
   // Unique, human-readable identity: "FFT/t7/s1/mt4/gl0". Baseline comparison and
-  // deduplication key cells by this string.
+  // deduplication key cells by this string. A non-empty fault plan appends
+  // "/plan=<plan>" (and "/fs<seed>" when seeded).
   std::string Key() const;
 };
 
@@ -53,6 +59,18 @@ struct CellResult {
   bool ok = false;            // application self-verification across all placements
   std::string detail;         // verification detail of the numa run
   std::vector<std::pair<std::string, double>> metrics;
+
+  // --- resilience bookkeeping (the run-resilience layer, runner.h) -------------------
+  // Why the cell's run *died*, or empty if it ran to completion (ok reflects
+  // verification, not survival): "watchdog-deadline", "watchdog-livelock",
+  // "exception", "signal:<n>", "skipped-fail-fast". Dead cells carry no metrics.
+  std::string failure_kind;
+  std::string failure_detail;  // kill report / exception text / signal description
+  int attempts = 1;            // executions consumed (retries + 1); in-memory only
+  bool from_checkpoint = false;  // true when resumed, not re-executed (in-memory only)
+
+  // A cell that died (as opposed to completing with a verification verdict).
+  bool died() const { return !failure_kind.empty(); }
 
   double MetricOr(const std::string& name, double fallback) const {
     for (const auto& [key, value] : metrics) {

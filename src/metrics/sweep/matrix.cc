@@ -44,6 +44,12 @@ std::string SweepCell::Key() const {
   if (mode == CellMode::kNumaOnly) {
     key += "/numa-only";
   }
+  if (!fault_plan.empty()) {
+    key += "/plan=" + fault_plan;
+    if (fault_seed != 0) {
+      key += "/fs" + std::to_string(fault_seed);
+    }
+  }
   return key;
 }
 

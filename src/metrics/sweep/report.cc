@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "src/obs/json_lite.h"
@@ -69,7 +70,48 @@ void AppendStringField(std::string& out, const char* key, std::string_view v, bo
   AppendEscaped(out, v);
 }
 
+void AppendCellObject(std::string& out, const CellResult& cell) {
+  out += "{";
+  bool cfirst = true;
+  AppendStringField(out, "key", cell.cell.Key(), &cfirst);
+  AppendStringField(out, "app", cell.cell.app, &cfirst);
+  AppendField(out, "threads", cell.cell.threads, &cfirst);
+  AppendField(out, "scale", cell.cell.scale, &cfirst);
+  AppendField(out, "move_threshold", cell.cell.move_threshold, &cfirst);
+  AppendField(out, "gl_ratio", cell.cell.gl_ratio, &cfirst);
+  AppendStringField(out, "mode",
+                    cell.cell.mode == CellMode::kNumaOnly ? "numa-only" : "full", &cfirst);
+  if (!cell.cell.fault_plan.empty()) {
+    AppendStringField(out, "fault_plan", cell.cell.fault_plan, &cfirst);
+    if (cell.cell.fault_seed != 0) {
+      AppendField(out, "fault_seed", static_cast<double>(cell.cell.fault_seed), &cfirst);
+    }
+  }
+  out += ",\"ok\":";
+  out += cell.ok ? "true" : "false";
+  out += ",\"metrics\":{";
+  bool metric_first = true;
+  for (const auto& [name, value] : cell.metrics) {
+    AppendField(out, name.c_str(), value, &metric_first);
+  }
+  out += "}";
+  if (cell.died()) {
+    out += ",\"failure\":{";
+    bool ffirst = true;
+    AppendStringField(out, "kind", cell.failure_kind, &ffirst);
+    AppendStringField(out, "detail", cell.failure_detail, &ffirst);
+    out += "}";
+  }
+  out += "}";
+}
+
 }  // namespace
+
+std::string SerializeCellObject(const CellResult& cell) {
+  std::string out;
+  AppendCellObject(out, cell);
+  return out;
+}
 
 std::string SerializeSweep(const SweepResult& result, bool include_host) {
   std::string out;
@@ -101,31 +143,99 @@ std::string SerializeSweep(const SweepResult& result, bool include_host) {
 
   out += ",\"cells\":[";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const CellResult& cell = result.cells[i];
     if (i > 0) {
       out += ",";
     }
-    out += "\n{";
-    bool cfirst = true;
-    AppendStringField(out, "key", cell.cell.Key(), &cfirst);
-    AppendStringField(out, "app", cell.cell.app, &cfirst);
-    AppendField(out, "threads", cell.cell.threads, &cfirst);
-    AppendField(out, "scale", cell.cell.scale, &cfirst);
-    AppendField(out, "move_threshold", cell.cell.move_threshold, &cfirst);
-    AppendField(out, "gl_ratio", cell.cell.gl_ratio, &cfirst);
-    AppendStringField(out, "mode",
-                      cell.cell.mode == CellMode::kNumaOnly ? "numa-only" : "full", &cfirst);
-    out += ",\"ok\":";
-    out += cell.ok ? "true" : "false";
-    out += ",\"metrics\":{";
-    bool metric_first = true;
-    for (const auto& [name, value] : cell.metrics) {
-      AppendField(out, name.c_str(), value, &metric_first);
-    }
-    out += "}}";
+    out += "\n";
+    AppendCellObject(out, result.cells[i]);
   }
   out += "\n]}\n";
   return out;
+}
+
+bool ParseCellObject(const JsonValue& value, CellResult* out, std::string* error) {
+  if (!value.is_object()) {
+    *error = "cell is not an object";
+    return false;
+  }
+  CellResult cell;
+  const JsonValue* app = value.Find("app");
+  if (app == nullptr || !app->is_string() || app->str.empty()) {
+    *error = "cell.app missing or not a non-empty string";
+    return false;
+  }
+  cell.cell.app = app->str;
+  for (const char* key : {"threads", "scale", "move_threshold", "gl_ratio"}) {
+    const JsonValue* v = value.Find(key);
+    if (v == nullptr || !v->is_number()) {
+      *error = std::string("cell.") + key + " missing or not a number";
+      return false;
+    }
+  }
+  cell.cell.threads = static_cast<int>(value.NumberOr("threads", 0));
+  cell.cell.scale = value.NumberOr("scale", 0.0);
+  cell.cell.move_threshold = static_cast<int>(value.NumberOr("move_threshold", 0));
+  cell.cell.gl_ratio = value.NumberOr("gl_ratio", 0.0);
+  std::string mode = std::string(value.StringOr("mode", ""));
+  if (mode == "numa-only") {
+    cell.cell.mode = CellMode::kNumaOnly;
+  } else if (mode == "full") {
+    cell.cell.mode = CellMode::kFullExperiment;
+  } else {
+    *error = "cell.mode missing or not 'full'/'numa-only'";
+    return false;
+  }
+  cell.cell.fault_plan = value.StringOr("fault_plan", "");
+  cell.cell.fault_seed =
+      static_cast<std::uint64_t>(value.NumberOr("fault_seed", 0.0));
+  const JsonValue* ok = value.Find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+    *error = "cell.ok missing or not a boolean";
+    return false;
+  }
+  cell.ok = ok->boolean;
+  const JsonValue* metrics = value.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    *error = "cell.metrics missing or not an object";
+    return false;
+  }
+  for (const auto& [name, metric] : metrics->members) {
+    if (metric.kind == JsonValue::Kind::kNumber) {
+      cell.metrics.emplace_back(name, metric.number);
+    } else if (metric.kind == JsonValue::Kind::kNull) {
+      cell.metrics.emplace_back(name, std::nan(""));
+    } else {
+      *error = "cell.metrics." + name + " is neither number nor null";
+      return false;
+    }
+  }
+  if (const JsonValue* failure = value.Find("failure")) {
+    if (!failure->is_object()) {
+      *error = "cell.failure is not an object";
+      return false;
+    }
+    cell.failure_kind = failure->StringOr("kind", "");
+    cell.failure_detail = failure->StringOr("detail", "");
+    if (cell.failure_kind.empty()) {
+      *error = "cell.failure.kind missing";
+      return false;
+    }
+  }
+  // Cross-check the stored key against the reconstructed parameters: a mismatch
+  // means the fragment was edited or the schema drifted, and silently accepting it
+  // would attribute results to the wrong cell.
+  std::string stored_key = std::string(value.StringOr("key", ""));
+  if (stored_key.empty()) {
+    *error = "cell.key missing or not a non-empty string";
+    return false;
+  }
+  if (stored_key != cell.cell.Key()) {
+    *error = "cell.key '" + stored_key + "' does not match its parameters ('" +
+             cell.cell.Key() + "')";
+    return false;
+  }
+  *out = std::move(cell);
+  return true;
 }
 
 bool ValidateSweepJson(std::string_view json, std::string* error) {
@@ -186,8 +296,15 @@ bool ValidateSweepJson(std::string_view json, std::string* error) {
       *error = where + ".metrics missing or not an object";
       return false;
     }
-    const JsonValue* t_numa = metrics->Find("t_numa");
-    if (t_numa == nullptr) {
+    // A cell that died (quarantined by the resilience layer) carries a "failure"
+    // object and no measurements; every other cell must report t_numa.
+    const JsonValue* failure = cell.Find("failure");
+    if (failure != nullptr &&
+        (!failure->is_object() || failure->StringOr("kind", "").empty())) {
+      *error = where + ".failure is not an object with a non-empty kind";
+      return false;
+    }
+    if (failure == nullptr && metrics->Find("t_numa") == nullptr) {
       *error = where + ".metrics.t_numa missing";
       return false;
     }
@@ -201,25 +318,39 @@ bool ValidateSweepJson(std::string_view json, std::string* error) {
   return true;
 }
 
+bool WriteFileAtomic(const std::string& path, std::string_view contents,
+                     std::string* error) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out << contents;
+    out.close();
+    if (!out) {
+      *error = "write to " + tmp + " failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool WriteSweepJsonFile(const SweepResult& result, const std::string& path,
-                        std::string* error) {
-  std::string json = SerializeSweep(result, /*include_host=*/true);
+                        std::string* error, bool include_host) {
+  std::string json = SerializeSweep(result, include_host);
   if (!ValidateSweepJson(json, error)) {
     *error = "self-validation failed: " + *error;
     return false;
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  out << json;
-  out.close();
-  if (!out) {
-    *error = "write to " + path + " failed";
-    return false;
-  }
-  return true;
+  return WriteFileAtomic(path, json, error);
 }
 
 }  // namespace ace

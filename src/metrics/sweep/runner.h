@@ -11,13 +11,48 @@
 #define SRC_METRICS_SWEEP_RUNNER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/metrics/sweep/cell.h"
 #include "src/sim/machine_config.h"
+#include "src/threads/watchdog.h"
 
 namespace ace {
+
+// One quarantined cell: it died (watchdog kill, escaped exception, forked-child
+// signal) on every attempt of its retry budget. Quarantine is a *result*, not an
+// abort — the rest of the sweep completes, and the list lands in failures.json
+// (checkpoint.h) for artifact upload and replay.
+struct CellFailure {
+  std::string key;
+  std::string kind;     // CellResult::failure_kind of the final attempt
+  std::string detail;   // kill report / exception text / signal description
+  int attempts = 1;
+  std::string replay;   // command line reproducing the cell (filled by the tool)
+};
+
+// Knobs of the run-resilience layer, all off by default (the happy path executes
+// exactly as before, bit for bit).
+struct ResilienceOptions {
+  // Per-cell watchdog. deadline_ns is the budget for a scale-1.0 cell; the runner
+  // scales it by each cell's `scale` (floor 0.05) since virtual time grows with the
+  // workload. move_budget is per placement run, unscaled.
+  WatchdogLimits watchdog;
+  // Total executions allowed per cell (1 = no retry). Only *deaths* are retried;
+  // a run that completes with a failed verification is deterministic and final.
+  int max_attempts = 1;
+  // Host-time backoff before a retry: attempt k sleeps backoff_ms * k, jittered
+  // +-50% by a SplitMix64 stream seeded from the cell key (deterministic per cell).
+  std::uint32_t backoff_ms = 0;
+  // Run every cell in a forked child so an ACE_CHECK abort (or any signal) kills
+  // only that cell; the result returns through a pipe as a serialized cell object.
+  bool isolate = false;
+  // Once any cell is quarantined, cells not yet started complete immediately as
+  // "skipped-fail-fast" instead of executing (in-flight cells finish).
+  bool fail_fast = false;
+};
 
 struct SweepOptions {
   int workers = 0;          // <= 0: hardware concurrency
@@ -27,6 +62,11 @@ struct SweepOptions {
   void (*progress)(void* ctx, const CellResult& result, std::size_t done,
                    std::size_t total) = nullptr;
   void* progress_ctx = nullptr;
+  ResilienceOptions resilience;
+  // Results already known from a checkpoint, keyed by SweepCell::Key(). Matching
+  // cells are copied (with from_checkpoint set) instead of executed; keys not in
+  // the matrix are ignored. Not owned; must outlive RunSweep.
+  const std::map<std::string, CellResult>* resumed = nullptr;
 };
 
 // Host-side execution statistics — everything here varies run to run and is excluded
@@ -46,6 +86,7 @@ struct SweepResult {
   MachineConfig base_config;
   std::vector<CellResult> cells;  // in the input cells' order, independent of dispatch
   HostStats host;
+  std::vector<CellFailure> failures;  // quarantined cells, in cell order
 
   bool AllOk() const {
     for (const CellResult& cell : cells) {
@@ -58,8 +99,20 @@ struct SweepResult {
 };
 
 // Execute one cell in isolation. Exposed for tests and for callers that need a
-// single cell outside a sweep.
-CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config);
+// single cell outside a sweep. With `watchdog` limits (already scaled; see
+// ResilienceOptions), a kill or an exception escaping the application is captured
+// as a died result (failure_kind/failure_detail) instead of propagating.
+CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config,
+                   const WatchdogLimits& watchdog = WatchdogLimits{});
+
+// RunCell in a forked child: any signal (ACE_CHECK abort included) is confined to
+// the child and reported as failure_kind "signal:<n>".
+CellResult RunCellForked(const SweepCell& cell, const MachineConfig& base_config,
+                         const WatchdogLimits& watchdog = WatchdogLimits{});
+
+// The watchdog limits RunSweep passes to RunCell for `cell`: deadline scaled by the
+// cell's workload scale, move budget as given.
+WatchdogLimits ScaledWatchdog(const WatchdogLimits& base, const SweepCell& cell);
 
 // Execute `cells` on the pool and assemble the result in input order.
 SweepResult RunSweep(const std::string& suite_name, const std::vector<SweepCell>& cells,

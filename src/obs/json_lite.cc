@@ -26,6 +26,11 @@ std::string JsonValue::StringOr(std::string_view key, std::string fallback) cons
 
 namespace {
 
+// Containers deeper than this are rejected rather than recursed into: the parser
+// reads untrusted bytes (baselines, checkpoint fragments, child pipe payloads), and
+// unbounded recursion turns `[[[[...` into a stack overflow instead of an error.
+constexpr int kMaxDepth = 200;
+
 class Parser {
  public:
   Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
@@ -45,7 +50,20 @@ class Parser {
  private:
   bool Fail(const char* what) {
     if (error_ != nullptr) {
-      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+      // Byte offset first (stable, machine-checkable), then the human-oriented
+      // line/column derived by rescanning the consumed prefix.
+      std::size_t line = 1;
+      std::size_t col = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_) + " (line " +
+                std::to_string(line) + ", column " + std::to_string(col) + ")";
     }
     return false;
   }
@@ -71,9 +89,25 @@ class Parser {
     }
     switch (text_[pos_]) {
       case '{':
-        return ParseObject(out);
+        if (depth_ >= kMaxDepth) {
+          return Fail("nesting deeper than 200 levels");
+        }
+        ++depth_;
+        {
+          bool ok = ParseObject(out);
+          --depth_;
+          return ok;
+        }
       case '[':
-        return ParseArray(out);
+        if (depth_ >= kMaxDepth) {
+          return Fail("nesting deeper than 200 levels");
+        }
+        ++depth_;
+        {
+          bool ok = ParseArray(out);
+          --depth_;
+          return ok;
+        }
       case '"':
         out->kind = JsonValue::Kind::kString;
         return ParseString(&out->str);
@@ -256,11 +290,13 @@ class Parser {
   std::string_view text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};  // a reused out-value must not accumulate the previous parse
   Parser parser(text, error);
   return parser.Parse(out);
 }

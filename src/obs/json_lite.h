@@ -39,7 +39,11 @@ struct JsonValue {
 };
 
 // Parse `text` as one JSON document (trailing whitespace allowed, nothing else).
-// On failure returns false and sets `error` to a message with a byte offset.
+// On failure returns false and sets `error` to a message with the byte offset and
+// line/column of the violation. Hardened against hostile input: container nesting
+// beyond 200 levels is rejected (not recursed into), so truncated, garbage, or
+// adversarial bytes fed to the baseline and checkpoint loaders fail closed with a
+// diagnostic instead of overflowing the stack.
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
 
 }  // namespace ace

@@ -1,6 +1,15 @@
 #include "src/threads/runtime.h"
 
+#include <cstdio>
+
 namespace ace {
+namespace {
+
+// Internal unwind signal: thrown by MaybeYield once killing_ is set, caught by
+// FiberTrampoline. Never escapes the runtime (callers see RunKilledError instead).
+struct FiberKill {};
+
+}  // namespace
 
 thread_local Runtime* Runtime::active_ = nullptr;
 
@@ -81,7 +90,18 @@ void Runtime::FiberTrampoline() {
   Runtime* rt = active_;
   ACE_CHECK(rt != nullptr && rt->current_ >= 0);
   Fiber& fiber = *rt->fibers_[static_cast<std::size_t>(rt->current_)];
-  (*rt->body_)(fiber.env.tid_, fiber.env);
+  try {
+    (*rt->body_)(fiber.env.tid_, fiber.env);
+  } catch (const FiberKill&) {
+    // Watchdog unwind: the fiber's stack has been cleanly destroyed; nothing to do.
+  } catch (...) {
+    // Application code threw. Remember the first exception and unwind the sibling
+    // fibers too (their stacks must be destroyed before Run can rethrow).
+    if (!rt->fiber_exception_) {
+      rt->fiber_exception_ = std::current_exception();
+    }
+    rt->killing_ = true;
+  }
   fiber.finished = true;
   rt->live_count_--;
   // Return to the scheduler for good; this context is never resumed.
@@ -135,6 +155,9 @@ TimeNs Runtime::DeadlineFor(int chosen) const {
 }
 
 void Runtime::MaybeYield(Env& env, bool voluntary) {
+  if (killing_) {
+    throw FiberKill{};
+  }
   Fiber& fiber = *fibers_[static_cast<std::size_t>(env.tid_)];
 
   if (options_.scheduler == SchedulerKind::kMigrating) {
@@ -162,15 +185,67 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
   }
   fiber.seq = next_seq_++;
   swapcontext(&fiber.ctx, &scheduler_ctx_);
+  if (killing_) {
+    // The kill arrived while this fiber was parked; unwind before touching the
+    // machine again.
+    throw FiberKill{};
+  }
+}
+
+void Runtime::CheckWatchdog(int next) {
+  const WatchdogLimits& wd = options_.watchdog;
+  if (killing_ || !wd.enabled()) {
+    return;
+  }
+  const Fiber& fiber = *fibers_[static_cast<std::size_t>(next)];
+  TimeNs clock = ProcNow(fiber.env.proc_);
+  char summary[160];
+  if (wd.deadline_ns > 0 && clock > wd.deadline_ns) {
+    std::snprintf(summary, sizeof summary,
+                  "earliest runnable virtual clock %lld ns passed the deadline of "
+                  "%lld ns",
+                  static_cast<long long>(clock), static_cast<long long>(wd.deadline_ns));
+    killing_ = true;
+    kill_reason_ = "watchdog-deadline";
+    kill_detail_ = BuildKillReport(*machine_, wd, summary);
+    return;
+  }
+  const MachineStats& stats = machine_->stats();
+  std::uint64_t traffic = stats.ownership_moves + stats.page_syncs;
+  if (wd.move_budget > 0 && traffic > wd.move_budget) {
+    std::snprintf(summary, sizeof summary,
+                  "consistency traffic (ownership_moves + page_syncs = %llu) passed "
+                  "the move budget of %llu",
+                  static_cast<unsigned long long>(traffic),
+                  static_cast<unsigned long long>(wd.move_budget));
+    killing_ = true;
+    kill_reason_ = "watchdog-livelock";
+    kill_detail_ = BuildKillReport(*machine_, wd, summary);
+  }
 }
 
 void Runtime::Run(int num_threads, const Body& body) {
   ACE_CHECK(num_threads >= 1);
   ACE_CHECK_MSG(active_ == nullptr, "nested Runtime::Run is not supported");
+  // Restore the per-host-thread dispatch state on every exit path. Without this an
+  // exception escaping Run leaves the thread_local active_ dangling, corrupting the
+  // next simulation the sweep pool schedules onto this host thread.
+  struct DispatchStateGuard {
+    Runtime* rt;
+    ~DispatchStateGuard() {
+      rt->current_ = -1;
+      rt->body_ = nullptr;
+      active_ = nullptr;
+    }
+  } guard{this};
   active_ = this;
   body_ = &body;
   fibers_.clear();
   live_count_ = num_threads;
+  killing_ = false;
+  kill_reason_.clear();
+  kill_detail_.clear();
+  fiber_exception_ = nullptr;
 
   for (int i = 0; i < num_threads; ++i) {
     auto fiber = std::make_unique<Fiber>();
@@ -191,6 +266,7 @@ void Runtime::Run(int num_threads, const Body& body) {
   while (live_count_ > 0) {
     int next = PickNext();
     ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
+    CheckWatchdog(next);
     current_ = next;
     current_deadline_ = DeadlineFor(next);
     Fiber& fiber = *fibers_[static_cast<std::size_t>(next)];
@@ -199,9 +275,13 @@ void Runtime::Run(int num_threads, const Body& body) {
     swapcontext(&scheduler_ctx_, &fiber.ctx);
   }
 
-  current_ = -1;
-  body_ = nullptr;
-  active_ = nullptr;
+  // Every fiber stack has been unwound; safe to surface what ended the run.
+  if (fiber_exception_) {
+    std::rethrow_exception(fiber_exception_);
+  }
+  if (killing_) {
+    throw RunKilledError(kill_reason_, kill_detail_);
+  }
 }
 
 }  // namespace ace

@@ -19,13 +19,16 @@
 #include <ucontext.h>
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/types.h"
 #include "src/machine/machine.h"
+#include "src/threads/watchdog.h"
 
 namespace ace {
 
@@ -80,6 +83,11 @@ class Runtime {
     TimeNs migrate_quantum_ns = 2'000'000;
     // Timeslice used only when several threads share one processor.
     TimeNs timeslice_ns = 1'000'000;
+    // Hung-run limits, checked once per context switch. Disabled by default: the
+    // checks are two integer compares and change no scheduling decision, so the
+    // happy path stays bit-identical. When a limit trips, Run() unwinds every fiber
+    // and throws RunKilledError (see watchdog.h).
+    WatchdogLimits watchdog;
   };
 
   Runtime(Machine* machine, Task* task, Options options);
@@ -118,6 +126,10 @@ class Runtime {
 
   static void FiberTrampoline();
 
+  // Check watchdog limits before dispatching `next`; on a trip, record the kill
+  // reason/diagnostics and flip killing_ so every fiber unwinds at its next Env op.
+  void CheckWatchdog(int next);
+
   // Called by Env after every time-advancing operation: switch to the scheduler if
   // this thread's processor clock is no longer the minimum.
   void MaybeYield(Env& env, bool voluntary);
@@ -143,6 +155,14 @@ class Runtime {
 
   std::uint64_t context_switches_ = 0;
   std::uint64_t migrations_ = 0;
+
+  // Kill state: set once (by the watchdog or by a fiber's escaped exception), then
+  // every fiber throws an internal unwind exception at its next Env operation. Run()
+  // rethrows once all fibers have finished.
+  bool killing_ = false;
+  std::string kill_reason_;
+  std::string kill_detail_;
+  std::exception_ptr fiber_exception_;
 
   // Thread-local so independent simulations may run concurrently on host threads
   // (the sweep engine, src/metrics/sweep); a runtime never spans host threads.

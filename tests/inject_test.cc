@@ -56,16 +56,60 @@ TEST(FaultPlan, ParsedFieldsAreExact) {
   EXPECT_EQ(plan.schedules[0].t_end, 20);
 }
 
+// One case per malformed-grammar class. Every rejection must name the offending
+// schedule substring and its byte offset so a bad entry in a long plan is findable
+// without bisecting.
 TEST(FaultPlan, RejectsMalformedInput) {
-  FaultPlan plan;
-  std::string error;
-  EXPECT_FALSE(FaultPlan::Parse("no-such-site@always", &plan, &error));
-  EXPECT_FALSE(error.empty());
-  EXPECT_FALSE(FaultPlan::Parse("copy-fail@sometimes", &plan, &error));
-  EXPECT_FALSE(FaultPlan::Parse("copy-fail", &plan, &error));
-  EXPECT_FALSE(FaultPlan::Parse("copy-fail@nth:", &plan, &error));
-  EXPECT_FALSE(FaultPlan::Parse("copy-fail@p:1.5", &plan, &error));
-  EXPECT_FALSE(FaultPlan::Parse("copy-fail@p:-0.1", &plan, &error));
+  struct Case {
+    const char* text;      // the whole plan handed to Parse
+    const char* schedule;  // the schedule substring the error must quote
+    std::size_t offset;    // its byte offset in `text`
+  };
+  const Case kCases[] = {
+      {"copy-fail", "copy-fail", 0},                       // missing '@trigger'
+      {"no-such-site@always", "no-such-site@always", 0},   // unknown site
+      {"copy-fail@sometimes", "copy-fail@sometimes", 0},   // unknown trigger kind
+      {"copy-fail@nth:", "copy-fail@nth:", 0},             // nth without a count
+      {"copy-fail@nth:0", "copy-fail@nth:0", 0},           // nth of zero
+      {"copy-fail@every:x", "copy-fail@every:x", 0},       // non-numeric period
+      {"copy-fail@p:1.5", "copy-fail@p:1.5", 0},           // probability > 1
+      {"copy-fail@p:-0.1", "copy-fail@p:-0.1", 0},         // probability < 0
+      {"copy-fail@p:zzz", "copy-fail@p:zzz", 0},           // non-numeric probability
+      {"copy-fail@p:0.5:abc", "copy-fail@p:0.5:abc", 0},   // malformed seed
+      {"copy-fail@window:9", "copy-fail@window:9", 0},     // window missing T1
+      {"copy-fail@window:5:5", "copy-fail@window:5:5", 0}, // empty window (T1 <= T0)
+      {"copy-fail@window:a:b", "copy-fail@window:a:b", 0}, // non-numeric window bounds
+      // The bad schedule buried mid-plan: the offset must point at it, not at 0.
+      {"frame-alloc@nth:2;copy-fail@bogus;skip-sync@always", "copy-fail@bogus", 18},
+  };
+  for (const Case& c : kCases) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(c.text, &plan, &error)) << c.text;
+    EXPECT_NE(error.find(std::string("'") + c.schedule + "'"), std::string::npos)
+        << c.text << ": error does not quote the schedule: " << error;
+    EXPECT_NE(error.find("at offset " + std::to_string(c.offset)), std::string::npos)
+        << c.text << ": error does not carry the offset: " << error;
+  }
+}
+
+// Every *well-formed* trigger class round-trips Format -> Parse -> Format exactly,
+// so replay command lines built from Format() always re-parse.
+TEST(FaultPlan, EveryTriggerClassRoundTrips) {
+  const char* kPlans[] = {
+      "copy-fail@nth:1",
+      "local-exhausted@every:7",
+      "pool-exhausted@p:0.125",
+      "victim-contention@p:0.25:1234",
+      "frame-alloc@window:100:2000",
+      "skip-move-count@always",
+  };
+  for (const char* text : kPlans) {
+    FaultPlan plan = Plan(text);
+    ASSERT_EQ(plan.schedules.size(), 1u) << text;
+    EXPECT_EQ(plan.Format(), text);
+    EXPECT_EQ(Plan(plan.Format()).Format(), text);
+  }
 }
 
 TEST(FaultPlan, ToleratesStraySeparators) {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Preemption recovery: SIGKILL a checkpointed ace_bench sweep mid-run, resume from
+# the journal, and require the merged result to be byte-identical to an
+# uninterrupted reference run (the tentpole acceptance criterion; CI runs the same
+# sequence in the preemption-recovery job).
+set -eu
+
+ACE_BENCH="$1"
+WORKDIR="$2"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+
+SWEEP="--suite smoke --threads 3 --scale 0.1 --quiet --no-host"
+
+# The uninterrupted reference (--no-host drops wall-clock stats, the only
+# run-to-run-varying bytes).
+"$ACE_BENCH" $SWEEP --workers 4 --out reference.json
+
+# A checkpointed run on one worker (slow enough to catch mid-sweep), killed with
+# SIGKILL — no cleanup handlers, exactly like an OOM-kill or a preempted CI runner.
+"$ACE_BENCH" $SWEEP --workers 1 --checkpoint ckpt --out never_written.json &
+pid=$!
+i=0
+while [ "$i" -lt 200 ]; do
+  n=$(ls ckpt 2>/dev/null | grep -c '\.json$' || true)
+  [ "${n:-0}" -ge 1 ] && break
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.05
+  i=$((i + 1))
+done
+kill -9 "$pid" 2>/dev/null || echo "note: sweep finished before SIGKILL landed"
+wait "$pid" 2>/dev/null || true
+
+frags=$(ls ckpt | grep -c '\.json$' || true)
+echo "SIGKILL with $frags fragment(s) journaled"
+[ "$frags" -ge 1 ] || { echo "FAIL: no fragments journaled before the kill"; exit 1; }
+
+# Resume: completed cells load from the journal, the rest run live.
+"$ACE_BENCH" $SWEEP --workers 4 --checkpoint ckpt --resume --out resumed.json
+
+cmp reference.json resumed.json
+echo "PASS: resumed result is byte-identical to the uninterrupted reference"

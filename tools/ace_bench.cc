@@ -14,15 +14,30 @@
 //   ace_bench --suite full --render
 //   ace_bench --list
 //
+// Resilient long runs (DESIGN.md section 9): --checkpoint journals every completed
+// cell as an atomic self-validating fragment, --resume skips them on the next
+// invocation and produces a merged result whose cell bytes are identical to an
+// uninterrupted run; --deadline/--move-budget arm the hung-run watchdog;
+// --retries/--backoff retry cells that die; persistent deaths are quarantined into
+// --failures FILE instead of aborting the sweep.
+//
+//   ace_bench --suite full --checkpoint ckpt/ --out BENCH_full.json
+//   ace_bench --suite full --checkpoint ckpt/ --resume --out BENCH_full.json
+//   ace_bench --suite smoke --deadline 30000000000 --move-budget 2000000 \
+//             --retries 2 --failures failures.json
+//
 // Exit codes: 0 success; 1 baseline regression; 2 usage error; 3 an application's
-// self-verification failed.
+// self-verification failed; 4 cells were quarantined under --fail-fast.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
+#include "src/inject/fault_plan.h"
 #include "src/metrics/sweep/baseline.h"
+#include "src/metrics/sweep/checkpoint.h"
 #include "src/metrics/sweep/matrix.h"
 #include "src/metrics/sweep/render.h"
 #include "src/metrics/sweep/report.h"
@@ -45,6 +60,24 @@ void Usage() {
       "  --threads N            override every cell's thread count\n"
       "  --scale X              override every cell's workload scale\n"
       "  --quiet                suppress per-cell progress lines\n"
+      "resilience (DESIGN.md section 9):\n"
+      "  --checkpoint DIR       journal each completed cell into DIR (atomic\n"
+      "                         one-cell fragments; survives SIGKILL)\n"
+      "  --resume               with --checkpoint: load DIR, skip completed cells\n"
+      "  --deadline NS          watchdog: virtual-time budget for a scale-1 cell\n"
+      "                         (scaled by each cell's scale); kills wedged cells\n"
+      "  --move-budget N        watchdog: kill when ownership moves + syncs pass N\n"
+      "                         (catches page ping-pong livelock)\n"
+      "  --retries N            re-run a cell that died up to N extra times\n"
+      "  --backoff MS           base host backoff between attempts (jittered)\n"
+      "  --isolate              fork each cell so aborts/signals kill only it\n"
+      "  --fail-fast            stop starting cells after the first quarantine;\n"
+      "                         exit 4 when anything was quarantined\n"
+      "  --failures FILE        write quarantined cells as ace-failures-v1 JSON\n"
+      "  --plan PLAN            fault-injection plan applied to every cell\n"
+      "  --fault-seed N         seed for probabilistic plan schedules\n"
+      "  --only SUBSTR          run only cells whose key contains SUBSTR (replay)\n"
+      "  --no-host              omit host stats from --out (byte-comparable)\n"
       "all options also accept the --opt=value spelling.\n");
 }
 
@@ -58,6 +91,19 @@ struct Args {
   bool quiet = false;
   int threads = 0;
   double scale = 0.0;
+  std::string checkpoint;
+  bool resume = false;
+  long long deadline_ns = 0;
+  unsigned long long move_budget = 0;
+  int retries = 0;
+  int backoff_ms = 0;
+  bool isolate = false;
+  bool fail_fast = false;
+  std::string failures;
+  std::string plan;
+  unsigned long long fault_seed = 0;
+  std::string only;
+  bool no_host = false;
 };
 
 // Returns the option value for `name` ("--name value" or "--name=value"), advancing
@@ -84,11 +130,31 @@ const char* OptValue(int argc, char** argv, int* i, const char* name) {
 
 bool OptFlag(const char* arg, const char* name) { return std::strcmp(arg, name) == 0; }
 
+struct ProgressCtx {
+  ace::SweepCheckpoint* checkpoint = nullptr;  // non-null: journal completed cells
+  bool quiet = false;
+};
+
 void Progress(void* ctx, const ace::CellResult& result, std::size_t done,
               std::size_t total) {
-  (void)ctx;
-  std::fprintf(stderr, "[%3zu/%3zu] %-40s %s\n", done, total, result.cell.Key().c_str(),
-               result.ok ? "ok" : "FAILED");
+  auto* pc = static_cast<ProgressCtx*>(ctx);
+  if (!pc->quiet) {
+    const char* verdict = result.ok ? "ok" : "FAILED";
+    if (result.from_checkpoint) {
+      verdict = "resumed";
+    } else if (result.died()) {
+      verdict = result.failure_kind.c_str();
+    }
+    std::fprintf(stderr, "[%3zu/%3zu] %-40s %s\n", done, total,
+                 result.cell.Key().c_str(), verdict);
+  }
+  // Journal executed cells (resumed ones are already on disk, byte-identically).
+  if (pc->checkpoint != nullptr && !result.from_checkpoint) {
+    std::string error;
+    if (!pc->checkpoint->RecordCell(result, &error)) {
+      std::fprintf(stderr, "WARNING: checkpoint write failed: %s\n", error.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -109,6 +175,32 @@ int main(int argc, char** argv) {
       args.threads = std::atoi(v);
     } else if ((v = OptValue(argc, argv, &i, "--scale")) != nullptr) {
       args.scale = std::atof(v);
+    } else if ((v = OptValue(argc, argv, &i, "--checkpoint")) != nullptr) {
+      args.checkpoint = v;
+    } else if ((v = OptValue(argc, argv, &i, "--deadline")) != nullptr) {
+      args.deadline_ns = std::atoll(v);
+    } else if ((v = OptValue(argc, argv, &i, "--move-budget")) != nullptr) {
+      args.move_budget = std::strtoull(v, nullptr, 10);
+    } else if ((v = OptValue(argc, argv, &i, "--retries")) != nullptr) {
+      args.retries = std::atoi(v);
+    } else if ((v = OptValue(argc, argv, &i, "--backoff")) != nullptr) {
+      args.backoff_ms = std::atoi(v);
+    } else if ((v = OptValue(argc, argv, &i, "--failures")) != nullptr) {
+      args.failures = v;
+    } else if ((v = OptValue(argc, argv, &i, "--plan")) != nullptr) {
+      args.plan = v;
+    } else if ((v = OptValue(argc, argv, &i, "--fault-seed")) != nullptr) {
+      args.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = OptValue(argc, argv, &i, "--only")) != nullptr) {
+      args.only = v;
+    } else if (OptFlag(argv[i], "--resume")) {
+      args.resume = true;
+    } else if (OptFlag(argv[i], "--isolate")) {
+      args.isolate = true;
+    } else if (OptFlag(argv[i], "--fail-fast")) {
+      args.fail_fast = true;
+    } else if (OptFlag(argv[i], "--no-host")) {
+      args.no_host = true;
     } else if (OptFlag(argv[i], "--render")) {
       args.render = true;
     } else if (OptFlag(argv[i], "--list")) {
@@ -143,11 +235,77 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (args.resume && args.checkpoint.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint DIR\n");
+    return 2;
+  }
+
   ace::Suite suite = ace::MakeSuite(args.suite, args.threads, args.scale);
+  if (!args.plan.empty()) {
+    ace::FaultPlan parsed;
+    std::string error;
+    if (!ace::FaultPlan::Parse(args.plan, &parsed, &error)) {
+      std::fprintf(stderr, "invalid --plan: %s\n", error.c_str());
+      return 2;
+    }
+    for (ace::SweepCell& cell : suite.cells) {
+      cell.fault_plan = args.plan;
+      cell.fault_seed = args.fault_seed;
+    }
+  }
+  if (!args.only.empty()) {
+    std::vector<ace::SweepCell> kept;
+    for (const ace::SweepCell& cell : suite.cells) {
+      if (cell.Key().find(args.only) != std::string::npos) {
+        kept.push_back(cell);
+      }
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "--only '%s' matches no cell of suite %s\n",
+                   args.only.c_str(), suite.name.c_str());
+      return 2;
+    }
+    suite.cells = std::move(kept);
+  }
+
   ace::SweepOptions options;
   options.workers = args.workers;
-  if (!args.quiet) {
+  options.resilience.watchdog.deadline_ns = args.deadline_ns;
+  options.resilience.watchdog.move_budget = args.move_budget;
+  options.resilience.max_attempts = args.retries + 1;
+  options.resilience.backoff_ms =
+      args.backoff_ms > 0 ? static_cast<std::uint32_t>(args.backoff_ms) : 0;
+  options.resilience.isolate = args.isolate;
+  options.resilience.fail_fast = args.fail_fast;
+
+  ace::SweepCheckpoint checkpoint;
+  std::map<std::string, ace::CellResult> resumed;
+  if (!args.checkpoint.empty()) {
+    std::string error;
+    if (!checkpoint.Open(args.checkpoint, suite.name, options.base_config, &error)) {
+      std::fprintf(stderr, "ERROR: %s\n", error.c_str());
+      return 2;
+    }
+    if (args.resume) {
+      // Fail closed: a corrupt fragment is a hard error, not a silent re-run.
+      if (!checkpoint.LoadCompleted(&resumed, &error)) {
+        std::fprintf(stderr, "ERROR: resume failed: %s\n", error.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "resume: %zu completed cell(s) loaded from %s\n",
+                   resumed.size(), args.checkpoint.c_str());
+      options.resumed = &resumed;
+    }
+  }
+
+  ProgressCtx progress_ctx;
+  progress_ctx.quiet = args.quiet;
+  if (!args.checkpoint.empty()) {
+    progress_ctx.checkpoint = &checkpoint;
+  }
+  if (!args.quiet || progress_ctx.checkpoint != nullptr) {
     options.progress = Progress;
+    options.progress_ctx = &progress_ctx;
   }
 
   std::fprintf(stderr, "suite %s: %zu cells on %s workers\n", suite.name.c_str(),
@@ -171,11 +329,56 @@ int main(int argc, char** argv) {
 
   if (!args.out.empty()) {
     std::string error;
-    if (!ace::WriteSweepJsonFile(result, args.out, &error)) {
+    if (!ace::WriteSweepJsonFile(result, args.out, &error, !args.no_host)) {
       std::fprintf(stderr, "ERROR writing %s: %s\n", args.out.c_str(), error.c_str());
       return 2;
     }
     std::printf("wrote %s\n", args.out.c_str());
+  }
+
+  if (!args.failures.empty()) {
+    // Fill the replay column: the invocation re-running exactly that one cell.
+    for (ace::CellFailure& failure : result.failures) {
+      std::string replay = "ace_bench --suite " + args.suite;
+      if (args.threads > 0) {
+        replay += " --threads " + std::to_string(args.threads);
+      }
+      if (args.scale > 0.0) {
+        replay += " --scale " + std::to_string(args.scale);
+      }
+      if (!args.plan.empty()) {
+        replay += " --plan '" + args.plan + "'";
+        if (args.fault_seed != 0) {
+          replay += " --fault-seed " + std::to_string(args.fault_seed);
+        }
+      }
+      if (args.deadline_ns > 0) {
+        replay += " --deadline " + std::to_string(args.deadline_ns);
+      }
+      if (args.move_budget > 0) {
+        replay += " --move-budget " + std::to_string(args.move_budget);
+      }
+      if (args.isolate) {
+        replay += " --isolate";
+      }
+      replay += " --only '" + failure.key + "'";
+      failure.replay = std::move(replay);
+    }
+    std::string error;
+    if (!ace::WriteFailuresJson(args.suite, result.failures, args.failures, &error)) {
+      std::fprintf(stderr, "ERROR writing %s: %s\n", args.failures.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu quarantined)\n", args.failures.c_str(),
+                result.failures.size());
+  }
+
+  if (!result.failures.empty()) {
+    std::fprintf(stderr, "\n%zu cell(s) quarantined:\n", result.failures.size());
+    for (const ace::CellFailure& failure : result.failures) {
+      std::fprintf(stderr, "  %s: %s after %d attempt(s)\n", failure.key.c_str(),
+                   failure.kind.c_str(), failure.attempts);
+    }
   }
 
   int exit_code = 0;
@@ -191,14 +394,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!result.AllOk()) {
-    for (const ace::CellResult& cell : result.cells) {
-      if (!cell.ok) {
-        std::fprintf(stderr, "verification FAILED: %s: %s\n", cell.cell.Key().c_str(),
-                     cell.detail.c_str());
-      }
+  // Verification failures (a run that completed but computed the wrong answer) are
+  // always fatal; quarantined deaths fail the invocation only under --fail-fast —
+  // that is the whole point of quarantine (and the baseline comparison above already
+  // flags the coverage loss as missing cells).
+  bool verify_failed = false;
+  for (const ace::CellResult& cell : result.cells) {
+    if (!cell.ok && !cell.died()) {
+      std::fprintf(stderr, "verification FAILED: %s: %s\n", cell.cell.Key().c_str(),
+                   cell.detail.c_str());
+      verify_failed = true;
     }
+  }
+  if (verify_failed) {
     return 3;
+  }
+  if (args.fail_fast && !result.failures.empty()) {
+    return 4;
   }
   return exit_code;
 }

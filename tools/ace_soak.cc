@@ -25,22 +25,34 @@
 // empties the page pool makes the application legitimately run out of memory, which
 // is not a robustness bug. The protocol-mutation sites (skip-sync, skip-move-count)
 // are excluded: they corrupt results by design and belong to ace_conform.
+//
+// Long soaks survive preemption: --checkpoint FILE keeps an append-only journal
+// ("ace-soak-journal-v1" header, then one `<seed> ok|FAIL` line per completed seed,
+// flushed after each run, torn final lines ignored), and --resume skips journaled
+// seeds while preserving their verdicts in the totals. --run-timeout arms an
+// alarm() in each forked child so a hung run dies with SIGALRM and is reported as
+// a violation instead of wedging the harness. --failures-json writes quarantined
+// seeds in the ace-failures-v1 schema with replayable command lines.
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/apps/app.h"
 #include "src/inject/fault_plan.h"
 #include "src/machine/machine.h"
+#include "src/metrics/sweep/checkpoint.h"
 #include "src/threads/runtime.h"
 
 namespace {
@@ -258,6 +270,10 @@ std::string RunInProcess(const RunSpec& spec) {
   return "";
 }
 
+// Per-child wall-clock budget (0 = unlimited), armed via alarm() inside the fork so
+// a hung run dies with SIGALRM instead of wedging the whole soak.
+unsigned g_run_timeout_sec = 0;
+
 // Run the spec in a forked child: an ACE_CHECK abort (SIGABRT) or any other crash
 // becomes a reported violation instead of taking the harness down.
 std::string RunForked(const RunSpec& spec) {
@@ -273,6 +289,9 @@ std::string RunForked(const RunSpec& spec) {
   }
   if (pid == 0) {
     close(fds[0]);
+    if (g_run_timeout_sec > 0) {
+      alarm(g_run_timeout_sec);
+    }
     std::string what = RunInProcess(spec);
     if (!what.empty()) {
       ssize_t ignored = write(fds[1], what.data(), what.size());
@@ -292,9 +311,14 @@ std::string RunForked(const RunSpec& spec) {
   int status = 0;
   waitpid(pid, &status, 0);
   if (WIFSIGNALED(status)) {
-    char sig[96];
-    std::snprintf(sig, sizeof sig, "child died with signal %d (%s)", WTERMSIG(status),
-                  WTERMSIG(status) == SIGABRT ? "ACE_CHECK abort" : strsignal(WTERMSIG(status)));
+    char sig[128];
+    if (WTERMSIG(status) == SIGALRM && g_run_timeout_sec > 0) {
+      std::snprintf(sig, sizeof sig, "child died with signal %d (hung run killed after %us by --run-timeout)",
+                    WTERMSIG(status), g_run_timeout_sec);
+    } else {
+      std::snprintf(sig, sizeof sig, "child died with signal %d (%s)", WTERMSIG(status),
+                    WTERMSIG(status) == SIGABRT ? "ACE_CHECK abort" : strsignal(WTERMSIG(status)));
+    }
     return sig;
   }
   if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
@@ -323,10 +347,104 @@ RunSpec ShrinkPlan(RunSpec spec) {
   return spec;
 }
 
+// The soak checkpoint journal: a header line, then one `<seed> ok|FAIL` record per
+// completed seed, appended and flushed as each run finishes. A record is only
+// trusted when its newline landed, so a SIGKILL mid-append costs at most one
+// re-run, never a misparse.
+constexpr const char kSoakJournalHeader[] = "ace-soak-journal-v1";
+
+// Parse one complete journal record. Strict: anything but `<digits> ok` or
+// `<digits> FAIL` is rejected.
+bool ParseJournalLine(const std::string& line, std::uint64_t* seed, bool* ok) {
+  const char* p = line.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p || errno != 0 || *end != ' ') {
+    return false;
+  }
+  std::string verdict(end + 1);
+  if (verdict == "ok") {
+    *ok = true;
+  } else if (verdict == "FAIL") {
+    *ok = false;
+  } else {
+    return false;
+  }
+  *seed = v;
+  return true;
+}
+
+// Load a journal for --resume. Missing file = fresh start. A wrong header or a
+// malformed *interior* line fails closed (the file is not ours, or is corrupt in a
+// way a torn write cannot explain); a final line without its newline is the
+// expected torn-append shape and is dropped (that seed re-runs). Sets
+// `valid_bytes` to the length of the newline-terminated prefix so the caller can
+// truncate the torn fragment away before appending.
+bool LoadSoakJournal(const std::string& path, std::map<std::uint64_t, bool>* completed,
+                     std::size_t* valid_bytes, bool* torn, std::string* error) {
+  *valid_bytes = 0;
+  *torn = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return true;  // no journal yet: nothing to resume
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  bool torn_tail = !contents.empty() && contents.back() != '\n';
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(contents.substr(pos));
+      break;
+    }
+    lines.push_back(contents.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (torn_tail) {
+    lines.pop_back();  // torn final append: ignore, that seed just re-runs
+    *torn = true;
+    *valid_bytes = pos;  // start of the torn fragment
+  } else {
+    *valid_bytes = contents.size();
+  }
+  if (lines.empty()) {
+    *error = path + ": journal is empty" + (torn_tail ? " (torn header write)" : "");
+    return false;
+  }
+  if (lines[0] != kSoakJournalHeader) {
+    *error = path + ": bad journal header '" + lines[0] + "' (want '" + kSoakJournalHeader +
+             "') — refusing to resume from a file this harness did not write";
+    return false;
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::uint64_t seed = 0;
+    bool ok = false;
+    if (!ParseJournalLine(lines[i], &seed, &ok)) {
+      *error = path + ": malformed journal line " + std::to_string(i + 1) + ": '" + lines[i] +
+               "'";
+      return false;
+    }
+    (*completed)[seed] = ok;
+  }
+  return true;
+}
+
+// Classify a RunForked violation string for the quarantine record.
+std::string FailureKind(const std::string& what) {
+  int sig = 0;
+  if (std::sscanf(what.c_str(), "child died with signal %d", &sig) == 1) {
+    return "signal:" + std::to_string(sig);
+  }
+  return "soak-violation";
+}
+
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed N] [--time-budget SECONDS[s]]\n"
-               "          [--repro-out FILE] [--quiet]\n"
+               "          [--repro-out FILE] [--checkpoint FILE] [--resume]\n"
+               "          [--run-timeout SECONDS] [--failures-json FILE] [--quiet]\n"
                "   or: %s --replay --app NAME --threads N --scale X --variant N\n"
                "          --policy P --threshold N [--migrating] [--pager]\n"
                "          --fault-seed N --plan STR\n",
@@ -354,6 +472,9 @@ int main(int argc, char** argv) {
   std::uint64_t start_seed = 1;
   double time_budget_sec = 0;  // 0 = unlimited
   std::string repro_out;
+  std::string checkpoint_path;
+  std::string failures_json;
+  bool resume = false;
   bool quiet = false;
   bool replay = false;
   RunSpec replay_spec;
@@ -388,6 +509,14 @@ int main(int argc, char** argv) {
       time_budget_sec = ParseSeconds(next());
     } else if (arg == "--repro-out") {
       repro_out = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--run-timeout") {
+      g_run_timeout_sec = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    } else if (arg == "--failures-json") {
+      failures_json = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--replay") {
@@ -439,13 +568,59 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    return 2;
+  }
+
+  // Load (resume) or start the journal. Resume fails closed on a file that is not a
+  // valid soak journal; a fresh --checkpoint run truncates whatever was there.
+  std::map<std::uint64_t, bool> completed;
+  std::FILE* journal = nullptr;
+  if (!checkpoint_path.empty()) {
+    std::size_t valid_bytes = 0;
+    bool torn = false;
+    if (resume) {
+      std::string error;
+      if (!LoadSoakJournal(checkpoint_path, &completed, &valid_bytes, &torn, &error)) {
+        std::fprintf(stderr, "resume: %s\n", error.c_str());
+        return 2;
+      }
+      // Cut the torn fragment off before appending — sealing it with a newline would
+      // leave a malformed record that poisons the *next* resume.
+      if (torn && truncate(checkpoint_path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+        std::fprintf(stderr, "cannot truncate torn journal tail in '%s': %s\n",
+                     checkpoint_path.c_str(), std::strerror(errno));
+        return 2;
+      }
+    }
+    bool fresh = !resume || valid_bytes == 0;
+    journal = std::fopen(checkpoint_path.c_str(), fresh ? "w" : "a");
+    if (journal == nullptr) {
+      std::fprintf(stderr, "cannot open checkpoint journal '%s': %s\n", checkpoint_path.c_str(),
+                   std::strerror(errno));
+      return 2;
+    }
+    if (fresh) {
+      std::fprintf(journal, "%s\n", kSoakJournalHeader);
+    }
+    std::fflush(journal);
+    if (resume && !completed.empty()) {
+      std::printf("resume: %zu completed seed(s) loaded from %s\n", completed.size(),
+                  checkpoint_path.c_str());
+    }
+  }
+
   auto t0 = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   };
 
   std::uint64_t ran = 0;
+  std::uint64_t resumed = 0;
   int failures = 0;
+  int live_failures = 0;
+  std::vector<ace::CellFailure> quarantine;
   for (std::uint64_t n = 0; n < seeds; ++n) {
     if (time_budget_sec > 0 && elapsed() > time_budget_sec) {
       std::printf("time budget (%.0fs) reached after %llu of %llu seeds\n", time_budget_sec,
@@ -453,9 +628,32 @@ int main(int argc, char** argv) {
       break;
     }
     std::uint64_t seed = start_seed + n;
+    auto done = completed.find(seed);
+    if (done != completed.end()) {
+      ++resumed;
+      if (!done->second) {
+        ++failures;
+        ace::CellFailure f;
+        f.key = "seed=" + std::to_string(seed);
+        f.kind = "journaled";
+        f.detail = "failure recorded in checkpoint journal before resume";
+        f.replay = ReplayCommand(DeriveRun(seed));
+        quarantine.push_back(std::move(f));
+      }
+      if (!quiet) {
+        std::printf("seed %-4llu %-5s (resumed from journal)\n",
+                    static_cast<unsigned long long>(seed), done->second ? "ok" : "FAIL");
+      }
+      continue;
+    }
     RunSpec spec = DeriveRun(seed);
     std::string what = RunForked(spec);
     ++ran;
+    if (journal != nullptr) {
+      std::fprintf(journal, "%llu %s\n", static_cast<unsigned long long>(seed),
+                   what.empty() ? "ok" : "FAIL");
+      std::fflush(journal);
+    }
     if (what.empty()) {
       if (!quiet) {
         std::printf("seed %-4llu ok    %s\n", static_cast<unsigned long long>(seed),
@@ -464,6 +662,7 @@ int main(int argc, char** argv) {
       continue;
     }
     ++failures;
+    ++live_failures;
     std::printf("seed %-4llu FAIL  %s\n", static_cast<unsigned long long>(seed),
                 DescribeRun(spec).c_str());
     std::printf("  violation: %s\n", what.c_str());
@@ -473,12 +672,31 @@ int main(int argc, char** argv) {
                 shrunk.plan.Format().c_str());
     std::printf("  replay: %s\n", repro.c_str());
     if (!repro_out.empty()) {
-      std::ofstream out(repro_out, failures == 1 ? std::ios::trunc : std::ios::app);
+      std::ofstream out(repro_out, live_failures == 1 ? std::ios::trunc : std::ios::app);
       out << repro << "\n";
     }
+    ace::CellFailure f;
+    f.key = "seed=" + std::to_string(seed);
+    f.kind = FailureKind(what);
+    f.detail = what;
+    f.replay = std::move(repro);
+    quarantine.push_back(std::move(f));
+  }
+  if (journal != nullptr) {
+    std::fclose(journal);
   }
 
-  std::printf("soak: %llu run(s), %d violation(s), %.1fs\n",
-              static_cast<unsigned long long>(ran), failures, elapsed());
+  if (!failures_json.empty()) {
+    std::string error;
+    if (!ace::WriteFailuresJson("soak", quarantine, failures_json, &error)) {
+      std::fprintf(stderr, "failed to write %s: %s\n", failures_json.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu quarantined)\n", failures_json.c_str(), quarantine.size());
+  }
+
+  std::printf("soak: %llu run(s), %llu resumed, %d violation(s), %.1fs\n",
+              static_cast<unsigned long long>(ran), static_cast<unsigned long long>(resumed),
+              failures, elapsed());
   return failures > 0 ? 1 : 0;
 }
