@@ -1,7 +1,9 @@
 #include "src/conformance/differ.h"
 
+#include <iterator>
 #include <memory>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/numa/policies.h"
@@ -22,6 +24,86 @@ class NullMappings : public MappingControl {
  public:
   void RemoveMappingsOn(LogicalPage, ProcId) override {}
   void RemoveAllMappings(LogicalPage) override {}
+};
+
+// Software-TLB mirror (ConformConfig::tlb): caches every resolution per (proc, page)
+// and discards entries ONLY through the MappingControl callbacks — the exact
+// discipline Machine's per-processor TLB (src/machine/tlb.h) relies on. Unlike the
+// real direct-mapped TLB it never conflict-evicts, so every translation the protocol
+// failed to shoot down survives to be caught by Validate().
+class TlbMirror : public MappingControl {
+ public:
+  struct Entry {
+    FrameRef frame;
+    Protection prot = Protection::kNone;
+  };
+
+  void Install(ProcId proc, LogicalPage lp, FrameRef frame, Protection prot) {
+    entries_[Key(proc, lp)] = Entry{frame, prot};
+  }
+
+  void RemoveMappingsOn(LogicalPage lp, ProcId proc) override {
+    entries_.erase(Key(proc, lp));
+  }
+
+  void RemoveAllMappings(LogicalPage lp) override {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      it = (it->first & 0xffffffffu) == lp ? entries_.erase(it) : std::next(it);
+    }
+  }
+
+  // Is each surviving translation still the one the protocol would install? Derived
+  // from the resolution tables (numa_manager.cc): global mappings exist only while
+  // the page is Global-Writable; a processor's own-frame mapping requires its replica
+  // (writable only for the owning processor); a mapping of *another* node's frame
+  // exists only for remote-homed pages, pointing at the home frame.
+  std::optional<std::string> Validate(const NumaManager& manager) const {
+    for (const auto& [key, e] : entries_) {
+      ProcId proc = static_cast<ProcId>(key >> 32);
+      LogicalPage lp = static_cast<LogicalPage>(key & 0xffffffffu);
+      const NumaPageInfo& info = manager.PageInfo(lp);
+      if (StillValid(info, lp, proc, e)) {
+        continue;
+      }
+      std::ostringstream out;
+      out << "stale TLB entry: proc " << proc << " page " << lp << " -> "
+          << (e.frame.is_global() ? "global" : "local") << " node=" << e.frame.node
+          << " index=" << e.frame.index << " prot=" << ProtName(e.prot)
+          << " survived a transition to state=" << PageStateName(info.state)
+          << " owner=" << info.owner << " (missed shootdown)";
+      return out.str();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static std::uint64_t Key(ProcId proc, LogicalPage lp) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(proc)) << 32) | lp;
+  }
+
+  static bool StillValid(const NumaPageInfo& info, LogicalPage lp, ProcId proc,
+                         const Entry& e) {
+    if (e.frame.is_global()) {
+      return info.state == PageState::kGlobalWritable && e.frame.index == lp;
+    }
+    if (e.frame.node == proc) {
+      if (info.local_frame[static_cast<std::size_t>(proc)] != e.frame.index ||
+          !info.copies.Contains(proc)) {
+        return false;
+      }
+      bool owner_here = (info.state == PageState::kLocalWritable ||
+                         info.state == PageState::kRemoteHomed) &&
+                        info.owner == proc;
+      if (e.prot == Protection::kReadWrite) {
+        return owner_here;
+      }
+      return owner_here || info.state == PageState::kReadOnly;
+    }
+    return info.state == PageState::kRemoteHomed && info.owner == e.frame.node &&
+           info.local_frame[static_cast<std::size_t>(e.frame.node)] == e.frame.index;
+  }
+
+  std::unordered_map<std::uint64_t, Entry> entries_;
 };
 
 // SplitMix64: tiny, seedable, and good enough for operation streams.
@@ -100,7 +182,8 @@ struct Differ::Impl {
         phys(machine),
         clocks(machine.num_processors),
         policy(BuildPolicy(cc, &stats)),
-        manager(machine, &phys, &clocks, &stats, &bus, policy.get(), &mappings),
+        manager(machine, &phys, &clocks, &stats, &bus, policy.get(),
+                cc.tlb ? static_cast<MappingControl*>(&tlb) : &mappings),
         model(BuildModelConfig(cc)),
         obs(cc.num_processors, cc.pages, &clocks) {
     if (!cc.plan.empty()) {
@@ -127,6 +210,7 @@ struct Differ::Impl {
   IpcBus bus;
   std::unique_ptr<NumaPolicy> policy;
   NullMappings mappings;
+  TlbMirror tlb;  // real side's MappingControl when config.tlb — declared before manager
   NumaManager manager;
   RefModel model;
   Observability obs;
@@ -205,6 +289,11 @@ std::optional<std::string> Differ::Impl::CompareAll() {
       return out.str();
     }
   }
+  if (config.tlb) {
+    if (std::optional<std::string> stale = tlb.Validate(manager)) {
+      return stale;
+    }
+  }
   return std::nullopt;
 }
 
@@ -253,9 +342,15 @@ std::optional<std::string> Differ::Step(const ConformOp& op) {
         im.phys.WriteWord(got.frame, offset, op.value);
         im.model.WriteWord(op.lp, offset / kWordBytes, op.value);
       }
+      if (cc.tlb) {
+        im.tlb.Install(op.proc, op.lp, got.frame, got.prot);
+      }
       break;
     }
     case ConformOp::Kind::kFree:
+      // pmap_free_page drops the mappings before releasing the cache state
+      // (pmap_ace.cc); the mirror models the pmap, so it must do the same.
+      im.tlb.RemoveAllMappings(op.lp);
       im.manager.ResetPage(op.lp, op.proc);
       im.manager.MarkZeroPending(op.lp);
       im.model.FreePage(op.lp);

@@ -1,20 +1,46 @@
 #include "src/machine/machine.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace ace {
 
 namespace {
 // An access can fault at most twice before succeeding (no-mapping then protection, or
 // a Rosetta displacement refault); more retries indicate a protocol livelock.
 constexpr int kMaxFaultRetries = 4;
+
+// ACE_TLB / ACE_TLB_VERIFY: unset or empty keeps `fallback`; "0", "off" or "false"
+// disables; anything else enables.
+bool EnvToggle(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
 }  // namespace
 
 Machine::Machine(Options options)
     : options_(std::move(options)),
       page_shift_(options_.config.PageShift()),
+      page_mask_(options_.config.page_size - 1),
       clocks_(options_.config.num_processors),
       bus_(options_.bus),
+      tlb_(options_.config.num_processors, options_.config.tlb_entries),
       phys_(options_.config) {
   options_.config.Validate();
+  tlb_on_ = EnvToggle("ACE_TLB", options_.enable_tlb);
+#ifdef ACE_TLB_VERIFY_DEFAULT
+  const bool verify_default = true;
+#else
+  const bool verify_default = false;
+#endif
+  tlb_verify_on_ = EnvToggle(
+      "ACE_TLB_VERIFY",
+      options_.tlb_verify < 0 ? verify_default : options_.tlb_verify != 0);
+  RecomputeFastPathMode();
   if (options_.custom_policy != nullptr) {
     active_policy_ = options_.custom_policy;
   } else {
@@ -47,6 +73,11 @@ Machine::Machine(Options options)
   }
   pmap_ = std::make_unique<PmapAce>(options_.config, &phys_, &clocks_, &stats_, &bus_,
                                     active_policy_);
+  if (tlb_on_) {
+    // Every MMU mutation — whichever protocol path drove it — now shoots down the
+    // matching TLB entries before the translation changes.
+    pmap_->mmus().set_shootdown_sink(&tlb_);
+  }
   pool_ = std::make_unique<PagePool>(options_.config.global_pages, pmap_.get());
   if (options_.enable_pager) {
     pager_ = std::make_unique<AcePager>(options_.pager, pmap_.get(), pool_.get(), &clocks_,
@@ -70,6 +101,7 @@ Machine::Machine(Options options)
 }
 
 Machine::~Machine() {
+  FlushPendingRefs();
   for (auto& task : tasks_) {
     if (task != nullptr) {
       task->ReleaseAll(*pool_);
@@ -87,6 +119,9 @@ Task* Machine::CreateTask(const std::string& name) {
 }
 
 void Machine::DestroyTask(Task* task) {
+  // Teardown charges system time outside any reference run; commit open runs so their
+  // eventual bus-horizon stamps can't absorb those charges.
+  FlushPendingRefs();
   for (auto& slot : tasks_) {
     if (slot.get() == task) {
       slot->ReleaseAll(*pool_);
@@ -101,6 +136,10 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
                              std::uint32_t* value) {
   ACE_DCHECK(proc >= 0 && proc < options_.config.num_processors);
   ACE_DCHECK(va % kWordBytes == 0);
+  // A slow-path reference (and any fault-time system charge it triggers) interrupts
+  // the processor's run of fast-path hits; commit the run first so every record keeps
+  // the order per-reference accounting would have produced.
+  FlushRefRun(proc);
   VirtPage vpage = va >> page_shift_;
   for (int attempt = 0; attempt < kMaxFaultRetries; ++attempt) {
     TranslateResult t = pmap_->Translate(proc, vpage, kind);
@@ -113,13 +152,14 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
       }
       clocks_.ChargeUser(proc, cost);
       stats_.RecordRef(proc, cls, kind);
-      if (obs_ != nullptr && obs_->heat_on()) {
+      LogicalPage lp = kNoLogicalPage;
+      if (tlb_on_ || (obs_ != nullptr && obs_->heat_on())) {
+        lp = pmap_->LookupLogicalPage(proc, vpage);
+      }
+      if (obs_ != nullptr && obs_->heat_on() && lp != kNoLogicalPage) {
         // Recorded at the same point as RecordRef, so the heat profile's aggregate
         // locality fraction agrees with MeasuredAlpha() exactly.
-        LogicalPage lp = pmap_->LookupLogicalPage(proc, vpage);
-        if (lp != kNoLogicalPage) {
-          obs_->OnRef(lp, proc, cls, kind);
-        }
+        obs_->OnRef(lp, proc, cls, kind);
       }
       if (cls != MemoryClass::kLocal) {
         bus_.RecordTransfer(kWordBytes, clocks_.now(proc));
@@ -132,6 +172,11 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
       }
       if (ref_observer_ != nullptr) {
         ref_observer_(ref_observer_ctx_, proc, va, kind, cls);
+      }
+      if (tlb_on_) {
+        // Cache the translation with the *full* mapping protection, so a read-then-
+        // write page needs only one refill; subsequent hits skip the resolve above.
+        tlb_.Fill(proc, vpage, t.frame, t.prot, lp, options_.config.latency);
       }
       return AccessStatus::kOk;
     }
@@ -154,16 +199,88 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
   ACE_CHECK_MSG(false, "access livelock: fault did not establish a usable mapping");
 }
 
-std::uint32_t Machine::LoadWord(Task& task, ProcId proc, VirtAddr va) {
+std::uint32_t Machine::LoadWordSlow(Task& task, ProcId proc, VirtAddr va) {
   std::uint32_t value = 0;
   AccessStatus s = Access(task, proc, va, AccessKind::kFetch, &value);
   ACE_CHECK_MSG(s == AccessStatus::kOk, "LoadWord failed");
   return value;
 }
 
-void Machine::StoreWord(Task& task, ProcId proc, VirtAddr va, std::uint32_t value) {
+void Machine::StoreWordSlow(Task& task, ProcId proc, VirtAddr va, std::uint32_t value) {
   AccessStatus s = Access(task, proc, va, AccessKind::kStore, &value);
   ACE_CHECK_MSG(s == AccessStatus::kOk, "StoreWord failed");
+}
+
+bool Machine::FastAccessImmediate(ProcId proc, const Tlb::Entry& entry, VirtAddr va,
+                                  AccessKind kind, std::uint32_t* value) {
+  // Field-for-field the same accounting sequence as the slow path's hit block, fed
+  // from the cached entry instead of a fresh translate + lookup.
+  TimeNs cost = kind == AccessKind::kFetch ? entry.cost_fetch : entry.cost_store;
+  if (entry.cls != MemoryClass::kLocal && bus_.options().model_contention) {
+    cost = static_cast<TimeNs>(static_cast<double>(cost) * bus_.DilationFactor());
+  }
+  clocks_.ChargeUser(proc, cost);
+  stats_.RecordRef(proc, entry.cls, kind);
+  if (obs_ != nullptr && obs_->heat_on() && entry.lp != kNoLogicalPage) {
+    obs_->OnRef(entry.lp, proc, entry.cls, kind);
+  }
+  if (entry.cls != MemoryClass::kLocal) {
+    bus_.RecordTransfer(kWordBytes, clocks_.now(proc));
+  }
+  std::uint32_t offset = static_cast<std::uint32_t>(va & page_mask_);
+  if (kind == AccessKind::kFetch) {
+    *value = phys_.ReadWord(entry.frame, offset);
+  } else {
+    phys_.WriteWord(entry.frame, offset, *value);
+  }
+  if (ref_observer_ != nullptr) {
+    ref_observer_(ref_observer_ctx_, proc, va, kind, entry.cls);
+  }
+  return true;
+}
+
+void Machine::VerifyTlbEntry(ProcId proc, VirtPage vpage, const Tlb::Entry& entry) {
+  // Any mapping the MMU holds allows fetches (Enter rejects kNone), so probing with
+  // kFetch distinguishes "mapping exists" from "mapping gone" without masking a
+  // protection change — prot itself is compared exactly below.
+  TranslateResult t = pmap_->Translate(proc, vpage, AccessKind::kFetch);
+  ACE_CHECK_MSG(t.ok(), "poisoned TLB entry: MMU no longer maps this page");
+  ACE_CHECK_MSG(t.frame == entry.frame, "poisoned TLB entry: frame changed");
+  ACE_CHECK_MSG(t.prot == entry.prot, "poisoned TLB entry: protection changed");
+  ACE_CHECK_MSG(t.frame.ClassFor(proc) == entry.cls,
+                "poisoned TLB entry: memory class changed");
+  ACE_CHECK_MSG(pmap_->LookupLogicalPage(proc, vpage) == entry.lp,
+                "poisoned TLB entry: logical page changed");
+}
+
+void Machine::FlushRefRun(ProcId proc) {
+  Tlb::Run& run = tlb_.run(proc);
+  if (run.count == 0) {
+    return;
+  }
+  // The block's time is already in now()/user_ns() (accumulated eagerly per hit);
+  // commit attributes it to user time and records the stats/bus block. The bus stamp
+  // now(proc) equals the clock right after the run's last reference — exactly the
+  // stamp per-reference recording would have left as its horizon contribution.
+  clocks_.CommitUser(proc);
+  stats_.RecordRefBlock(proc, run.cls, run.kind, run.count);
+  if (run.cls != MemoryClass::kLocal) {
+    bus_.RecordTransferBlock(kWordBytes, run.count, clocks_.now(proc));
+  }
+  tlb_.stats().run_flushes++;
+  tlb_.stats().batched_refs += run.count;
+  run.count = 0;
+}
+
+void Machine::FlushPendingRefs() {
+  for (int p = 0; p < options_.config.num_processors; ++p) {
+    FlushRefRun(static_cast<ProcId>(p));
+  }
+}
+
+void Machine::RecomputeFastPathMode() {
+  batchable_ = !bus_.options().model_contention && ref_observer_ == nullptr;
+  fast_immediate_ = !batchable_ || (obs_ != nullptr && obs_->heat_on());
 }
 
 std::uint32_t Machine::TestAndSet(Task& task, ProcId proc, VirtAddr va,
@@ -185,11 +302,6 @@ std::uint32_t Machine::FetchOr(Task& task, ProcId proc, VirtAddr va, std::uint32
   std::uint32_t old_value = LoadWord(task, proc, va);
   StoreWord(task, proc, va, old_value | bits);
   return old_value;
-}
-
-AccessStatus Machine::TryAccess(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
-                                std::uint32_t* value) {
-  return Access(task, proc, va, kind, value);
 }
 
 LogicalPage Machine::ResolveDebugPage(Task& task, VirtAddr va, bool materialize) {
@@ -244,6 +356,9 @@ void Machine::DebugWrite(Task& task, VirtAddr va, std::uint32_t value) {
 }
 
 std::uint32_t Machine::ReexamineGlobalPages(ProcId proc) {
+  // System-time charges below land outside any reference run; commit open runs first
+  // so their bus-horizon stamps stay per-reference-exact.
+  FlushPendingRefs();
   NumaManager& manager = pmap_->manager();
   std::uint32_t count = 0;
   for (LogicalPage lp = 0; lp < manager.num_pages(); ++lp) {
@@ -260,6 +375,9 @@ Observability& Machine::observability() {
   if (obs_ == nullptr) {
     obs_ = std::make_unique<Observability>(options_.config.num_processors,
                                            options_.config.global_pages, &clocks_);
+    obs_->SetStateListener(
+        [](void* ctx) { static_cast<Machine*>(ctx)->RecomputeFastPathMode(); }, this);
+    RecomputeFastPathMode();
     pmap_->manager().set_observability(obs_.get());
     fault_handler_->SetObserver(
         [](void* ctx, ProcId proc, LogicalPage lp, std::uint8_t status) {

@@ -38,6 +38,7 @@
 #include "src/sim/physical_memory.h"
 #include "src/sim/stats.h"
 #include "src/machine/pageout.h"
+#include "src/machine/tlb.h"
 #include "src/vm/fault.h"
 #include "src/vm/page_pool.h"
 #include "src/vm/task.h"
@@ -114,6 +115,16 @@ class Machine {
     // schedules' random streams.
     FaultPlan fault_plan;
     std::uint64_t fault_seed = 0;
+    // The software-TLB fast path (src/machine/tlb.h). On by default; results are
+    // byte-identical either way (the differential equivalence suite enforces it), so
+    // turning it off is only useful for that very comparison. The environment
+    // variable ACE_TLB ("0"/"off"/"1"/"on") overrides this at Machine construction,
+    // letting any existing test or tool run both ways unmodified.
+    bool enable_tlb = true;
+    // Cross-check every TLB hit against the MMU and ACE_CHECK-abort on a stale entry
+    // (the debug poison mode). -1 = default: on when the library was built with
+    // ACE_CHECK_INVARIANTS, off otherwise; 0/1 force. ACE_TLB_VERIFY overrides.
+    int tlb_verify = -1;
   };
 
   explicit Machine(Options options);
@@ -129,9 +140,21 @@ class Machine {
   // --- the reference path --------------------------------------------------------------
   // 32-bit load/store as issued by processor `proc`. Aborts (ACE_CHECK) on bad
   // addresses — simulated programs are expected to be correct; use TryAccess for
-  // fault-status tests.
-  std::uint32_t LoadWord(Task& task, ProcId proc, VirtAddr va);
-  void StoreWord(Task& task, ProcId proc, VirtAddr va, std::uint32_t value);
+  // fault-status tests. Inline: a software-TLB hit completes here without entering
+  // the pmap/NUMA resolve at all.
+  std::uint32_t LoadWord(Task& task, ProcId proc, VirtAddr va) {
+    std::uint32_t value = 0;
+    if (FastAccess(proc, va, AccessKind::kFetch, &value)) {
+      return value;
+    }
+    return LoadWordSlow(task, proc, va);
+  }
+  void StoreWord(Task& task, ProcId proc, VirtAddr va, std::uint32_t value) {
+    if (FastAccess(proc, va, AccessKind::kStore, &value)) {
+      return;
+    }
+    StoreWordSlow(task, proc, va, value);
+  }
 
   // Atomic read-modify-write (the ACE's test-and-set style primitive): writes
   // `new_value` and returns the previous value, charging one fetch + one store.
@@ -143,10 +166,20 @@ class Machine {
 
   // Non-aborting access (for tests of fault semantics).
   AccessStatus TryAccess(Task& task, ProcId proc, VirtAddr va, AccessKind kind,
-                         std::uint32_t* value);
+                         std::uint32_t* value) {
+    if (FastAccess(proc, va, kind, value)) {
+      return AccessStatus::kOk;
+    }
+    return Access(task, proc, va, kind, value);
+  }
 
   // Pure computation: charge `ns` of user time to `proc` without touching memory.
-  void Compute(ProcId proc, TimeNs ns) { clocks_.ChargeUser(proc, ns); }
+  // Commits `proc`'s open reference run first so the bus horizon of the run's block
+  // record stays exactly what per-reference recording would have produced.
+  void Compute(ProcId proc, TimeNs ns) {
+    FlushRefRun(proc);
+    clocks_.ChargeUser(proc, ns);
+  }
 
   // Drop all mappings of global-writable pages, forcing the next reference to each to
   // fault and re-consult the NUMA policy. Pinned pages are otherwise mapped with
@@ -161,12 +194,30 @@ class Machine {
   void DebugWrite(Task& task, VirtAddr va, std::uint32_t value);
 
   // --- introspection --------------------------------------------------------------------
+  // The clocks are exact at every instant (an open reference run's time is already in
+  // now()/user_ns()); stats() and bus() commit any open runs first, so readers always
+  // see totals identical to per-reference accounting. Callers must re-fetch through
+  // the accessor rather than caching the reference across further simulated work.
   const MachineConfig& config() const { return options_.config; }
   ProcClocks& clocks() { return clocks_; }
   const ProcClocks& clocks() const { return clocks_; }
-  MachineStats& stats() { return stats_; }
-  const MachineStats& stats() const { return stats_; }
-  IpcBus& bus() { return bus_; }
+  MachineStats& stats() {
+    FlushPendingRefs();
+    return stats_;
+  }
+  const MachineStats& stats() const {
+    // Committing open runs mutates only accounting state; logically const.
+    const_cast<Machine*>(this)->FlushPendingRefs();
+    return stats_;
+  }
+  IpcBus& bus() {
+    FlushPendingRefs();
+    return bus_;
+  }
+  // Commit every processor's open reference run into stats_/bus_. Idempotent; called
+  // automatically by the stats()/bus() accessors and at every point where batched and
+  // per-reference accounting could otherwise diverge observably.
+  void FlushPendingRefs();
   PhysicalMemory& physical_memory() { return phys_; }
   PagePool& page_pool() { return *pool_; }
   PmapAce& pmap() { return *pmap_; }
@@ -197,9 +248,22 @@ class Machine {
   using RefObserver = void (*)(void* ctx, ProcId proc, VirtAddr va, AccessKind kind,
                                MemoryClass cls);
   void SetRefObserver(RefObserver observer, void* ctx) {
+    // Observers see each reference individually, so open runs must drain first and
+    // batching stays off while an observer is attached (the fast path then records
+    // per reference, keeping the observed stream identical to the slow path's).
+    FlushPendingRefs();
     ref_observer_ = observer;
     ref_observer_ctx_ = ctx;
+    RecomputeFastPathMode();
   }
+
+  // The software TLB and its counter group (the `tlb` observability group). The
+  // counters are kept out of MachineStats: they differ between TLB-on and TLB-off
+  // runs by design, while MachineStats must not.
+  Tlb& tlb() { return tlb_; }
+  const TlbStats& tlb_stats() const { return tlb_.stats(); }
+  bool tlb_enabled() const { return tlb_on_; }
+  bool tlb_verify_enabled() const { return tlb_verify_on_; }
 
   // The observability layer (src/obs). Created and wired into the NUMA manager and
   // fault path on first call; machines that never ask for it keep every hook at its
@@ -215,12 +279,88 @@ class Machine {
                       std::uint32_t* value);
   LogicalPage ResolveDebugPage(Task& task, VirtAddr va, bool materialize);
 
+  // Out-of-line halves of the reference path: the full fault-and-resolve slow path
+  // behind the inline TLB probe in LoadWord/StoreWord.
+  std::uint32_t LoadWordSlow(Task& task, ProcId proc, VirtAddr va);
+  void StoreWordSlow(Task& task, ProcId proc, VirtAddr va, std::uint32_t value);
+
+  // TLB-hit completion when batching is off (contention model, ref observer, or heat
+  // profiling active): charges and records the reference immediately, mirroring the
+  // slow path's accounting order exactly.
+  bool FastAccessImmediate(ProcId proc, const Tlb::Entry& entry, VirtAddr va,
+                           AccessKind kind, std::uint32_t* value);
+  // Poison mode: cross-check a hitting entry against the MMU and mapping directory;
+  // ACE_CHECK-aborts if the entry is stale in any field.
+  void VerifyTlbEntry(ProcId proc, VirtPage vpage, const Tlb::Entry& entry);
+  // Refresh batchable_/fast_immediate_ from the contention model, ref observer and
+  // heat-profiling state (also runs when the observability layer toggles heat).
+  void RecomputeFastPathMode();
+  // Commit `proc`'s open reference run (no-op when none).
+  void FlushRefRun(ProcId proc);
+
+  // The reference fast path: probe the TLB and, on a hit, complete the access without
+  // entering the pmap/NUMA machinery. Returns false on TLB-off, miss, or insufficient
+  // cached protection — the caller then takes the slow path, which faults (or
+  // upgrades) exactly as it would have without a TLB.
+  bool FastAccess(ProcId proc, VirtAddr va, AccessKind kind, std::uint32_t* value) {
+    if (!tlb_on_) {
+      return false;
+    }
+    const VirtPage vpage = va >> page_shift_;
+    const Tlb::Entry* e = tlb_.Find(proc, vpage, kind);
+    if (e == nullptr) {
+      return false;
+    }
+    if (tlb_verify_on_) {
+      VerifyTlbEntry(proc, vpage, *e);
+    }
+    if (fast_immediate_) {
+      return FastAccessImmediate(proc, *e, va, kind, value);
+    }
+    // Batched run-length accounting: extend (or open) this processor's run. The run
+    // key is (vpage, kind); the class cannot change while the entry is live, so the
+    // eventual block commit records exactly what per-reference recording would.
+    Tlb::Run& run = tlb_.run(proc);
+    if (run.count != 0 && (run.vpage != e->vpage || run.kind != kind)) {
+      FlushRefRun(proc);
+    }
+    if (run.count == 0) {
+      run.vpage = e->vpage;
+      run.kind = kind;
+      run.cls = e->cls;
+    }
+    run.count++;
+    clocks_.AccumulateUser(proc,
+                           kind == AccessKind::kFetch ? e->cost_fetch : e->cost_store);
+    const std::uint32_t offset = static_cast<std::uint32_t>(va & page_mask_);
+    if (kind == AccessKind::kFetch) {
+      *value = phys_.ReadWord(e->frame, offset);
+    } else {
+      phys_.WriteWord(e->frame, offset, *value);
+    }
+    return true;
+  }
+
   Options options_;
   std::uint32_t page_shift_;
+  std::uint32_t page_mask_;
+
+  // Resolved at construction (Options + ACE_TLB / ACE_TLB_VERIFY environment).
+  bool tlb_on_ = true;
+  bool tlb_verify_on_ = false;
+  // Whether TLB hits may batch into runs: requires no contention model and no ref
+  // observer. fast_immediate_ is the per-access test (= !batchable_ or heat profiling
+  // on) folded into one machine-local flag so a hit never chases the obs_ pointer.
+  bool batchable_ = true;
+  bool fast_immediate_ = false;
 
   MachineStats stats_;
   ProcClocks clocks_;
   IpcBus bus_;
+  // The TLB is the MmuArray's shootdown sink; declared before pmap_/pool_ so it
+  // outlives every teardown path that still mutates MMUs (~Machine drains the pool,
+  // which frees pages and fires shootdowns).
+  Tlb tlb_;
   // Declared before every consumer that holds a pointer into it (phys_, pool_, pager_,
   // the NUMA manager) so the injector outlives them all.
   std::unique_ptr<FaultInjector> injector_;

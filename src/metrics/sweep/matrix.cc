@@ -43,6 +43,8 @@ std::string SweepCell::Key() const {
   key += "/gl" + Fmt("%g", gl_ratio);
   if (mode == CellMode::kNumaOnly) {
     key += "/numa-only";
+  } else if (mode == CellMode::kRefsPerSec) {
+    key += "/refs";
   }
   if (!fault_plan.empty()) {
     key += "/plan=" + fault_plan;
@@ -92,7 +94,8 @@ void AppendUnique(std::vector<SweepCell>& cells, const std::vector<SweepCell>& e
 
 const std::vector<std::string>& SuiteNames() {
   static const std::vector<std::string> kNames = {"smoke",     "full", "table3",
-                                                  "table4",    "threshold", "gl"};
+                                                  "table4",    "threshold", "gl",
+                                                  "refs"};
   return kNames;
 }
 
@@ -152,6 +155,21 @@ Suite MakeSuite(const std::string& name, int threads_override, double scale_over
     gl.scales = {0.25};
     gl.gl_ratios = {3.0};
     AppendUnique(suite.cells, gl.Enumerate());
+  } else if (name == "refs") {
+    suite.description =
+        "Host throughput: streaming apps, numa placement, TLB on vs off (refs/sec)";
+    // The streaming applications — long same-page reference runs, where the software
+    // TLB's batched fast path pays off most. Per-app scales sized so the reference
+    // stream dominates host time (machine construction is milliseconds).
+    const std::pair<const char*, double> kRefsApps[] = {
+        {"Gfetch", 16.0}, {"IMatMult", 4.0}, {"Primes2", 4.0}};
+    for (const auto& [app, scale] : kRefsApps) {
+      SweepMatrix m;
+      m.apps = {app};
+      m.scales = {scale};
+      m.mode = CellMode::kRefsPerSec;
+      AppendUnique(suite.cells, m.Enumerate());
+    }
   } else if (name == "full") {
     suite.description = "The full paper matrix: table3 + threshold + gl, deduplicated";
     suite.cells = MakeSuite("table3").cells;

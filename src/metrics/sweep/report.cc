@@ -79,8 +79,13 @@ void AppendCellObject(std::string& out, const CellResult& cell) {
   AppendField(out, "scale", cell.cell.scale, &cfirst);
   AppendField(out, "move_threshold", cell.cell.move_threshold, &cfirst);
   AppendField(out, "gl_ratio", cell.cell.gl_ratio, &cfirst);
-  AppendStringField(out, "mode",
-                    cell.cell.mode == CellMode::kNumaOnly ? "numa-only" : "full", &cfirst);
+  const char* mode_name = "full";
+  if (cell.cell.mode == CellMode::kNumaOnly) {
+    mode_name = "numa-only";
+  } else if (cell.cell.mode == CellMode::kRefsPerSec) {
+    mode_name = "refs";
+  }
+  AppendStringField(out, "mode", mode_name, &cfirst);
   if (!cell.cell.fault_plan.empty()) {
     AppendStringField(out, "fault_plan", cell.cell.fault_plan, &cfirst);
     if (cell.cell.fault_seed != 0) {
@@ -179,10 +184,12 @@ bool ParseCellObject(const JsonValue& value, CellResult* out, std::string* error
   std::string mode = std::string(value.StringOr("mode", ""));
   if (mode == "numa-only") {
     cell.cell.mode = CellMode::kNumaOnly;
+  } else if (mode == "refs") {
+    cell.cell.mode = CellMode::kRefsPerSec;
   } else if (mode == "full") {
     cell.cell.mode = CellMode::kFullExperiment;
   } else {
-    *error = "cell.mode missing or not 'full'/'numa-only'";
+    *error = "cell.mode missing or not 'full'/'numa-only'/'refs'";
     return false;
   }
   cell.cell.fault_plan = value.StringOr("fault_plan", "");

@@ -41,6 +41,39 @@ void AppendRunCounters(const char* prefix, const PlacementRun& run,
                        static_cast<double>(s.local_alloc_failures));
 }
 
+// Field-by-field equality of two placement runs: the differential guarantee that the
+// software-TLB fast path changed nothing observable. Compares the virtual times, all
+// VM/NUMA counters, and the full per-processor reference matrix.
+bool RunsIdentical(const PlacementRun& a, const PlacementRun& b) {
+  if (a.user_sec != b.user_sec || a.system_sec != b.system_sec ||
+      a.measured_alpha != b.measured_alpha || a.pages_pinned != b.pages_pinned) {
+    return false;
+  }
+  const MachineStats& x = a.stats;
+  const MachineStats& y = b.stats;
+  if (x.page_faults != y.page_faults || x.zero_fills != y.zero_fills ||
+      x.page_copies != y.page_copies || x.page_syncs != y.page_syncs ||
+      x.page_flushes != y.page_flushes || x.page_unmaps != y.page_unmaps ||
+      x.ownership_moves != y.ownership_moves || x.pages_pinned != y.pages_pinned ||
+      x.local_alloc_failures != y.local_alloc_failures ||
+      x.degraded_global_fallbacks != y.degraded_global_fallbacks ||
+      x.degraded_copy_failures != y.degraded_copy_failures ||
+      x.degraded_pool_retries != y.degraded_pool_retries ||
+      x.degraded_oom_faults != y.degraded_oom_faults) {
+    return false;
+  }
+  for (std::size_t p = 0; p < x.refs.size(); ++p) {
+    const ProcRefCounts& u = x.refs[p];
+    const ProcRefCounts& v = y.refs[p];
+    if (u.fetch_local != v.fetch_local || u.fetch_global != v.fetch_global ||
+        u.fetch_remote != v.fetch_remote || u.store_local != v.store_local ||
+        u.store_global != v.store_global || u.store_remote != v.store_remote) {
+      return false;
+    }
+  }
+  return true;
+}
+
 ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& base_config,
                                  const WatchdogLimits& watchdog) {
   ExperimentOptions options;
@@ -81,6 +114,53 @@ CellResult RunCellUnguarded(const SweepCell& cell, const MachineConfig& base_con
     result.metrics.emplace_back("s_numa", run.system_sec);
     result.metrics.emplace_back("measured_alpha", run.measured_alpha);
     AppendRunCounters("", run, result.metrics);
+    return result;
+  }
+
+  if (cell.mode == CellMode::kRefsPerSec) {
+    std::unique_ptr<App> app = CreateAppByName(cell.app);
+    ACE_CHECK_MSG(app != nullptr, "unknown application in sweep cell");
+    PolicySpec policy = PolicySpec::MoveLimit(cell.move_threshold);
+    // Measure the production fast path, not the debug poison cross-check
+    // (experiment.h). ACE_TLB_VERIFY=1 in the environment still wins.
+    options.tlb_verify = 0;
+
+    // Host wall time around each placement run. The interval includes machine
+    // construction (milliseconds) — negligible at these scales, and the same for
+    // both runs, so the speedup ratio is unaffected.
+    auto t0 = std::chrono::steady_clock::now();
+    PlacementRun on = RunPlacement(*app, options, policy, cell.threads, cell.threads);
+    auto t1 = std::chrono::steady_clock::now();
+    options.enable_tlb = false;
+    PlacementRun off = RunPlacement(*app, options, policy, cell.threads, cell.threads);
+    auto t2 = std::chrono::steady_clock::now();
+
+    double wall_on = std::chrono::duration<double>(t1 - t0).count();
+    double wall_off = std::chrono::duration<double>(t2 - t1).count();
+    auto refs = static_cast<double>(on.stats.TotalRefs().Total());
+
+    result.ok = on.app.ok && off.app.ok;
+    result.detail = on.app.detail;
+    // Exact-gated (deterministic, virtual-time / counter) metrics first.
+    result.metrics.emplace_back("refs", refs);
+    result.metrics.emplace_back("t_numa", on.user_sec);
+    result.metrics.emplace_back("s_numa", on.system_sec);
+    result.metrics.emplace_back("measured_alpha", on.measured_alpha);
+    AppendRunCounters("", on, result.metrics);
+    result.metrics.emplace_back("tlb_hits", static_cast<double>(on.tlb_hits));
+    result.metrics.emplace_back("tlb_fills", static_cast<double>(on.tlb_fills));
+    result.metrics.emplace_back("tlb_shootdown_pages",
+                                static_cast<double>(on.tlb_shootdown_pages));
+    result.metrics.emplace_back("tlb_batched_refs",
+                                static_cast<double>(on.tlb_batched_refs));
+    // The differential guarantee, enforced inside the perf gate as well: 1 when the
+    // TLB-on and TLB-off runs were indistinguishable in every virtual-time metric.
+    result.metrics.emplace_back("tlb_identical", RunsIdentical(on, off) ? 1.0 : 0.0);
+    // Floor-gated host throughput metrics (baseline.h "floors").
+    result.metrics.emplace_back("refs_per_sec", wall_on > 0.0 ? refs / wall_on : 0.0);
+    result.metrics.emplace_back("refs_per_sec_no_tlb",
+                                wall_off > 0.0 ? refs / wall_off : 0.0);
+    result.metrics.emplace_back("tlb_speedup", wall_on > 0.0 ? wall_off / wall_on : 0.0);
     return result;
   }
 

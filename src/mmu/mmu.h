@@ -26,6 +26,25 @@
 
 namespace ace {
 
+// Sink for MMU shootdown notifications (implemented by the software TLB,
+// src/machine/tlb.h). Every mutation of a processor's translation state — enter,
+// displacement, removal, protection downgrade, wholesale clear — notifies the sink
+// *before* the MMU changes, so a translation cache can never hold an entry the MMU no
+// longer backs. Hooking at this choke point (rather than at each NUMA-protocol call
+// site) makes invalidation structural: ownership moves, page syncs, replication
+// invalidates, pageout, CoW shadow breaks and fault-injection degrades all reach the
+// MMU through these mutators, and therefore all shoot down precisely.
+class MmuShootdownSink {
+ public:
+  // A single (processor, virtual page) translation changed or died.
+  virtual void ShootdownPage(ProcId proc, VirtPage vpage) = 0;
+  // Processor `proc` dropped its entire translation state.
+  virtual void ShootdownProc(ProcId proc) = 0;
+
+ protected:
+  ~MmuShootdownSink() = default;
+};
+
 enum class FaultKind : std::uint8_t {
   kNone = 0,
   kNoMapping = 1,   // no translation for the virtual page
@@ -73,12 +92,16 @@ class Mmu {
   EnterResult Enter(VirtPage vpage, FrameRef frame, Protection prot) {
     ACE_CHECK(frame.valid());
     ACE_CHECK(prot != Protection::kNone);
+    // The entered page's old translation (if any) is replaced below; either way any
+    // cached copy is stale the moment this returns.
+    Shootdown(vpage);
     EnterResult result;
     if (rosetta_single_mapping_) {
       auto rit = frame_to_vpage_.find(frame);
       if (rit != frame_to_vpage_.end() && rit->second != vpage) {
         result.displaced = true;
         result.displaced_vpage = rit->second;
+        Shootdown(rit->second);
         mappings_.erase(rit->second);
         frame_to_vpage_.erase(rit);
       }
@@ -105,6 +128,7 @@ class Mmu {
     if (it == mappings_.end()) {
       return false;
     }
+    Shootdown(vpage);
     if (rosetta_single_mapping_) {
       auto rit = frame_to_vpage_.find(it->second.frame);
       if (rit != frame_to_vpage_.end() && rit->second == vpage) {
@@ -123,6 +147,7 @@ class Mmu {
       return;
     }
     if (!ProtLeq(it->second.prot, prot)) {
+      Shootdown(vpage);
       it->second.prot = prot;
     }
   }
@@ -140,9 +165,16 @@ class Mmu {
   }
 
   void RemoveAll() {
+    if (shootdown_sink_ != nullptr && !mappings_.empty()) {
+      shootdown_sink_->ShootdownProc(proc_);
+    }
     mappings_.clear();
     frame_to_vpage_.clear();
   }
+
+  // Attach a translation-cache shootdown sink (nullptr detaches; the default). Must
+  // not change while mappings exist — the sink would miss their history.
+  void set_shootdown_sink(MmuShootdownSink* sink) { shootdown_sink_ = sink; }
 
  private:
   struct Entry {
@@ -150,8 +182,15 @@ class Mmu {
     Protection prot = Protection::kNone;
   };
 
+  void Shootdown(VirtPage vpage) {
+    if (shootdown_sink_ != nullptr) {
+      shootdown_sink_->ShootdownPage(proc_, vpage);
+    }
+  }
+
   ProcId proc_;
   bool rosetta_single_mapping_;
+  MmuShootdownSink* shootdown_sink_ = nullptr;
   std::unordered_map<VirtPage, Entry> mappings_;
   std::unordered_map<FrameRef, VirtPage, FrameRefHash> frame_to_vpage_;
 };
@@ -176,6 +215,13 @@ class MmuArray {
   }
 
   int num_processors() const { return static_cast<int>(mmus_.size()); }
+
+  // Attach one shootdown sink to every MMU in the array.
+  void set_shootdown_sink(MmuShootdownSink* sink) {
+    for (Mmu& mmu : mmus_) {
+      mmu.set_shootdown_sink(sink);
+    }
+  }
 
  private:
   std::vector<Mmu> mmus_;

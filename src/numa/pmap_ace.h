@@ -95,6 +95,9 @@ class PmapAce : public PmapSystem, public MappingControl {
   }
   Mmu& mmu(ProcId proc) { return mmus_.At(proc); }
   const Mmu& mmu(ProcId proc) const { return mmus_.At(proc); }
+  // The full MMU array; the machine attaches the software TLB's shootdown sink here so
+  // every translation mutation — whichever protocol path drove it — invalidates.
+  MmuArray& mmus() { return mmus_; }
 
   // Processor charged for VM-initiated work (free sync, page copies); set by the
   // machine before entering VM code on behalf of a processor.

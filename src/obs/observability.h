@@ -53,7 +53,19 @@ class Observability {
   void DisableTracing() { tracing_ = false; }
 
   void EnableHeat();
-  void DisableHeat() { heat_on_ = false; }
+  void DisableHeat() {
+    heat_on_ = false;
+    NotifyStateListener();
+  }
+
+  // Invoked whenever heat profiling toggles. The machine hangs its fast-path mode
+  // recomputation here so the per-reference path tests one machine-local flag instead
+  // of chasing this object's heat_on_ on every access.
+  using StateListener = void (*)(void* ctx);
+  void SetStateListener(StateListener listener, void* ctx) {
+    state_listener_ = listener;
+    state_listener_ctx_ = ctx;
+  }
 
   bool tracing() const { return tracing_; }
   bool heat_on() const { return heat_on_; }
@@ -79,6 +91,12 @@ class Observability {
   void NoteDecision(Placement decision);
 
  private:
+  void NotifyStateListener() {
+    if (state_listener_ != nullptr) {
+      state_listener_(state_listener_ctx_);
+    }
+  }
+
   int num_processors_;
   std::uint32_t num_pages_;
   const ProcClocks* clocks_;
@@ -87,6 +105,8 @@ class Observability {
   bool heat_on_ = false;
   Tracer tracer_;
   std::unique_ptr<HeatProfile> heat_;
+  StateListener state_listener_ = nullptr;
+  void* state_listener_ctx_ = nullptr;
 };
 
 }  // namespace ace

@@ -57,45 +57,6 @@ std::uint32_t PhysicalMemory::FreeLocalFrames(ProcId proc) const {
   return static_cast<std::uint32_t>(local_free_[static_cast<std::size_t>(proc)].size());
 }
 
-std::size_t PhysicalMemory::FrameOffset(FrameRef frame) const {
-  ACE_DCHECK(frame.valid());
-  if (frame.is_global()) {
-    ACE_DCHECK(frame.index < global_pages_);
-  } else {
-    ACE_DCHECK(frame.node < num_processors_);
-    ACE_DCHECK(frame.index < local_pages_per_proc_);
-  }
-  return static_cast<std::size_t>(frame.index) * page_size_;
-}
-
-std::uint8_t* PhysicalMemory::FrameData(FrameRef frame) {
-  std::size_t offset = FrameOffset(frame);
-  if (frame.is_global()) {
-    return global_data_.data() + offset;
-  }
-  return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
-}
-
-const std::uint8_t* PhysicalMemory::FrameData(FrameRef frame) const {
-  std::size_t offset = FrameOffset(frame);
-  if (frame.is_global()) {
-    return global_data_.data() + offset;
-  }
-  return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
-}
-
-std::uint32_t PhysicalMemory::ReadWord(FrameRef frame, std::uint32_t offset) const {
-  ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
-  std::uint32_t value;
-  std::memcpy(&value, FrameData(frame) + offset, kWordBytes);
-  return value;
-}
-
-void PhysicalMemory::WriteWord(FrameRef frame, std::uint32_t offset, std::uint32_t value) {
-  ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
-  std::memcpy(FrameData(frame) + offset, &value, kWordBytes);
-}
-
 TimeNs PhysicalMemory::CopyPage(FrameRef src, FrameRef dst, ProcId copier) {
   ACE_CHECK(src.valid() && dst.valid());
   ACE_CHECK(!(src == dst));

@@ -11,6 +11,7 @@
 #define SRC_SIM_PHYSICAL_MEMORY_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/common/check.h"
@@ -51,13 +52,34 @@ class PhysicalMemory {
   std::uint32_t global_pages() const { return global_pages_; }
 
   // --- Data access -----------------------------------------------------------------
+  // Inline: ReadWord/WriteWord sit on the per-reference fast path (src/machine/tlb.h).
 
   // Raw bytes of a frame; valid until the memory object is destroyed.
-  std::uint8_t* FrameData(FrameRef frame);
-  const std::uint8_t* FrameData(FrameRef frame) const;
+  std::uint8_t* FrameData(FrameRef frame) {
+    std::size_t offset = FrameOffset(frame);
+    if (frame.is_global()) {
+      return global_data_.data() + offset;
+    }
+    return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
+  }
+  const std::uint8_t* FrameData(FrameRef frame) const {
+    std::size_t offset = FrameOffset(frame);
+    if (frame.is_global()) {
+      return global_data_.data() + offset;
+    }
+    return local_data_[static_cast<std::size_t>(frame.node)].data() + offset;
+  }
 
-  std::uint32_t ReadWord(FrameRef frame, std::uint32_t offset) const;
-  void WriteWord(FrameRef frame, std::uint32_t offset, std::uint32_t value);
+  std::uint32_t ReadWord(FrameRef frame, std::uint32_t offset) const {
+    ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
+    std::uint32_t value;
+    std::memcpy(&value, FrameData(frame) + offset, kWordBytes);
+    return value;
+  }
+  void WriteWord(FrameRef frame, std::uint32_t offset, std::uint32_t value) {
+    ACE_DCHECK(offset % kWordBytes == 0 && offset < page_size_);
+    std::memcpy(FrameData(frame) + offset, &value, kWordBytes);
+  }
 
   // Copy a whole page between frames. Returns the kernel-time cost of the copy: one
   // fetch from the source plus one store to the destination per 32-bit word, scaled by
@@ -70,7 +92,16 @@ class PhysicalMemory {
   std::uint32_t page_size() const { return page_size_; }
 
  private:
-  std::size_t FrameOffset(FrameRef frame) const;
+  std::size_t FrameOffset(FrameRef frame) const {
+    ACE_DCHECK(frame.valid());
+    if (frame.is_global()) {
+      ACE_DCHECK(frame.index < global_pages_);
+    } else {
+      ACE_DCHECK(frame.node < num_processors_);
+      ACE_DCHECK(frame.index < local_pages_per_proc_);
+    }
+    return static_cast<std::size_t>(frame.index) * page_size_;
+  }
 
   std::uint32_t page_size_;
   std::uint32_t words_per_page_;

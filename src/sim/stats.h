@@ -55,16 +55,23 @@ struct MachineStats {
   std::uint64_t degraded_oom_faults = 0;        // fault gave up after the bounded retries
 
   void RecordRef(ProcId proc, MemoryClass cls, AccessKind kind) {
+    RecordRefBlock(proc, cls, kind, 1);
+  }
+
+  // Record a run of `count` consecutive references of one (class, kind) by one
+  // processor — the TLB fast path's batched accounting. Reference counters are pure
+  // sums, so one block record is exactly `count` RecordRef calls.
+  void RecordRefBlock(ProcId proc, MemoryClass cls, AccessKind kind, std::uint64_t count) {
     ProcRefCounts& c = refs[static_cast<std::size_t>(proc)];
     switch (cls) {
       case MemoryClass::kLocal:
-        (kind == AccessKind::kFetch ? c.fetch_local : c.store_local)++;
+        (kind == AccessKind::kFetch ? c.fetch_local : c.store_local) += count;
         break;
       case MemoryClass::kGlobal:
-        (kind == AccessKind::kFetch ? c.fetch_global : c.store_global)++;
+        (kind == AccessKind::kFetch ? c.fetch_global : c.store_global) += count;
         break;
       case MemoryClass::kRemote:
-        (kind == AccessKind::kFetch ? c.fetch_remote : c.store_remote)++;
+        (kind == AccessKind::kFetch ? c.fetch_remote : c.store_remote) += count;
         break;
     }
   }

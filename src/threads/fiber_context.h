@@ -1,0 +1,111 @@
+// Minimal stackful fiber contexts for the deterministic runtime.
+//
+// The scheduler switches fibers on every reference-path yield — millions of times per
+// simulated second — so the switch must stay in user space. glibc's swapcontext makes
+// a sigprocmask system call per switch (it preserves the signal mask), which costs
+// more than the entire simulated reference it brackets; profiles of the seed runtime
+// showed the two per-reference swapcontext calls dominating wall-clock time. The
+// default implementation here is a hand-rolled x86-64 System V switch
+// (fiber_switch.S) that saves exactly the callee-saved state the ABI requires — six
+// general registers plus the SSE and x87 control words — and swaps stacks; no
+// syscall, no signal-mask traffic.
+//
+// setjmp/longjmp is not an option: with _FORTIFY_SOURCE (the distro default),
+// longjmp_chk aborts on jumps to a different stack.
+//
+// Fallback to ucontext (ACE_FIBER_UCONTEXT) when:
+//   * not x86-64, or
+//   * building under AddressSanitizer / ThreadSanitizer, which must be told about
+//     stack switches and already know how to track ucontext.
+// Behaviour is identical either way — only the switch mechanism differs — so
+// sanitizer CI exercises the same scheduling decisions as release builds.
+
+#ifndef SRC_THREADS_FIBER_CONTEXT_H_
+#define SRC_THREADS_FIBER_CONTEXT_H_
+
+#if !defined(ACE_FIBER_UCONTEXT)
+#if !defined(__x86_64__)
+#define ACE_FIBER_UCONTEXT 1
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ACE_FIBER_UCONTEXT 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ACE_FIBER_UCONTEXT 1
+#endif
+#endif
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/check.h"
+
+#if defined(ACE_FIBER_UCONTEXT)
+#include <ucontext.h>
+#else
+// Saves the callee-saved state at *save_sp, switches to the stack pointer load_sp and
+// restores from it. A freshly seeded context "restores" into its entry function.
+extern "C" void ace_fiber_switch(void** save_sp, void* load_sp);
+#endif
+
+namespace ace {
+
+// One suspended execution context. Seed() prepares a fresh context that will enter
+// `entry` (which must never return) on first switch; Switch() suspends the caller
+// into `from` and resumes `to`.
+class FiberContext {
+ public:
+#if defined(ACE_FIBER_UCONTEXT)
+  void Seed(void* stack_base, std::size_t stack_bytes, void (*entry)()) {
+    ACE_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_base;
+    ctx_.uc_stack.ss_size = stack_bytes;
+    ctx_.uc_link = nullptr;  // entry never returns
+    makecontext(&ctx_, entry, 0);
+  }
+
+  static void Switch(FiberContext* from, FiberContext* to) {
+    ACE_CHECK(swapcontext(&from->ctx_, &to->ctx_) == 0);
+  }
+
+ private:
+  ucontext_t ctx_{};
+#else
+  void Seed(void* stack_base, std::size_t stack_bytes, void (*entry)()) {
+    ACE_CHECK(stack_bytes >= 4096);
+    // Frame layout consumed by ace_fiber_switch's restore path, low to high:
+    //   sp +  0  mxcsr (4) + x87 control word (2) + pad (2)
+    //   sp +  8  r15, r14, r13, r12, rbx, rbp   (six pops)
+    //   sp + 56  return address -> entry         (the final ret)
+    //   sp + 64  zero sentinel (terminates debugger backtraces)
+    // The entry slot sits at a 16-aligned address so entry begins with
+    // rsp % 16 == 8, exactly as if it had been call'ed per the System V ABI.
+    char* top = static_cast<char*>(stack_base) + stack_bytes;
+    top -= reinterpret_cast<std::uintptr_t>(top) & 15;
+    char* entry_slot = top - 16;
+    char* sp = entry_slot - 56;
+    std::memset(sp, 0, 56);
+    std::uint32_t mxcsr = 0;
+    std::uint16_t fcw = 0;
+    __asm__ __volatile__("stmxcsr %0" : "=m"(mxcsr));
+    __asm__ __volatile__("fnstcw %0" : "=m"(fcw));
+    std::memcpy(sp, &mxcsr, sizeof mxcsr);
+    std::memcpy(sp + 4, &fcw, sizeof fcw);
+    std::memcpy(entry_slot, &entry, sizeof entry);
+    std::memset(entry_slot + 8, 0, 8);
+    sp_ = sp;
+  }
+
+  static void Switch(FiberContext* from, FiberContext* to) {
+    ace_fiber_switch(&from->sp_, to->sp_);
+  }
+
+ private:
+  void* sp_ = nullptr;
+#endif
+};
+
+}  // namespace ace
+
+#endif  // SRC_THREADS_FIBER_CONTEXT_H_

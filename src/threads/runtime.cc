@@ -64,6 +64,9 @@ void Env::MigrateTo(ProcId new_proc, bool move_pages) {
   // been sitting empty while this thread worked).
   TimeNs skew = runtime_->ProcNow(old_proc) - runtime_->ProcNow(new_proc);
   if (skew > 0) {
+    // Idle padding advances new_proc's clock outside any reference run; commit open
+    // runs first so their bus-horizon stamps stay per-reference-exact.
+    runtime_->machine_->FlushPendingRefs();
     runtime_->machine_->clocks().ChargeIdle(new_proc, skew);
   }
   if (move_pages) {
@@ -104,9 +107,14 @@ void Runtime::FiberTrampoline() {
   }
   fiber.finished = true;
   rt->live_count_--;
-  // Return to the scheduler for good; this context is never resumed.
-  setcontext(&rt->scheduler_ctx_);
-  ACE_CHECK_MSG(false, "setcontext returned");
+  // Hand off for good — to the next runnable fiber, or back to Run() when this was
+  // the last one. This context is never resumed either way.
+  if (rt->live_count_ > 0) {
+    rt->DispatchNextFrom(&fiber.ctx, -1);
+  } else {
+    FiberContext::Switch(&fiber.ctx, &rt->main_ctx_);
+  }
+  ACE_CHECK_MSG(false, "finished fiber was resumed");
 }
 
 int Runtime::PickNext() const {
@@ -171,6 +179,8 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
       // thread cannot observe state "before" it was produced.
       TimeNs skew = ProcNow(old_proc) - ProcNow(new_proc);
       if (skew > 0) {
+        // As in MigrateTo: commit open runs before idle-padding the destination.
+        machine_->FlushPendingRefs();
         machine_->clocks().ChargeIdle(new_proc, skew);
       }
       env.proc_ = new_proc;
@@ -184,12 +194,27 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
     return;  // still the earliest runnable thread: keep running without a switch
   }
   fiber.seq = next_seq_++;
-  swapcontext(&fiber.ctx, &scheduler_ctx_);
+  DispatchNextFrom(&fiber.ctx, env.tid_);
   if (killing_) {
     // The kill arrived while this fiber was parked; unwind before touching the
     // machine again.
     throw FiberKill{};
   }
+}
+
+void Runtime::DispatchNextFrom(FiberContext* from, int self) {
+  int next = PickNext();
+  ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
+  CheckWatchdog(next);
+  current_ = next;
+  current_deadline_ = DeadlineFor(next);
+  Fiber& fiber = *fibers_[static_cast<std::size_t>(next)];
+  fiber.last_dispatch_ns = ProcNow(fiber.env.proc_);
+  context_switches_++;
+  if (next == self) {
+    return;  // the yielding fiber won the dispatch again: no stack switch needed
+  }
+  FiberContext::Switch(from, &fiber.ctx);
 }
 
 void Runtime::CheckWatchdog(int next) {
@@ -255,25 +280,17 @@ void Runtime::Run(int num_threads, const Body& body) {
     fiber->stack = std::make_unique<char[]>(options_.stack_bytes);
     fiber->seq = next_seq_++;
     fiber->migrate_epoch_ns = ProcNow(fiber->env.proc_);
-    ACE_CHECK(getcontext(&fiber->ctx) == 0);
-    fiber->ctx.uc_stack.ss_sp = fiber->stack.get();
-    fiber->ctx.uc_stack.ss_size = options_.stack_bytes;
-    fiber->ctx.uc_link = &scheduler_ctx_;
-    makecontext(&fiber->ctx, &Runtime::FiberTrampoline, 0);
+    fiber->ctx.Seed(fiber->stack.get(), options_.stack_bytes, &Runtime::FiberTrampoline);
     fibers_.push_back(std::move(fiber));
   }
 
-  while (live_count_ > 0) {
-    int next = PickNext();
-    ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
-    CheckWatchdog(next);
-    current_ = next;
-    current_deadline_ = DeadlineFor(next);
-    Fiber& fiber = *fibers_[static_cast<std::size_t>(next)];
-    fiber.last_dispatch_ns = ProcNow(fiber.env.proc_);
-    context_switches_++;
-    swapcontext(&scheduler_ctx_, &fiber.ctx);
-  }
+  // One dispatch enters the fiber world; thereafter fibers dispatch each other
+  // directly (MaybeYield / FiberTrampoline), and the last finisher switches back
+  // here. The dispatch sequence — and thus every scheduling decision and counter —
+  // is identical to a central pick-switch-return loop; the direct handoff just
+  // halves the context switches executed per dispatch.
+  DispatchNextFrom(&main_ctx_, -1);
+  ACE_CHECK(live_count_ == 0);
 
   // Every fiber stack has been unwound; safe to surface what ended the run.
   if (fiber_exception_) {

@@ -16,8 +16,6 @@
 #ifndef SRC_THREADS_RUNTIME_H_
 #define SRC_THREADS_RUNTIME_H_
 
-#include <ucontext.h>
-
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -28,6 +26,7 @@
 #include "src/common/check.h"
 #include "src/common/types.h"
 #include "src/machine/machine.h"
+#include "src/threads/fiber_context.h"
 #include "src/threads/watchdog.h"
 
 namespace ace {
@@ -115,7 +114,7 @@ class Runtime {
   friend class Env;
 
   struct Fiber {
-    ucontext_t ctx{};
+    FiberContext ctx;
     std::unique_ptr<char[]> stack;
     Env env;
     bool finished = false;
@@ -129,6 +128,15 @@ class Runtime {
   // Check watchdog limits before dispatching `next`; on a trip, record the kill
   // reason/diagnostics and flip killing_ so every fiber unwinds at its next Env op.
   void CheckWatchdog(int next);
+
+  // The dispatcher: pick the earliest runnable fiber, stamp the dispatch bookkeeping
+  // (watchdog check, deadline, sequence counters) and switch to it directly from
+  // `from` — fiber to fiber, with no intermediate hop through a scheduler context.
+  // When the chosen fiber is `self` (the caller re-earning the CPU after a voluntary
+  // yield) the dispatch is recorded but no stack switch happens. Exactly one dispatch
+  // is performed per call, preserving the dispatch sequence — and context_switches_ —
+  // of a central scheduler loop.
+  void DispatchNextFrom(FiberContext* from, int self);
 
   // Called by Env after every time-advancing operation: switch to the scheduler if
   // this thread's processor clock is no longer the minimum.
@@ -146,7 +154,7 @@ class Runtime {
   Options options_;
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  ucontext_t scheduler_ctx_{};
+  FiberContext main_ctx_;  // Run()'s own context; resumed when the last fiber exits
   int current_ = -1;
   TimeNs current_deadline_ = 0;
   int live_count_ = 0;

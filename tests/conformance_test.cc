@@ -107,6 +107,28 @@ TEST(Conformance, ManagerMatchesModelAcrossPoliciesAndSeeds) {
   }
 }
 
+// With config.tlb the Differ attaches a software-TLB mirror as the real side's
+// MappingControl: every resolution is cached per (proc, page), only the shootdown
+// callbacks may evict, and after each op every surviving translation is checked
+// against the protocol state. A transition that forgets to drop a mapping — the bug
+// class Machine's fast path (src/machine/tlb.h) cannot tolerate — diverges here.
+TEST(Conformance, TlbMirrorSeesEveryShootdownAcrossPoliciesAndSeeds) {
+  const RefModel::PolicyKind kinds[] = {
+      RefModel::PolicyKind::kMoveLimit, RefModel::PolicyKind::kRemoteHome,
+      RefModel::PolicyKind::kAllGlobal, RefModel::PolicyKind::kAllLocal};
+  for (RefModel::PolicyKind kind : kinds) {
+    for (std::uint64_t seed = 10; seed < 13; ++seed) {
+      ConformConfig config;
+      config.policy = kind;
+      config.tlb = true;
+      std::vector<ConformOp> ops = GenerateOps(config, seed, 2500);
+      std::optional<Divergence> d = RunOps(config, ops);
+      ASSERT_FALSE(d.has_value()) << PolicyKindName(kind) << " seed " << seed << " op "
+                                  << d->op_index << ": " << d->what;
+    }
+  }
+}
+
 TEST(Conformance, AggressiveThresholdsStayConformant) {
   for (int threshold : {0, 1, 2}) {
     ConformConfig config;

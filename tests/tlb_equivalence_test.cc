@@ -1,0 +1,184 @@
+// Differential equivalence suite: the software-TLB fast path changes NOTHING
+// observable.
+//
+// Every application in the paper's Table 3 suite runs under every placement policy
+// twice — TLB on and TLB off — and the results must be byte-identical: virtual user
+// and system times (compared as exact doubles, which for these integer-nanosecond
+// sums means bit-exact), the complete MachineStats counter matrix, measured alpha,
+// the derived model parameters α/β/γ, and the serialized ace-bench-v1 cell JSON.
+// This is the invariant that makes the fast path safe to leave on everywhere; any
+// divergence — one reference misclassified, one cost charged differently, one
+// counter recorded in a different order — fails here with the field named.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/sweep/report.h"
+#include "src/metrics/sweep/runner.h"
+
+namespace ace {
+namespace {
+
+// The three placements the paper's measurement procedure uses (section 3.1).
+struct NamedPolicy {
+  const char* name;
+  PolicySpec spec;
+};
+
+std::vector<NamedPolicy> Policies() {
+  return {
+      {"move-limit", PolicySpec::MoveLimit(4)},
+      {"all-global", PolicySpec::AllGlobal()},
+      {"all-local", PolicySpec::AllLocal()},
+  };
+}
+
+ExperimentOptions SmallOptions() {
+  ExperimentOptions options;
+  options.num_threads = 4;
+  options.config.num_processors = 4;
+  options.scale = 0.25;
+  return options;
+}
+
+// Field-by-field comparison with the divergent field named in the failure message.
+void ExpectRunsIdentical(const PlacementRun& on, const PlacementRun& off,
+                         const std::string& label) {
+  EXPECT_EQ(on.app.ok, off.app.ok) << label;
+  EXPECT_EQ(on.user_sec, off.user_sec) << label << " user_sec";
+  EXPECT_EQ(on.system_sec, off.system_sec) << label << " system_sec";
+  EXPECT_EQ(on.measured_alpha, off.measured_alpha) << label << " measured_alpha";
+  EXPECT_EQ(on.pages_pinned, off.pages_pinned) << label << " pages_pinned";
+
+  const MachineStats& a = on.stats;
+  const MachineStats& b = off.stats;
+  EXPECT_EQ(a.page_faults, b.page_faults) << label << " page_faults";
+  EXPECT_EQ(a.zero_fills, b.zero_fills) << label << " zero_fills";
+  EXPECT_EQ(a.page_copies, b.page_copies) << label << " page_copies";
+  EXPECT_EQ(a.page_syncs, b.page_syncs) << label << " page_syncs";
+  EXPECT_EQ(a.page_flushes, b.page_flushes) << label << " page_flushes";
+  EXPECT_EQ(a.page_unmaps, b.page_unmaps) << label << " page_unmaps";
+  EXPECT_EQ(a.ownership_moves, b.ownership_moves) << label << " ownership_moves";
+  EXPECT_EQ(a.pages_pinned, b.pages_pinned) << label << " pages_pinned";
+  EXPECT_EQ(a.local_alloc_failures, b.local_alloc_failures)
+      << label << " local_alloc_failures";
+  EXPECT_EQ(a.degraded_global_fallbacks, b.degraded_global_fallbacks) << label;
+  EXPECT_EQ(a.degraded_copy_failures, b.degraded_copy_failures) << label;
+  EXPECT_EQ(a.degraded_pool_retries, b.degraded_pool_retries) << label;
+  EXPECT_EQ(a.degraded_oom_faults, b.degraded_oom_faults) << label;
+  for (std::size_t p = 0; p < a.refs.size(); ++p) {
+    EXPECT_EQ(a.refs[p].fetch_local, b.refs[p].fetch_local) << label << " proc " << p;
+    EXPECT_EQ(a.refs[p].fetch_global, b.refs[p].fetch_global) << label << " proc " << p;
+    EXPECT_EQ(a.refs[p].fetch_remote, b.refs[p].fetch_remote) << label << " proc " << p;
+    EXPECT_EQ(a.refs[p].store_local, b.refs[p].store_local) << label << " proc " << p;
+    EXPECT_EQ(a.refs[p].store_global, b.refs[p].store_global) << label << " proc " << p;
+    EXPECT_EQ(a.refs[p].store_remote, b.refs[p].store_remote) << label << " proc " << p;
+  }
+}
+
+// One app under one policy, both ways. TLB-on must actually have used the fast path
+// (hits > 0) for the comparison to mean anything.
+void RunDifferential(const std::string& app_name, const NamedPolicy& policy) {
+  ExperimentOptions options = SmallOptions();
+
+  std::unique_ptr<App> app_on = CreateAppByName(app_name);
+  std::unique_ptr<App> app_off = CreateAppByName(app_name);
+  ASSERT_NE(app_on, nullptr);
+
+  options.enable_tlb = true;
+  PlacementRun on = RunPlacement(*app_on, options, policy.spec,
+                                 options.config.num_processors, options.num_threads);
+  options.enable_tlb = false;
+  PlacementRun off = RunPlacement(*app_off, options, policy.spec,
+                                  options.config.num_processors, options.num_threads);
+
+  std::string label = app_name + "/" + policy.name;
+  EXPECT_TRUE(on.app.ok) << label;
+  // The fast path must engage whenever the workload re-references pages at all
+  // (ParMult under all-local makes a handful of scattered references — zero hits is
+  // legitimate there, and the differential comparison below still bites).
+  if (on.stats.TotalRefs().Total() >= 100) {
+    EXPECT_GT(on.tlb_hits, 0u) << label << ": fast path never engaged";
+  }
+  EXPECT_EQ(off.tlb_hits, 0u) << label << ": TLB-off run used the TLB";
+  ExpectRunsIdentical(on, off, label);
+}
+
+// --- every app x every policy -------------------------------------------------------
+
+class TlbEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TlbEquivalence, CountersAndTimesIdenticalUnderAllPolicies) {
+  for (const NamedPolicy& policy : Policies()) {
+    RunDifferential(GetParam(), policy);
+  }
+}
+
+std::vector<std::string> AllAppNames() {
+  std::vector<std::string> names;
+  for (const AppFactory& f : AllAppFactories()) {
+    names.push_back(f()->name());
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TlbEquivalence, ::testing::ValuesIn(AllAppNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- model parameters (alpha / beta / gamma) ----------------------------------------
+
+TEST(TlbEquivalenceModel, DerivedModelParametersIdentical) {
+  for (const char* app : {"IMatMult", "Primes3"}) {
+    ExperimentOptions options = SmallOptions();
+    options.enable_tlb = true;
+    ExperimentResult on = RunExperiment(app, options);
+    options.enable_tlb = false;
+    ExperimentResult off = RunExperiment(app, options);
+
+    EXPECT_EQ(on.model.alpha_defined, off.model.alpha_defined) << app;
+    if (on.model.alpha_defined) {
+      EXPECT_EQ(on.model.alpha, off.model.alpha) << app;
+    }
+    EXPECT_EQ(on.model.beta, off.model.beta) << app;
+    EXPECT_EQ(on.model.gamma, off.model.gamma) << app;
+    EXPECT_EQ(on.numa.measured_alpha, off.numa.measured_alpha) << app;
+    ExpectRunsIdentical(on.numa, off.numa, std::string(app) + "/numa");
+    ExpectRunsIdentical(on.global, off.global, std::string(app) + "/global");
+    ExpectRunsIdentical(on.local, off.local, std::string(app) + "/local");
+  }
+}
+
+// --- serialized ace-bench-v1 cell JSON, via the ACE_TLB environment toggle ----------
+
+TEST(TlbEquivalenceJson, BenchCellJsonByteIdenticalAcrossAceTlbEnv) {
+  SweepCell cell;
+  cell.app = "IMatMult";
+  cell.threads = 4;
+  cell.scale = 0.25;
+
+  MachineConfig config;
+  WatchdogLimits watchdog;
+
+  // The environment toggle is read at Machine construction, so flipping it between
+  // in-process runs exercises exactly what the soak harness and CI differ do.
+  ASSERT_EQ(setenv("ACE_TLB", "1", /*overwrite=*/1), 0);
+  CellResult on = RunCell(cell, config, watchdog);
+  ASSERT_EQ(setenv("ACE_TLB", "0", /*overwrite=*/1), 0);
+  CellResult off = RunCell(cell, config, watchdog);
+  ASSERT_EQ(unsetenv("ACE_TLB"), 0);
+
+  ASSERT_TRUE(on.ok);
+  ASSERT_TRUE(off.ok);
+  EXPECT_EQ(SerializeCellObject(on), SerializeCellObject(off));
+}
+
+}  // namespace
+}  // namespace ace

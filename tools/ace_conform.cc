@@ -34,16 +34,28 @@ struct Options {
   std::string policy = "all";
   int threshold = 4;
   std::string plan;
+  int tlb = -1;  // -1 = derived from the seed (the per-seed ACE_TLB flip), 0/1 forced
   bool expect_divergence = false;
   bool quiet = false;
 };
+
+// The per-seed ACE_TLB flip: half of all seeds run with the software-TLB mirror
+// attached (ConformConfig::tlb), so sweeps continuously exercise the shootdown
+// discipline the Machine fast path depends on. SplitMix64-style mix so neighboring
+// seeds don't all land on the same side.
+bool DeriveTlb(std::uint64_t seed) {
+  std::uint64_t z = (seed + 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL;
+  return ((z ^ (z >> 31)) & 1) != 0;
+}
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--ops N] [--policy move-limit|remote-home|"
                "all-global|all-local|all]\n"
-               "          [--threshold N] [--plan FAULT-PLAN]\n"
-               "          [--expect-divergence] [--quiet]\n",
+               "          [--threshold N] [--plan FAULT-PLAN] [--tlb|--no-tlb]\n"
+               "          [--expect-divergence] [--quiet]\n"
+               "  --tlb / --no-tlb  force the software-TLB shootdown mirror on or off\n"
+               "                    (default: flipped pseudo-randomly per seed)\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +79,10 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->threshold = std::atoi(next());
     } else if (arg == "--plan") {
       opt->plan = next();
+    } else if (arg == "--tlb") {
+      opt->tlb = 1;
+    } else if (arg == "--no-tlb") {
+      opt->tlb = 0;
     } else if (arg == "--expect-divergence") {
       opt->expect_divergence = true;
     } else if (arg == "--quiet") {
@@ -118,6 +134,7 @@ int main(int argc, char** argv) {
     config.move_threshold = opt.threshold;
     config.plan = plan;
     config.fault_seed = opt.seed;
+    config.tlb = opt.tlb < 0 ? DeriveTlb(opt.seed) : opt.tlb != 0;
 
     std::vector<ace::ConformOp> ops = ace::GenerateOps(config, opt.seed, opt.ops);
     ace::MachineStats stats;
@@ -130,25 +147,27 @@ int main(int argc, char** argv) {
                     ops.size());
         failed = true;
       } else if (!opt.quiet) {
-        std::printf("policy %s: %zu ops, no divergence (seed %llu)\n", name.c_str(), ops.size(),
-                    static_cast<unsigned long long>(opt.seed));
+        std::printf("policy %s: %zu ops, no divergence (seed %llu, tlb %s)\n", name.c_str(),
+                    ops.size(), static_cast<unsigned long long>(opt.seed),
+                    config.tlb ? "on" : "off");
         std::printf("  %s\n", ace::FormatProtocolCounters(stats).c_str());
       }
       continue;
     }
 
-    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, plan %s)\n",
+    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, plan %s, tlb %s)\n",
                 name.c_str(), d->op_index, static_cast<unsigned long long>(opt.seed),
-                opt.threshold, opt.plan.empty() ? "-" : opt.plan.c_str());
+                opt.threshold, opt.plan.empty() ? "-" : opt.plan.c_str(),
+                config.tlb ? "on" : "off");
     std::printf("  %s\n", d->what.c_str());
     std::vector<ace::ConformOp> repro = ace::ShrinkOps(config, std::move(ops));
     std::printf("shrunk repro (%zu ops):\n", repro.size());
     for (std::size_t i = 0; i < repro.size(); ++i) {
       std::printf("  [%zu] %s\n", i, ace::FormatOp(repro[i]).c_str());
     }
-    std::printf("rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d%s%s\n",
+    std::printf("rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d %s%s%s\n",
                 static_cast<unsigned long long>(opt.seed), opt.ops, name.c_str(), opt.threshold,
-                opt.plan.empty() ? "" : " --plan ",
+                config.tlb ? "--tlb" : "--no-tlb", opt.plan.empty() ? "" : " --plan ",
                 opt.plan.empty() ? "" : opt.plan.c_str());
     if (!opt.expect_divergence) {
       failed = true;

@@ -25,6 +25,7 @@
 #include "src/metrics/table.h"
 #include "src/obs/export.h"
 #include "src/obs/observability.h"
+#include "src/obs/snapshot.h"
 #include "src/trace/ref_trace.h"
 
 namespace {
@@ -48,6 +49,11 @@ void Usage() {
       "  --plan STR             arm a fault-injection plan (src/inject grammar, e.g.\n"
       "                         'local-exhausted@every:3;copy-fail@nth:5')\n"
       "  --trace                print the sharing-class trace report\n"
+      "  --no-tlb               disable the software-TLB fast path (same metrics,\n"
+      "                         slower; ACE_TLB=0 in the environment does the same)\n"
+      "  --tlb-stats            print the tlb counter group (hits, fills,\n"
+      "                         shootdowns, batched refs). Off by default so output\n"
+      "                         stays byte-comparable across --no-tlb\n"
       "  --optimal              print the optimal-placement comparison\n"
       "  --experiment           run all three placements and print the model row\n"
       "observability (src/obs; all options also accept --opt=value):\n"
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
   std::uint32_t page_size = 4096;
   std::uint32_t global_pages = 4096;
   bool pager = false;
+  bool no_tlb = false;
+  bool tlb_stats = false;
   bool trace = false;
   bool optimal = false;
   bool experiment = false;
@@ -158,6 +166,10 @@ int main(int argc, char** argv) {
       plan_text = next();
     } else if (arg == "--pager") {
       pager = true;
+    } else if (arg == "--no-tlb") {
+      no_tlb = true;
+    } else if (arg == "--tlb-stats") {
+      tlb_stats = true;
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--trace-out") {
@@ -200,6 +212,8 @@ int main(int argc, char** argv) {
   options.scheduler =
       scheduler == "migrating" ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
 
+  options.enable_tlb = !no_tlb;
+
   if (experiment) {
     ace::ExperimentResult r = ace::RunExperiment(app_name, options);
     ace::TextTable table({"Application", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta",
@@ -217,6 +231,7 @@ int main(int argc, char** argv) {
   mo.config = options.config;
   mo.policy = ParsePolicy(policy_name, threshold);
   mo.enable_pager = pager;
+  mo.enable_tlb = !no_tlb;
   mo.fault_seed = seed;
   if (!plan_text.empty()) {
     std::string error;
@@ -284,6 +299,15 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.degraded_copy_failures,
                 (unsigned long long)s.degraded_pool_retries,
                 (unsigned long long)s.degraded_oom_faults);
+  }
+  if (tlb_stats) {
+    const ace::TlbStats& t = machine.tlb_stats();
+    std::printf("tlb:            %s%s\n",
+                ace::FormatTlbCounters(t.hits, t.misses, t.fills, t.conflict_evictions,
+                                       t.shootdown_pages, t.shootdown_hits,
+                                       t.run_flushes, t.batched_refs)
+                    .c_str(),
+                machine.tlb_enabled() ? "" : " (tlb disabled)");
   }
 
   if (want_obs) {

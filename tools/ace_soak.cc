@@ -85,6 +85,7 @@ struct RunSpec {
   int threshold = 4;
   bool migrating = false;
   bool pager = false;
+  bool tlb = false;
   std::uint32_t global_pages = 4096;
   ace::FaultPlan plan;
   std::uint64_t fault_seed = 0;
@@ -176,6 +177,10 @@ RunSpec DeriveRun(std::uint64_t seed) {
   spec.threshold = 1 + static_cast<int>(rng.Below(6));
   spec.migrating = rng.Below(4) == 0;
   spec.pager = rng.Below(2) == 0;
+  // The ACE_TLB flip: half of all seeds run through the software-TLB fast path with
+  // the poison cross-check forced on, so a degrade path that forgets a shootdown
+  // aborts ("poisoned TLB entry") and is caught by the fork layer as a violation.
+  spec.tlb = rng.Below(2) == 0;
   // With the pager on, a tight pool forces real pageout traffic under injection.
   spec.global_pages = spec.pager ? 1024 : 4096;
   if (seed % 8 != 0) {  // every 8th run stays clean to assert zero-cost-when-unarmed
@@ -191,10 +196,10 @@ std::string ReplayCommand(const RunSpec& spec) {
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "ace_soak --replay --app %s --threads %d --scale %g --variant %d "
-                "--policy %s --threshold %d%s%s --fault-seed %llu --plan '%s'",
+                "--policy %s --threshold %d%s%s%s --fault-seed %llu --plan '%s'",
                 spec.app.c_str(), spec.threads, spec.scale, spec.variant, spec.policy.c_str(),
                 spec.threshold, spec.migrating ? " --migrating" : "",
-                spec.pager ? " --pager" : "",
+                spec.pager ? " --pager" : "", spec.tlb ? " --tlb" : "",
                 static_cast<unsigned long long>(spec.fault_seed),
                 spec.plan.Format().c_str());
   return buf;
@@ -202,9 +207,10 @@ std::string ReplayCommand(const RunSpec& spec) {
 
 std::string DescribeRun(const RunSpec& spec) {
   char buf[384];
-  std::snprintf(buf, sizeof buf, "%-8s threads=%d policy=%-11s%s%s plan=%s", spec.app.c_str(),
+  std::snprintf(buf, sizeof buf, "%-8s threads=%d policy=%-11s%s%s%s plan=%s", spec.app.c_str(),
                 spec.threads, spec.policy.c_str(), spec.migrating ? " migrating" : "",
-                spec.pager ? " pager" : "", spec.plan.empty() ? "-" : spec.plan.Format().c_str());
+                spec.pager ? " pager" : "", spec.tlb ? " tlb" : "",
+                spec.plan.empty() ? "-" : spec.plan.Format().c_str());
   return buf;
 }
 
@@ -220,6 +226,8 @@ std::string RunInProcess(const RunSpec& spec) {
   mo.config.global_pages = spec.global_pages;
   mo.policy = ParsePolicy(spec.policy, spec.threshold);
   mo.enable_pager = spec.pager;
+  mo.enable_tlb = spec.tlb;
+  mo.tlb_verify = spec.tlb ? 1 : -1;  // poison cross-check on: stale entries abort
   mo.fault_plan = spec.plan;
   mo.fault_seed = spec.fault_seed;
   ace::Machine machine(mo);
@@ -259,6 +267,16 @@ std::string RunInProcess(const RunSpec& spec) {
     char buf[96];
     std::snprintf(buf, sizeof buf, "measured alpha out of range: %f", alpha);
     return buf;
+  }
+  const ace::TlbStats& t = machine.tlb_stats();
+  if (spec.tlb) {
+    // Every fill follows a miss, with or without injected faults in the resolve path.
+    if (t.fills > t.misses) {
+      return fail("tlb fills <= tlb misses", t.fills, t.misses);
+    }
+  } else if (t.hits + t.misses + t.fills + t.batched_refs != 0) {
+    return fail("disabled TLB must stay cold", t.hits + t.misses + t.fills + t.batched_refs,
+                0);
   }
   if (spec.plan.empty()) {
     std::uint64_t degraded = s.degraded_global_fallbacks + s.degraded_copy_failures +
@@ -446,7 +464,7 @@ void Usage(const char* argv0) {
                "          [--repro-out FILE] [--checkpoint FILE] [--resume]\n"
                "          [--run-timeout SECONDS] [--failures-json FILE] [--quiet]\n"
                "   or: %s --replay --app NAME --threads N --scale X --variant N\n"
-               "          --policy P --threshold N [--migrating] [--pager]\n"
+               "          --policy P --threshold N [--migrating] [--pager] [--tlb]\n"
                "          --fault-seed N --plan STR\n",
                argv0, argv0);
   std::exit(2);
@@ -537,6 +555,8 @@ int main(int argc, char** argv) {
       replay_spec.migrating = true;
     } else if (arg == "--pager") {
       replay_spec.pager = true;
+    } else if (arg == "--tlb") {
+      replay_spec.tlb = true;
     } else if (arg == "--fault-seed") {
       replay_spec.fault_seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--plan") {
