@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/obs/sampler.h"
+
 namespace ace {
 
 namespace {
@@ -267,8 +269,8 @@ void Machine::FlushRefRun(ProcId proc) {
   if (run.cls != MemoryClass::kLocal) {
     bus_.RecordTransferBlock(kWordBytes, run.count, clocks_.now(proc));
   }
-  tlb_.stats().run_flushes++;
-  tlb_.stats().batched_refs += run.count;
+  tlb_.global_stats().run_flushes++;
+  tlb_.global_stats().batched_refs += run.count;
   run.count = 0;
 }
 
@@ -409,6 +411,61 @@ const NumaPageInfo& Machine::PageInfoFor(Task& task, VirtAddr va) {
   LogicalPage lp = ResolveDebugPage(task, va, /*materialize=*/true);
   ACE_CHECK(lp != kNoLogicalPage);
   return pmap_->manager().PageInfo(lp);
+}
+
+void Machine::CaptureLiveSample(LiveSample* out) {
+  // Commit open TLB runs so the counters below include every reference issued so
+  // far. Idempotent and invisible to MachineStats totals (only the tlb group's
+  // run_flushes/batched_refs bookkeeping differs from a lazier flush schedule), so
+  // sampling cannot perturb a run's results.
+  FlushPendingRefs();
+
+  out->stats = stats_;
+  out->user_ns = clocks_.TotalUser();
+  out->system_ns = clocks_.TotalSystem();
+  out->max_clock_ns = 0;
+  for (int p = 0; p < options_.config.num_processors; ++p) {
+    const TimeNs t = clocks_.now(static_cast<ProcId>(p));
+    if (t > out->max_clock_ns) {
+      out->max_clock_ns = t;
+    }
+  }
+
+  out->tlb_hits_by_proc.clear();
+  out->tlb_misses_by_proc.clear();
+  if (tlb_on_) {
+    const std::vector<TlbProcCounters>& pc = tlb_.proc_counters();
+    out->tlb_hits_by_proc.reserve(pc.size());
+    out->tlb_misses_by_proc.reserve(pc.size());
+    for (const TlbProcCounters& c : pc) {
+      out->tlb_hits_by_proc.push_back(c.hits);
+      out->tlb_misses_by_proc.push_back(c.misses);
+    }
+  }
+
+  out->trace_emitted = 0;
+  out->trace_dropped = 0;
+  if (obs_ != nullptr && obs_->tracer().configured()) {
+    out->trace_emitted = obs_->tracer().total_emitted();
+    out->trace_dropped = obs_->tracer().dropped();
+  }
+
+  out->decisions = {};
+  out->have_heat = false;
+  out->page_refs.clear();
+  if (obs_ != nullptr && obs_->heat_on()) {
+    const HeatProfile& heat = obs_->heat();
+    out->have_heat = true;
+    out->decisions[0] = heat.decisions(Placement::kLocal);
+    out->decisions[1] = heat.decisions(Placement::kGlobal);
+    out->decisions[2] = heat.decisions(Placement::kRemoteHome);
+    out->page_refs.resize(heat.num_pages());
+    for (std::uint32_t lp = 0; lp < heat.num_pages(); ++lp) {
+      const PageHeat& h = heat.page(lp);
+      out->page_refs[lp] = {h.LocalTotal(), h.GlobalTotal(), h.RemoteTotal(),
+                            static_cast<std::uint64_t>(h.state)};
+    }
+  }
 }
 
 }  // namespace ace

@@ -45,6 +45,8 @@
 
 namespace ace {
 
+struct LiveSample;
+
 // Which NUMA policy the machine boots with.
 struct PolicySpec {
   enum class Kind {
@@ -259,11 +261,23 @@ class Machine {
 
   // The software TLB and its counter group (the `tlb` observability group). The
   // counters are kept out of MachineStats: they differ between TLB-on and TLB-off
-  // runs by design, while MachineStats must not.
+  // runs by design, while MachineStats must not. By value — the hit/miss totals are
+  // summed from the per-processor counters at read time.
   Tlb& tlb() { return tlb_; }
-  const TlbStats& tlb_stats() const { return tlb_.stats(); }
+  TlbStats tlb_stats() const { return tlb_.stats(); }
   bool tlb_enabled() const { return tlb_on_; }
   bool tlb_verify_enabled() const { return tlb_verify_on_; }
+
+  // Fill a live-telemetry capture (src/obs/sampler.h) with the machine's current
+  // cumulative state: counters, clocks, per-processor TLB hit/miss, trace-ring
+  // pressure, and (when heat profiling is on) per-page reference totals and policy
+  // decisions. Pure observer — commits open TLB runs first (idempotent), reads
+  // everything else through const accessors. The static thunk matches
+  // LiveSampler::CaptureFn so the sampler can stay machine-independent.
+  void CaptureLiveSample(LiveSample* out);
+  static void LiveCaptureThunk(void* ctx, LiveSample* out) {
+    static_cast<Machine*>(ctx)->CaptureLiveSample(out);
+  }
 
   // The observability layer (src/obs). Created and wired into the NUMA manager and
   // fault path on first call; machines that never ask for it keep every hook at its

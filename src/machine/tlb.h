@@ -35,6 +35,8 @@ namespace ace {
 // Counters for the `tlb` observability group. Deterministic for a given run
 // configuration (the soak harness checks replay identity on them), but naturally
 // different between TLB-on and TLB-off runs — equivalence suites must exclude them.
+// `hits` and `misses` are aggregated from the per-processor counters below at read
+// time; the probe path pays exactly one increment either way.
 struct TlbStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;            // no entry, wrong tag, or insufficient protection
@@ -45,6 +47,14 @@ struct TlbStats {
   std::uint64_t proc_flushes = 0;      // whole-processor invalidations
   std::uint64_t run_flushes = 0;       // batched accounting runs committed
   std::uint64_t batched_refs = 0;      // references charged through batched runs
+};
+
+// Per-processor probe counters — the live feed's "per-processor TLB hit/miss rate"
+// source (src/obs/sampler.h). Kept separate from TlbStats so the hot-path probe
+// stays at one indexed increment; TlbStats sums them on demand.
+struct TlbProcCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
 };
 
 class Tlb final : public MmuShootdownSink {
@@ -75,7 +85,8 @@ class Tlb final : public MmuShootdownSink {
       : entries_mask_(entries_per_proc - 1),
         shift_(IndexBits(entries_per_proc)),
         slots_(static_cast<std::size_t>(num_processors) * entries_per_proc),
-        runs_(static_cast<std::size_t>(num_processors)) {
+        runs_(static_cast<std::size_t>(num_processors)),
+        proc_counters_(static_cast<std::size_t>(num_processors)) {
     ACE_CHECK(num_processors >= 1);
     ACE_CHECK(entries_per_proc >= 2 &&
               (entries_per_proc & (entries_per_proc - 1)) == 0);
@@ -90,10 +101,10 @@ class Tlb final : public MmuShootdownSink {
   const Entry* Find(ProcId proc, VirtPage vpage, AccessKind kind) {
     Entry& e = slots_[SlotIndex(proc, vpage)];
     if (e.vpage != vpage || !Allows(e.prot, kind)) {
-      stats_.misses++;
+      proc_counters_[static_cast<std::size_t>(proc)].misses++;
       return nullptr;
     }
-    stats_.hits++;
+    proc_counters_[static_cast<std::size_t>(proc)].hits++;
     return &e;
   }
 
@@ -108,7 +119,7 @@ class Tlb final : public MmuShootdownSink {
             const LatencyModel& latency) {
     Entry& e = slots_[SlotIndex(proc, vpage)];
     if (e.vpage != kInvalidVPage && e.vpage != vpage) {
-      stats_.conflict_evictions++;
+      global_.conflict_evictions++;
     }
     e.vpage = vpage;
     e.frame = frame;
@@ -117,23 +128,23 @@ class Tlb final : public MmuShootdownSink {
     e.cls = frame.ClassFor(proc);
     e.cost_fetch = latency.Cost(e.cls, AccessKind::kFetch);
     e.cost_store = latency.Cost(e.cls, AccessKind::kStore);
-    stats_.fills++;
+    global_.fills++;
   }
 
   Run& run(ProcId proc) { return runs_[static_cast<std::size_t>(proc)]; }
 
   // --- MmuShootdownSink ----------------------------------------------------------------
   void ShootdownPage(ProcId proc, VirtPage vpage) override {
-    stats_.shootdown_pages++;
+    global_.shootdown_pages++;
     Entry& e = slots_[SlotIndex(proc, vpage)];
     if (e.vpage == vpage) {
       e.vpage = kInvalidVPage;
-      stats_.shootdown_hits++;
+      global_.shootdown_hits++;
     }
   }
 
   void ShootdownProc(ProcId proc) override {
-    stats_.proc_flushes++;
+    global_.proc_flushes++;
     std::size_t base = static_cast<std::size_t>(proc) << shift_;
     for (std::size_t i = 0; i <= entries_mask_; ++i) {
       slots_[base + i].vpage = kInvalidVPage;
@@ -146,8 +157,21 @@ class Tlb final : public MmuShootdownSink {
     }
   }
 
-  TlbStats& stats() { return stats_; }
-  const TlbStats& stats() const { return stats_; }
+  // Aggregate snapshot of the counter group: the global counters plus the summed
+  // per-processor probe counters. By value — the hit/miss totals are materialized
+  // at read time, never stored.
+  TlbStats stats() const {
+    TlbStats s = global_;
+    for (const TlbProcCounters& c : proc_counters_) {
+      s.hits += c.hits;
+      s.misses += c.misses;
+    }
+    return s;
+  }
+  // The counters not split per processor (fills, shootdowns, batching), mutable for
+  // the machine's run-commit path.
+  TlbStats& global_stats() { return global_; }
+  const std::vector<TlbProcCounters>& proc_counters() const { return proc_counters_; }
   std::uint32_t entries_per_proc() const {
     return static_cast<std::uint32_t>(entries_mask_ + 1);
   }
@@ -174,7 +198,8 @@ class Tlb final : public MmuShootdownSink {
   std::uint32_t shift_;
   std::vector<Entry> slots_;
   std::vector<Run> runs_;
-  TlbStats stats_;
+  TlbStats global_;  // everything except hits/misses, which live per processor
+  std::vector<TlbProcCounters> proc_counters_;
 };
 
 }  // namespace ace

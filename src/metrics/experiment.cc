@@ -1,6 +1,8 @@
 #include "src/metrics/experiment.h"
 
 #include "src/common/check.h"
+#include "src/obs/sampler.h"
+#include "src/threads/watchdog.h"
 
 namespace ace {
 
@@ -38,8 +40,44 @@ PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec
   cfg.runtime.scheduler = options.scheduler;
   cfg.runtime.watchdog = options.watchdog;
 
+  if (options.sampler != nullptr) {
+    // One feed segment per placement run. Heat profiling feeds the sampler's
+    // hot-page and policy-decision columns; it forces per-reference recording but
+    // changes no counter, clock, or app result (the obs equivalence tests prove it).
+    machine.observability().EnableHeat();
+    options.sampler->SetSource(&Machine::LiveCaptureThunk, &machine);
+    LiveRunMeta meta;
+    meta.app = app.name();
+    meta.policy = policy.Name();
+    meta.procs = num_processors;
+    meta.threads = num_threads;
+    meta.pages = mo.config.global_pages;
+    meta.page_size = mo.config.page_size;
+    meta.seed = options.fault_seed;
+    meta.fault_plan = options.fault_plan.Format();
+    meta.tlb = machine.tlb_enabled();
+    meta.tag = options.live_tag;
+    options.sampler->BeginRun(std::move(meta));
+    cfg.runtime.sampler = options.sampler;
+  }
+
   PlacementRun run;
-  run.app = app.Run(machine, cfg);
+  try {
+    run.app = app.Run(machine, cfg);
+  } catch (const RunKilledError& e) {
+    if (options.sampler != nullptr) {
+      options.sampler->EndRun(e.reason());  // "watchdog-deadline" | "watchdog-livelock"
+    }
+    throw;
+  } catch (...) {
+    if (options.sampler != nullptr) {
+      options.sampler->EndRun("exception");
+    }
+    throw;
+  }
+  if (options.sampler != nullptr) {
+    options.sampler->EndRun(run.app.ok ? "ok" : "failed");
+  }
   run.user_sec = static_cast<double>(machine.clocks().TotalUser()) * 1e-9;
   run.system_sec = static_cast<double>(machine.clocks().TotalSystem()) * 1e-9;
   run.stats = machine.stats();

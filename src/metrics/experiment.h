@@ -21,6 +21,8 @@
 
 namespace ace {
 
+class LiveSampler;
+
 struct ExperimentOptions {
   MachineConfig config;         // base machine (processor count = parallel runs)
   int num_threads = 7;          // worker threads for the numa/global runs
@@ -49,6 +51,14 @@ struct ExperimentOptions {
   // is enabled on the machine so a kill report can name the ping-ponging page and the
   // last trace events; tracing never changes virtual time, so metrics are unaffected.
   WatchdogLimits watchdog;
+  // Live telemetry (src/obs/sampler.h). When set, every placement run becomes one
+  // ace-live-v1 segment: RunPlacement binds the machine as the capture source, enables
+  // heat profiling (the sampler's hot-page and decision columns), hooks the sampler
+  // into the runtime's dispatch loop, and closes the segment with the run's outcome.
+  // Not owned. Counters and app results are byte-identical with and without it.
+  LiveSampler* sampler = nullptr;
+  // Free-form label echoed as "tag" in each segment's meta (bench cell id, soak seed).
+  std::string live_tag;
 };
 
 // The machine config `options` actually runs with: `config` with the G/L latency

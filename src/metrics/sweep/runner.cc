@@ -75,7 +75,7 @@ bool RunsIdentical(const PlacementRun& a, const PlacementRun& b) {
 }
 
 ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& base_config,
-                                 const WatchdogLimits& watchdog) {
+                                 const WatchdogLimits& watchdog, LiveSampler* sampler) {
   ExperimentOptions options;
   options.config = base_config;
   options.config.num_processors = cell.threads;
@@ -85,6 +85,12 @@ ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& bas
   options.gl_ratio = cell.gl_ratio;
   options.scheduler = cell.scheduler;
   options.watchdog = watchdog;
+  options.sampler = sampler;
+  if (sampler != nullptr) {
+    // Every placement run of this cell becomes one feed segment; the tag lets a
+    // reader map segments back to matrix coordinates.
+    options.live_tag = cell.Key();
+  }
   if (!cell.fault_plan.empty()) {
     std::string error;
     ACE_CHECK_MSG(FaultPlan::Parse(cell.fault_plan, &options.fault_plan, &error),
@@ -97,8 +103,8 @@ ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& bas
 // The body of RunCell, free to throw (RunKilledError from the watchdog, anything
 // from application code); RunCell converts escapes into a died result.
 CellResult RunCellUnguarded(const SweepCell& cell, const MachineConfig& base_config,
-                            const WatchdogLimits& watchdog) {
-  ExperimentOptions options = OptionsForCell(cell, base_config, watchdog);
+                            const WatchdogLimits& watchdog, LiveSampler* sampler) {
+  ExperimentOptions options = OptionsForCell(cell, base_config, watchdog, sampler);
 
   CellResult result;
   result.cell = cell;
@@ -220,9 +226,9 @@ WatchdogLimits ScaledWatchdog(const WatchdogLimits& base, const SweepCell& cell)
 }
 
 CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config,
-                   const WatchdogLimits& watchdog) {
+                   const WatchdogLimits& watchdog, LiveSampler* sampler) {
   try {
-    return RunCellUnguarded(cell, base_config, watchdog);
+    return RunCellUnguarded(cell, base_config, watchdog, sampler);
   } catch (const RunKilledError& killed) {
     return DiedResult(cell, killed.reason(), killed.diagnostics());
   } catch (const std::exception& e) {
@@ -325,7 +331,9 @@ SweepResult RunSweep(const std::string& suite_name, const std::vector<SweepCell>
   result.base_config = options.base_config;
   result.cells.resize(cells.size());
 
-  WorkStealingPool pool(options.workers);
+  // A live sampler writes one sequential stream, so sampled sweeps serialize onto a
+  // single worker regardless of the requested width (the tool warns about this).
+  WorkStealingPool pool(options.sampler != nullptr ? 1 : options.workers);
   std::atomic<std::size_t> done{0};
   std::atomic<bool> quarantined_any{false};
   const ResilienceOptions& res = options.resilience;
@@ -359,7 +367,7 @@ SweepResult RunSweep(const std::string& suite_name, const std::vector<SweepCell>
       int attempt = 1;
       for (;; ++attempt) {
         slot = res.isolate ? RunCellForked(cell, options.base_config, limits)
-                           : RunCell(cell, options.base_config, limits);
+                           : RunCell(cell, options.base_config, limits, options.sampler);
         if (!slot.died() || attempt >= max_attempts) {
           break;
         }

@@ -21,6 +21,8 @@
 
 namespace ace {
 
+class LiveSampler;
+
 // One quarantined cell: it died (watchdog kill, escaped exception, forked-child
 // signal) on every attempt of its retry budget. Quarantine is a *result*, not an
 // abort — the rest of the sweep completes, and the list lands in failures.json
@@ -67,6 +69,12 @@ struct SweepOptions {
   // cells are copied (with from_checkpoint set) instead of executed; keys not in
   // the matrix are ignored. Not owned; must outlive RunSweep.
   const std::map<std::string, CellResult>* resumed = nullptr;
+  // Live telemetry (src/obs/sampler.h): every placement run of every cell becomes
+  // one ace-live-v1 segment, tagged with the cell's key. The sampler writes a single
+  // stream, so the sweep degrades to one worker when it is set, and it never rides
+  // into forked (--isolate) cells — the tool rejects that combination up front.
+  // Not owned; must outlive RunSweep.
+  LiveSampler* sampler = nullptr;
 };
 
 // Host-side execution statistics — everything here varies run to run and is excluded
@@ -101,9 +109,11 @@ struct SweepResult {
 // Execute one cell in isolation. Exposed for tests and for callers that need a
 // single cell outside a sweep. With `watchdog` limits (already scaled; see
 // ResilienceOptions), a kill or an exception escaping the application is captured
-// as a died result (failure_kind/failure_detail) instead of propagating.
+// as a died result (failure_kind/failure_detail) instead of propagating. A non-null
+// `sampler` streams each placement run of the cell as an ace-live-v1 segment.
 CellResult RunCell(const SweepCell& cell, const MachineConfig& base_config,
-                   const WatchdogLimits& watchdog = WatchdogLimits{});
+                   const WatchdogLimits& watchdog = WatchdogLimits{},
+                   LiveSampler* sampler = nullptr);
 
 // RunCell in a forked child: any signal (ACE_CHECK abort included) is confined to
 // the child and reported as failure_kind "signal:<n>".

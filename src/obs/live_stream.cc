@@ -1,0 +1,101 @@
+#include "src/obs/live_stream.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+const char* LiveCounterKey(int counter) {
+  static const char* const kKeys[kNumLiveCounters] = {
+      "fetch_local",       "fetch_global",      "fetch_remote",
+      "store_local",       "store_global",      "store_remote",
+      "faults",            "zero_fills",        "copies",
+      "syncs",             "flushes",           "unmaps",
+      "moves",             "pins",              "alloc_fails",
+      "deg_fallbacks",     "deg_copy_fails",    "deg_pool_retries",
+      "deg_oom_faults",    "tlb_hits",          "tlb_misses",
+      "dec_local",         "dec_global",        "dec_remote",
+      "trace_emitted",     "trace_dropped",     "user_ns",
+      "system_ns",
+  };
+  ACE_CHECK(counter >= 0 && counter < kNumLiveCounters);
+  return kKeys[counter];
+}
+
+bool LiveStreamWriter::Open(const std::string& path, bool append) {
+  Close();
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) {
+    ok_ = false;
+    return false;
+  }
+  path_ = path;
+  ok_ = true;
+  return true;
+}
+
+void LiveStreamWriter::WriteLine(const std::string& line) {
+  if (file_ == nullptr || !ok_) {
+    return;
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    ok_ = false;
+  }
+}
+
+void LiveStreamWriter::SyncToDisk() {
+  if (file_ == nullptr || !ok_) {
+    return;
+  }
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    ok_ = false;
+  }
+}
+
+void LiveStreamWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      ok_ = false;
+    }
+    file_ = nullptr;
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ace

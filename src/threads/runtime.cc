@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/obs/sampler.h"
+
 namespace ace {
 namespace {
 
@@ -205,6 +207,13 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
 void Runtime::DispatchNextFrom(FiberContext* from, int self) {
   int next = PickNext();
   ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
+  if (options_.sampler != nullptr) {
+    // The chosen fiber's clock is the minimum runnable clock — monotone
+    // nondecreasing across dispatches, so it is a valid sample timestamp. Ticked
+    // before the watchdog check: a livelock budget evaluated from the sample stream
+    // sees the capture that crossed the budget, not a stale one.
+    options_.sampler->Tick(ProcNow(fibers_[static_cast<std::size_t>(next)]->env.proc_));
+  }
   CheckWatchdog(next);
   current_ = next;
   current_deadline_ = DeadlineFor(next);
@@ -235,14 +244,26 @@ void Runtime::CheckWatchdog(int next) {
     kill_detail_ = BuildKillReport(*machine_, wd, summary);
     return;
   }
-  const MachineStats& stats = machine_->stats();
-  std::uint64_t traffic = stats.ownership_moves + stats.page_syncs;
+  // Livelock budget. With a live sampler attached, the budget is evaluated against
+  // the sample stream's latest capture — the same numbers an operator tailing the
+  // ace-live-v1 feed watches approach the budget — so trips land on sample
+  // boundaries. Without one, fall back to a direct counter read every dispatch.
+  std::uint64_t traffic;
+  const char* traffic_src;
+  if (options_.sampler != nullptr && options_.sampler->active()) {
+    traffic = options_.sampler->last_traffic();
+    traffic_src = " (from the live sample stream)";
+  } else {
+    const MachineStats& stats = machine_->stats();
+    traffic = stats.ownership_moves + stats.page_syncs;
+    traffic_src = "";
+  }
   if (wd.move_budget > 0 && traffic > wd.move_budget) {
     std::snprintf(summary, sizeof summary,
                   "consistency traffic (ownership_moves + page_syncs = %llu) passed "
-                  "the move budget of %llu",
+                  "the move budget of %llu%s",
                   static_cast<unsigned long long>(traffic),
-                  static_cast<unsigned long long>(wd.move_budget));
+                  static_cast<unsigned long long>(wd.move_budget), traffic_src);
     killing_ = true;
     kill_reason_ = "watchdog-livelock";
     kill_detail_ = BuildKillReport(*machine_, wd, summary);

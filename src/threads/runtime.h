@@ -31,6 +31,7 @@
 
 namespace ace {
 
+class LiveSampler;
 class Runtime;
 
 // Per-thread handle through which application code touches simulated memory. All
@@ -87,6 +88,12 @@ class Runtime {
     // happy path stays bit-identical. When a limit trips, Run() unwinds every fiber
     // and throws RunKilledError (see watchdog.h).
     WatchdogLimits watchdog;
+    // Optional live-telemetry sampler (src/obs/sampler.h). Ticked once per dispatch
+    // with the chosen fiber's virtual clock — the minimum runnable clock, which is
+    // monotone nondecreasing — before the watchdog check, so a budget trip is
+    // evaluated against the sample that crossed it. Not owned; one compare per
+    // dispatch when attached, untouched code path when null.
+    LiveSampler* sampler = nullptr;
   };
 
   Runtime(Machine* machine, Task* task, Options options);

@@ -33,9 +33,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/inject/fault_plan.h"
+#include "src/obs/live_stream.h"
+#include "src/obs/sampler.h"
 #include "src/metrics/sweep/baseline.h"
 #include "src/metrics/sweep/checkpoint.h"
 #include "src/metrics/sweep/matrix.h"
@@ -78,6 +81,11 @@ void Usage() {
       "  --fault-seed N         seed for probabilistic plan schedules\n"
       "  --only SUBSTR          run only cells whose key contains SUBSTR (replay)\n"
       "  --no-host              omit host stats from --out (byte-comparable)\n"
+      "live telemetry (view with ace_top --live FILE):\n"
+      "  --live-out FILE        stream every placement run as an ace-live-v1 segment\n"
+      "                         tagged with its cell key (forces --workers 1;\n"
+      "                         incompatible with --isolate)\n"
+      "  --sample-interval NS   virtual-time sampling cadence (default: 10000000)\n"
       "all options also accept the --opt=value spelling.\n");
 }
 
@@ -104,6 +112,8 @@ struct Args {
   unsigned long long fault_seed = 0;
   std::string only;
   bool no_host = false;
+  std::string live_out;
+  long long sample_interval_ns = 10'000'000;
 };
 
 // Returns the option value for `name` ("--name value" or "--name=value"), advancing
@@ -193,6 +203,10 @@ int main(int argc, char** argv) {
       args.fault_seed = std::strtoull(v, nullptr, 10);
     } else if ((v = OptValue(argc, argv, &i, "--only")) != nullptr) {
       args.only = v;
+    } else if ((v = OptValue(argc, argv, &i, "--live-out")) != nullptr) {
+      args.live_out = v;
+    } else if ((v = OptValue(argc, argv, &i, "--sample-interval")) != nullptr) {
+      args.sample_interval_ns = std::atoll(v);
     } else if (OptFlag(argv[i], "--resume")) {
       args.resume = true;
     } else if (OptFlag(argv[i], "--isolate")) {
@@ -240,6 +254,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!args.live_out.empty() && args.isolate) {
+    // A forked cell would write its segments through a duplicated FILE*, tearing the
+    // parent's stream mid-record. Telemetry for isolated runs belongs to ace_soak,
+    // which gives each forked child its own append-mode segment.
+    std::fprintf(stderr, "--live-out is incompatible with --isolate\n");
+    return 2;
+  }
+  if (!args.live_out.empty() && args.sample_interval_ns <= 0) {
+    std::fprintf(stderr, "--sample-interval must be > 0\n");
+    return 2;
+  }
+
   ace::Suite suite = ace::MakeSuite(args.suite, args.threads, args.scale);
   if (!args.plan.empty()) {
     ace::FaultPlan parsed;
@@ -270,6 +296,23 @@ int main(int argc, char** argv) {
 
   ace::SweepOptions options;
   options.workers = args.workers;
+  ace::LiveStreamWriter live_writer;
+  std::unique_ptr<ace::LiveSampler> sampler;
+  if (!args.live_out.empty()) {
+    if (args.workers > 1) {
+      std::fprintf(stderr,
+                   "note: --live-out streams one cell at a time; running on 1 worker\n");
+    }
+    if (!live_writer.Open(args.live_out, /*append=*/false)) {
+      std::fprintf(stderr, "ERROR: cannot open %s for writing\n", args.live_out.c_str());
+      return 2;
+    }
+    ace::LiveSampler::Options so;
+    so.interval_ns = args.sample_interval_ns;
+    so.tool = "ace_bench";
+    sampler = std::make_unique<ace::LiveSampler>(so, &live_writer);
+    options.sampler = sampler.get();
+  }
   options.resilience.watchdog.deadline_ns = args.deadline_ns;
   options.resilience.watchdog.move_budget = args.move_budget;
   options.resilience.max_attempts = args.retries + 1;
@@ -319,6 +362,19 @@ int main(int argc, char** argv) {
               result.host.wall_seconds, result.host.runs_per_second,
               result.host.simulated_seconds,
               static_cast<unsigned long long>(result.host.steals));
+
+  if (sampler != nullptr) {
+    live_writer.Close();
+    if (!live_writer.ok()) {
+      std::fprintf(stderr, "ERROR: live feed %s hit a write error\n",
+                   args.live_out.c_str());
+      return 2;
+    }
+    std::printf("live feed: %s (%llu segments, %llu samples, every %lld ns)\n",
+                args.live_out.c_str(), (unsigned long long)sampler->segments(),
+                (unsigned long long)sampler->total_samples(),
+                (long long)args.sample_interval_ns);
+  }
 
   if (args.render) {
     std::printf("\n-- Table 3 view --\n%s", ace::RenderTable3(result).c_str());

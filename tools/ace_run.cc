@@ -24,7 +24,9 @@
 #include "src/metrics/experiment.h"
 #include "src/metrics/table.h"
 #include "src/obs/export.h"
+#include "src/obs/live_stream.h"
 #include "src/obs/observability.h"
+#include "src/obs/sampler.h"
 #include "src/obs/snapshot.h"
 #include "src/trace/ref_trace.h"
 
@@ -62,7 +64,10 @@ void Usage() {
       "  --heat-csv FILE        write the per-page heat table as CSV\n"
       "  --report LIST          comma-separated: hot-pages,locality,decisions\n"
       "  --top N                rows in the hot-pages report (default 10)\n"
-      "  --trace-buffer N       trace ring capacity per processor (default 65536)\n");
+      "  --trace-buffer N       trace ring capacity per processor (default 65536)\n"
+      "live telemetry (tail with ace_top --live / --follow):\n"
+      "  --live-out FILE        stream an ace-live-v1 JSONL feed while running\n"
+      "  --sample-interval NS   virtual-time sampling cadence in ns (default 10ms)\n");
 }
 
 ace::PolicySpec ParsePolicy(const std::string& name, int threshold) {
@@ -111,6 +116,8 @@ int main(int argc, char** argv) {
   std::string report_list;
   int top_n = 10;
   std::size_t trace_buffer = ace::Tracer::kDefaultCapacityPerProc;
+  std::string live_out;
+  std::int64_t sample_interval = 10'000'000;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -184,6 +191,10 @@ int main(int argc, char** argv) {
       top_n = std::atoi(next());
     } else if (arg == "--trace-buffer") {
       trace_buffer = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--live-out") {
+      live_out = next();
+    } else if (arg == "--sample-interval") {
+      sample_interval = std::strtoll(next(), nullptr, 0);
     } else if (arg == "--optimal") {
       optimal = true;
     } else if (arg == "--experiment") {
@@ -215,6 +226,22 @@ int main(int argc, char** argv) {
   options.enable_tlb = !no_tlb;
 
   if (experiment) {
+    // With --live-out the three placement runs become three feed segments, all
+    // through one writer (RunPlacement opens/closes each segment).
+    ace::LiveStreamWriter live_writer;
+    std::unique_ptr<ace::LiveSampler> sampler;
+    if (!live_out.empty()) {
+      if (!live_writer.Open(live_out, /*append=*/false)) {
+        std::fprintf(stderr, "cannot open %s for live output\n", live_out.c_str());
+        return 1;
+      }
+      ace::LiveSampler::Options so;
+      so.interval_ns = sample_interval;
+      so.hot_pages = static_cast<std::size_t>(top_n);
+      so.tool = "ace_run";
+      sampler = std::make_unique<ace::LiveSampler>(so, &live_writer);
+      options.sampler = sampler.get();
+    }
     ace::ExperimentResult r = ace::RunExperiment(app_name, options);
     ace::TextTable table({"Application", "Tglobal", "Tnuma", "Tlocal", "alpha", "beta",
                           "gamma", "alpha(ref)", "verified"});
@@ -224,6 +251,14 @@ int main(int argc, char** argv) {
                   ace::Fmt("%.2f", r.model.beta), ace::Fmt("%.2f", r.model.gamma),
                   ace::Fmt("%.2f", r.numa.measured_alpha), r.AllOk() ? "ok" : "FAILED"});
     table.Print();
+    if (sampler != nullptr) {
+      live_writer.Close();
+      if (!live_writer.ok()) {
+        std::fprintf(stderr, "error writing live feed %s\n", live_out.c_str());
+        return 1;
+      }
+      std::printf("live feed:      %s (3 segments)\n", live_out.c_str());
+    }
     return r.AllOk() ? 0 : 1;
   }
 
@@ -262,12 +297,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Live telemetry: stream an ace-live-v1 segment while the app runs. Heat profiling
+  // feeds the hot-page and decision columns; counters and results stay byte-identical
+  // to an unsampled run (tests/live_sampler_test.cc).
+  ace::LiveStreamWriter live_writer;
+  std::unique_ptr<ace::LiveSampler> sampler;
+  if (!live_out.empty()) {
+    if (!live_writer.Open(live_out, /*append=*/false)) {
+      std::fprintf(stderr, "cannot open %s for live output\n", live_out.c_str());
+      return 1;
+    }
+    ace::LiveSampler::Options so;
+    so.interval_ns = sample_interval;
+    so.hot_pages = static_cast<std::size_t>(top_n);
+    so.tool = "ace_run";
+    sampler = std::make_unique<ace::LiveSampler>(so, &live_writer);
+    machine.observability().EnableHeat();
+    sampler->SetSource(&ace::Machine::LiveCaptureThunk, &machine);
+    ace::LiveRunMeta meta;
+    meta.app = app_name;
+    meta.policy = policy_name;
+    meta.procs = threads;
+    meta.threads = threads;
+    meta.pages = global_pages;
+    meta.page_size = page_size;
+    meta.seed = seed;
+    meta.fault_plan = plan_text;
+    meta.tlb = machine.tlb_enabled();
+    sampler->BeginRun(std::move(meta));
+  }
+
   ace::AppConfig cfg;
   cfg.num_threads = threads;
   cfg.scale = scale;
   cfg.variant = variant;
   cfg.runtime.scheduler = options.scheduler;
+  cfg.runtime.sampler = sampler.get();
   ace::AppResult result = app->Run(machine, cfg);
+
+  if (sampler != nullptr) {
+    sampler->EndRun(result.ok ? "ok" : "failed");
+  }
 
   std::printf("app:            %s (%s)\n", app_name.c_str(), result.detail.c_str());
   std::printf("policy:         %s (threshold %d)\n", policy_name.c_str(), threshold);
@@ -301,13 +371,22 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.degraded_oom_faults);
   }
   if (tlb_stats) {
-    const ace::TlbStats& t = machine.tlb_stats();
+    const ace::TlbStats t = machine.tlb_stats();
     std::printf("tlb:            %s%s\n",
                 ace::FormatTlbCounters(t.hits, t.misses, t.fills, t.conflict_evictions,
                                        t.shootdown_pages, t.shootdown_hits,
                                        t.run_flushes, t.batched_refs)
                     .c_str(),
                 machine.tlb_enabled() ? "" : " (tlb disabled)");
+  }
+  if (sampler != nullptr) {
+    live_writer.Close();
+    if (!live_writer.ok()) {
+      std::fprintf(stderr, "error writing live feed %s\n", live_out.c_str());
+      return 1;
+    }
+    std::printf("live feed:      %s (%llu samples, every %lld ns)\n", live_out.c_str(),
+                (unsigned long long)sampler->samples(), (long long)sample_interval);
   }
 
   if (want_obs) {
@@ -322,6 +401,15 @@ int main(int argc, char** argv) {
     if (std::fabs(heat_alpha - stats_alpha) > 1e-9) {
       std::fprintf(stderr, "ERROR: heat-profile alpha diverges from MeasuredAlpha\n");
       return 1;
+    }
+
+    // Ring pressure: a nonzero drop count means the per-processor rings wrapped and
+    // any report built from them is missing that many oldest events.
+    if (obs.tracer().configured()) {
+      std::printf("trace rings:    %s\n",
+                  ace::FormatTraceRingCounters(obs.tracer().total_emitted(),
+                                               obs.tracer().dropped())
+                      .c_str());
     }
 
     ace::ExportContext ctx;

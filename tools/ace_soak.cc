@@ -46,6 +46,7 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,8 @@
 #include "src/inject/fault_plan.h"
 #include "src/machine/machine.h"
 #include "src/metrics/sweep/checkpoint.h"
+#include "src/obs/live_stream.h"
+#include "src/obs/sampler.h"
 #include "src/threads/runtime.h"
 
 namespace {
@@ -214,6 +217,14 @@ std::string DescribeRun(const RunSpec& spec) {
   return buf;
 }
 
+// Live telemetry: when --live-out is set, every run — replay, soak seed, and each
+// shrink re-run of a failing seed — appends one ace-live-v1 segment tagged
+// "seed=N" to the shared feed. Runs execute one at a time (RunForked is serial),
+// so append-mode opens never interleave; a child that aborts mid-run leaves an
+// open segment, the crash shape ace_top --validate tolerates by design.
+std::string g_live_out;
+long long g_sample_interval_ns = 10'000'000;
+
 // Build the machine, run the application, run every check. Empty string = run OK;
 // otherwise the first violation. ACE_CHECK failures abort (caught by the fork layer).
 std::string RunInProcess(const RunSpec& spec) {
@@ -238,7 +249,38 @@ std::string RunInProcess(const RunSpec& spec) {
   cfg.variant = spec.variant;
   cfg.runtime.scheduler =
       spec.migrating ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
+
+  ace::LiveStreamWriter live_writer;
+  std::unique_ptr<ace::LiveSampler> sampler;
+  if (!g_live_out.empty()) {
+    if (!live_writer.Open(g_live_out, /*append=*/true)) {
+      return "cannot open live feed '" + g_live_out + "'";
+    }
+    ace::LiveSampler::Options so;
+    so.interval_ns = g_sample_interval_ns;
+    so.tool = "ace_soak";
+    sampler = std::make_unique<ace::LiveSampler>(so, &live_writer);
+    machine.observability().EnableHeat();
+    sampler->SetSource(&ace::Machine::LiveCaptureThunk, &machine);
+    ace::LiveRunMeta meta;
+    meta.app = spec.app;
+    meta.policy = spec.policy;
+    meta.procs = spec.threads;
+    meta.threads = spec.threads;
+    meta.pages = spec.global_pages;
+    meta.page_size = mo.config.page_size;
+    meta.seed = spec.fault_seed;
+    meta.fault_plan = spec.plan.Format();
+    meta.tlb = spec.tlb;
+    meta.tag = "seed=" + std::to_string(spec.fault_seed);
+    sampler->BeginRun(std::move(meta));
+    cfg.runtime.sampler = sampler.get();
+  }
+
   ace::AppResult result = app->Run(machine, cfg);
+  if (sampler != nullptr) {
+    sampler->EndRun(result.ok ? "ok" : "failed");
+  }
 
   if (!result.ok) {
     return "application verification failed: " + result.detail;
@@ -463,6 +505,7 @@ void Usage(const char* argv0) {
                "usage: %s [--seeds N] [--start-seed N] [--time-budget SECONDS[s]]\n"
                "          [--repro-out FILE] [--checkpoint FILE] [--resume]\n"
                "          [--run-timeout SECONDS] [--failures-json FILE] [--quiet]\n"
+               "          [--live-out FILE] [--sample-interval NS]\n"
                "   or: %s --replay --app NAME --threads N --scale X --variant N\n"
                "          --policy P --threshold N [--migrating] [--pager] [--tlb]\n"
                "          --fault-seed N --plan STR\n",
@@ -535,6 +578,10 @@ int main(int argc, char** argv) {
       g_run_timeout_sec = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--failures-json") {
       failures_json = next();
+    } else if (arg == "--live-out") {
+      g_live_out = next();
+    } else if (arg == "--sample-interval") {
+      g_sample_interval_ns = std::atoll(next());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--replay") {
@@ -591,6 +638,25 @@ int main(int argc, char** argv) {
   if (resume && checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
     return 2;
+  }
+
+  if (!g_live_out.empty()) {
+    if (g_sample_interval_ns <= 0) {
+      std::fprintf(stderr, "--sample-interval must be > 0\n");
+      return 2;
+    }
+    // Children open the feed in append mode, so start it fresh here; a --resume
+    // soak keeps the prior segments, matching the journal's skip-completed-seeds
+    // semantics.
+    if (!resume) {
+      std::FILE* f = std::fopen(g_live_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open live feed '%s': %s\n", g_live_out.c_str(),
+                     std::strerror(errno));
+        return 2;
+      }
+      std::fclose(f);
+    }
   }
 
   // Load (resume) or start the journal. Resume fails closed on a file that is not a
@@ -718,5 +784,9 @@ int main(int argc, char** argv) {
   std::printf("soak: %llu run(s), %llu resumed, %d violation(s), %.1fs\n",
               static_cast<unsigned long long>(ran), static_cast<unsigned long long>(resumed),
               failures, elapsed());
+  if (!g_live_out.empty()) {
+    std::printf("live feed: %s (one segment per run; validate with ace_top --validate)\n",
+                g_live_out.c_str());
+  }
   return failures > 0 ? 1 : 0;
 }
