@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/machine/machine.h"
@@ -24,6 +25,16 @@
 #include "src/threads/runtime.h"
 
 namespace ace {
+
+// Client-population knobs for the Serving workload (src/serving). Lives here so
+// AppConfig can carry it without the app framework depending on the serving library.
+struct ServingOptions {
+  int tenants = 4;            // key namespaces sharing the store (1..16)
+  double zipf_skew = 0.9;     // Zipfian exponent of per-tenant key popularity
+  int churn_phases = 3;       // scheduled hot-shard rotations (1..8)
+  std::uint64_t requests = 0; // total request budget; 0 = derived from `scale`
+  std::uint64_t seed = 1;     // client-population seed (arrivals, keys, op mix)
+};
 
 struct AppConfig {
   int num_threads = 7;
@@ -37,12 +48,18 @@ struct AppConfig {
   int variant = 0;
   // Runtime scheduling options (affinity by default, as the paper's modified Mach).
   Runtime::Options runtime;
+  // Serving-workload knobs; ignored by the batch apps.
+  ServingOptions serving;
 };
 
 struct AppResult {
   bool ok = false;
   std::string detail;            // human-readable verification summary
   std::uint64_t work_units = 0;  // app-defined size metric (primes found, ops done...)
+  // App-defined scalar metrics, exported verbatim into bench cell JSON (ordered;
+  // virtual-time-derived only, so they stay byte-identical across hosts). Batch apps
+  // leave this empty; the serving app reports latency percentiles through it.
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 class App {
@@ -78,6 +95,11 @@ std::unique_ptr<App> CreatePlyTrace();
 std::unique_ptr<App> CreatePingPongForever();
 std::unique_ptr<App> CreateThrowOnRun();
 std::unique_ptr<App> CreateAbortOnRun();
+
+// The multi-tenant KV serving workload (src/serving). Addressable by name
+// ("Serving", or "serving" on the command line) but kept out of AllAppFactories: the
+// Table 3/4 suites and golden counters cover exactly the paper's eight batch apps.
+std::unique_ptr<App> CreateServing();
 
 // The Table 3 suite, in the paper's row order.
 std::vector<AppFactory> AllAppFactories();

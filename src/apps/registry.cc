@@ -17,6 +17,11 @@ std::unique_ptr<App> CreateAppByName(const std::string& name) {
       return app;
     }
   }
+  // The serving workload: addressable by name (either case, for `ace_run --app
+  // serving`), never enumerated into the paper-table suites.
+  if (name == "Serving" || name == "serving") {
+    return CreateServing();
+  }
   // Hidden resilience fixtures: addressable by name, never enumerated into suites.
   for (const AppFactory& factory :
        {AppFactory(CreatePingPongForever), AppFactory(CreateThrowOnRun),

@@ -466,6 +466,9 @@ void Machine::CaptureLiveSample(LiveSample* out) {
                             static_cast<std::uint64_t>(h.state)};
     }
   }
+
+  out->app_requests = app_requests_;
+  out->app_req_lat_ns = app_req_lat_ns_;
 }
 
 }  // namespace ace

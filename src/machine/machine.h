@@ -259,6 +259,18 @@ class Machine {
     RecomputeFastPathMode();
   }
 
+  // Application-level request counters for live telemetry: the running app (the
+  // serving workload) records each completed request and its virtual-time latency,
+  // and CaptureLiveSample folds the cumulative totals into each sample. Stored on
+  // the machine — not behind a callback — so the end-of-run summary capture still
+  // sees them after the app has returned. Both values are monotone by construction
+  // (the feed validator enforces non-negative deltas and summary == sum of deltas).
+  // Purely observational: the simulation never reads them back.
+  void RecordAppRequest(TimeNs latency_ns) {
+    app_requests_ += 1;
+    app_req_lat_ns_ += static_cast<std::uint64_t>(latency_ns);
+  }
+
   // The software TLB and its counter group (the `tlb` observability group). The
   // counters are kept out of MachineStats: they differ between TLB-on and TLB-off
   // runs by design, while MachineStats must not. By value — the hit/miss totals are
@@ -392,6 +404,9 @@ class Machine {
 
   RefObserver ref_observer_ = nullptr;
   void* ref_observer_ctx_ = nullptr;
+
+  std::uint64_t app_requests_ = 0;
+  std::uint64_t app_req_lat_ns_ = 0;
 };
 
 }  // namespace ace

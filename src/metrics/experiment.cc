@@ -39,6 +39,7 @@ PlacementRun RunPlacement(App& app, const ExperimentOptions& options, PolicySpec
   cfg.variant = options.variant;
   cfg.runtime.scheduler = options.scheduler;
   cfg.runtime.watchdog = options.watchdog;
+  cfg.serving = options.serving;
 
   if (options.sampler != nullptr) {
     // One feed segment per placement run. Heat profiling feeds the sampler's

@@ -59,6 +59,8 @@ struct ExperimentOptions {
   LiveSampler* sampler = nullptr;
   // Free-form label echoed as "tag" in each segment's meta (bench cell id, soak seed).
   std::string live_tag;
+  // Serving-workload knobs, forwarded into AppConfig (ignored by the batch apps).
+  ServingOptions serving;
 };
 
 // The machine config `options` actually runs with: `config` with the G/L latency

@@ -32,6 +32,12 @@ enum class CellMode {
   // metrics, plus tlb_identical = 1 when both runs produced identical times and
   // counters (the differential guarantee, enforced in the perf gate too).
   kRefsPerSec,
+  // The serving workload under two policies — the cell's move-limit configuration
+  // and the all-global baseline — scored on per-request latency: the app's own
+  // metrics (request counts, p50/p95/p99 overall and per tenant) are emitted
+  // unprefixed for the numa run and "g_"-prefixed for the all-global run, alongside
+  // t_numa/t_global and the usual counters. All virtual-time-derived and exact.
+  kServing,
 };
 
 struct SweepCell {
@@ -48,10 +54,17 @@ struct SweepCell {
   // with and without injection must never collide in baselines or checkpoints.
   std::string fault_plan;
   std::uint64_t fault_seed = 0;
+  // Serving-mode axes (kServing cells only; ignored — and left at defaults —
+  // elsewhere). Part of the cell's identity so the sweep engine can matrix
+  // tenants × skew × churn × policy.
+  int tenants = 4;
+  double zipf_skew = 0.9;
+  int churn = 3;
 
   // Unique, human-readable identity: "FFT/t7/s1/mt4/gl0". Baseline comparison and
   // deduplication key cells by this string. A non-empty fault plan appends
-  // "/plan=<plan>" (and "/fs<seed>" when seeded).
+  // "/plan=<plan>" (and "/fs<seed>" when seeded); a serving cell appends
+  // "/serving/ten<T>/z<skew>/ch<phases>".
   std::string Key() const;
 };
 

@@ -45,6 +45,10 @@ std::string SweepCell::Key() const {
     key += "/numa-only";
   } else if (mode == CellMode::kRefsPerSec) {
     key += "/refs";
+  } else if (mode == CellMode::kServing) {
+    key += "/serving/ten" + std::to_string(tenants);
+    key += "/z" + Fmt("%g", zipf_skew);
+    key += "/ch" + std::to_string(churn);
   }
   if (!fault_plan.empty()) {
     key += "/plan=" + fault_plan;
@@ -95,9 +99,30 @@ void AppendUnique(std::vector<SweepCell>& cells, const std::vector<SweepCell>& e
 const std::vector<std::string>& SuiteNames() {
   static const std::vector<std::string> kNames = {"smoke",     "full", "table3",
                                                   "table4",    "threshold", "gl",
-                                                  "refs"};
+                                                  "refs",      "serving", "serving-full"};
   return kNames;
 }
+
+namespace {
+
+// Serving cells are built by explicit loops (SweepMatrix has no serving axes): one
+// cell per (tenants, skew, churn, move-threshold) point, each scoring the serving
+// app under the cell's move-limit policy and the all-global baseline.
+SweepCell ServingCell(int threads, double scale, int move_threshold, int tenants,
+                      double skew, int churn) {
+  SweepCell cell;
+  cell.app = "Serving";
+  cell.threads = threads;
+  cell.scale = scale;
+  cell.move_threshold = move_threshold;
+  cell.mode = CellMode::kServing;
+  cell.tenants = tenants;
+  cell.zipf_skew = skew;
+  cell.churn = churn;
+  return cell;
+}
+
+}  // namespace
 
 bool IsKnownSuite(const std::string& name) {
   for (const std::string& known : SuiteNames()) {
@@ -169,6 +194,29 @@ Suite MakeSuite(const std::string& name, int threads_override, double scale_over
       m.scales = {scale};
       m.mode = CellMode::kRefsPerSec;
       AppendUnique(suite.cells, m.Enumerate());
+    }
+  } else if (name == "serving") {
+    suite.description =
+        "CI-sized serving matrix: tenants x skew under move-limit vs all-global";
+    // Move threshold 1 keeps tails tight under churn; the mt4 cell keeps the
+    // ping-pong meltdown visible (and gated) at smoke scale.
+    for (int tenants : {2, 4}) {
+      for (double skew : {0.6, 1.1}) {
+        suite.cells.push_back(ServingCell(4, 0.25, 1, tenants, skew, 3));
+      }
+    }
+    suite.cells.push_back(ServingCell(4, 0.25, 4, 4, 1.1, 3));
+  } else if (name == "serving-full") {
+    suite.description =
+        "Nightly serving matrix: tenants x skew x churn x move threshold at full scale";
+    for (int tenants : {2, 4, 8}) {
+      for (double skew : {0.6, 0.9, 1.2}) {
+        for (int churn : {2, 4}) {
+          for (int mt : {1, 4}) {
+            suite.cells.push_back(ServingCell(7, 1.0, mt, tenants, skew, churn));
+          }
+        }
+      }
     }
   } else if (name == "full") {
     suite.description = "The full paper matrix: table3 + threshold + gl, deduplicated";

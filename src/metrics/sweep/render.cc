@@ -221,4 +221,34 @@ std::string RenderGlTable(const SweepResult& result) {
   return table.ToString();
 }
 
+std::string RenderServingTable(const SweepResult& result) {
+  TextTable table({"tenants", "skew", "churn", "mt", "requests", "p50(ms)", "p95(ms)",
+                   "p99(ms)", "| all-global:", "p50(ms)", "p99(ms)", "verified"});
+  int rows = 0;
+  for (const CellResult& cell : result.cells) {
+    if (cell.cell.mode != CellMode::kServing) {
+      continue;
+    }
+    table.AddRow({
+        std::to_string(cell.cell.tenants),
+        Fmt("%.1f", cell.cell.zipf_skew),
+        std::to_string(cell.cell.churn),
+        ThresholdLabel(cell.cell.move_threshold),
+        FmtMetric(cell, "requests", "%.0f"),
+        FmtMetric(cell, "lat_p50_ms", "%.3f"),
+        FmtMetric(cell, "lat_p95_ms", "%.3f"),
+        FmtMetric(cell, "lat_p99_ms", "%.3f"),
+        "|",
+        FmtMetric(cell, "g_lat_p50_ms", "%.3f"),
+        FmtMetric(cell, "g_lat_p99_ms", "%.3f"),
+        cell.ok ? "ok" : "FAILED",
+    });
+    rows++;
+  }
+  if (rows == 0) {
+    return "(no serving cells in this result)\n";
+  }
+  return table.ToString();
+}
+
 }  // namespace ace

@@ -32,6 +32,10 @@ std::string RenderThresholdTable(const SweepResult& result);
 // Section 4.4: gamma per app x G/L ratio.
 std::string RenderGlTable(const SweepResult& result);
 
+// Serving cells: per-cell request latency percentiles under the cell's move-limit
+// policy and the all-global baseline, one row per (tenants, skew, churn, threshold).
+std::string RenderServingTable(const SweepResult& result);
+
 }  // namespace ace
 
 #endif  // SRC_METRICS_SWEEP_RENDER_H_

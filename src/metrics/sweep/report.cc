@@ -84,8 +84,15 @@ void AppendCellObject(std::string& out, const CellResult& cell) {
     mode_name = "numa-only";
   } else if (cell.cell.mode == CellMode::kRefsPerSec) {
     mode_name = "refs";
+  } else if (cell.cell.mode == CellMode::kServing) {
+    mode_name = "serving";
   }
   AppendStringField(out, "mode", mode_name, &cfirst);
+  if (cell.cell.mode == CellMode::kServing) {
+    AppendField(out, "tenants", cell.cell.tenants, &cfirst);
+    AppendField(out, "zipf_skew", cell.cell.zipf_skew, &cfirst);
+    AppendField(out, "churn", cell.cell.churn, &cfirst);
+  }
   if (!cell.cell.fault_plan.empty()) {
     AppendStringField(out, "fault_plan", cell.cell.fault_plan, &cfirst);
     if (cell.cell.fault_seed != 0) {
@@ -188,8 +195,20 @@ bool ParseCellObject(const JsonValue& value, CellResult* out, std::string* error
     cell.cell.mode = CellMode::kRefsPerSec;
   } else if (mode == "full") {
     cell.cell.mode = CellMode::kFullExperiment;
+  } else if (mode == "serving") {
+    cell.cell.mode = CellMode::kServing;
+    for (const char* key : {"tenants", "zipf_skew", "churn"}) {
+      const JsonValue* v = value.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        *error = std::string("cell.") + key + " missing or not a number";
+        return false;
+      }
+    }
+    cell.cell.tenants = static_cast<int>(value.NumberOr("tenants", 0));
+    cell.cell.zipf_skew = value.NumberOr("zipf_skew", 0.0);
+    cell.cell.churn = static_cast<int>(value.NumberOr("churn", 0));
   } else {
-    *error = "cell.mode missing or not 'full'/'numa-only'/'refs'";
+    *error = "cell.mode missing or not 'full'/'numa-only'/'refs'/'serving'";
     return false;
   }
   cell.cell.fault_plan = value.StringOr("fault_plan", "");

@@ -97,6 +97,11 @@ ExperimentOptions OptionsForCell(const SweepCell& cell, const MachineConfig& bas
                   "invalid fault plan in sweep cell");
     options.fault_seed = cell.fault_seed;
   }
+  if (cell.mode == CellMode::kServing) {
+    options.serving.tenants = cell.tenants;
+    options.serving.zipf_skew = cell.zipf_skew;
+    options.serving.churn_phases = cell.churn;
+  }
   return options;
 }
 
@@ -167,6 +172,37 @@ CellResult RunCellUnguarded(const SweepCell& cell, const MachineConfig& base_con
     result.metrics.emplace_back("refs_per_sec_no_tlb",
                                 wall_off > 0.0 ? refs / wall_off : 0.0);
     result.metrics.emplace_back("tlb_speedup", wall_on > 0.0 ? wall_off / wall_on : 0.0);
+    return result;
+  }
+
+  if (cell.mode == CellMode::kServing) {
+    std::unique_ptr<App> app = CreateAppByName(cell.app);
+    ACE_CHECK_MSG(app != nullptr, "unknown application in sweep cell");
+    // The serving comparison: the cell's move-limit configuration against the
+    // all-global baseline, scored per policy on the app's latency metrics. (No
+    // single-threaded Tlocal leg: an open-loop latency distribution on one shard is
+    // not comparable to the sharded runs, unlike batch total user time.)
+    PlacementRun numa = RunPlacement(*app, options,
+                                     PolicySpec::MoveLimit(cell.move_threshold),
+                                     cell.threads, cell.threads);
+    PlacementRun global = RunPlacement(*app, options, PolicySpec::AllGlobal(),
+                                       cell.threads, cell.threads);
+    result.ok = numa.app.ok && global.app.ok;
+    result.detail = numa.app.detail;
+    result.metrics.emplace_back("t_numa", numa.user_sec);
+    result.metrics.emplace_back("s_numa", numa.system_sec);
+    result.metrics.emplace_back("t_global", global.user_sec);
+    result.metrics.emplace_back("s_global", global.system_sec);
+    result.metrics.emplace_back("measured_alpha", numa.measured_alpha);
+    // Per-policy latency metrics: the move-limit run unprefixed, all-global "g_".
+    for (const auto& [name, value] : numa.app.metrics) {
+      result.metrics.emplace_back(name, value);
+    }
+    for (const auto& [name, value] : global.app.metrics) {
+      result.metrics.emplace_back("g_" + name, value);
+    }
+    AppendRunCounters("", numa, result.metrics);
+    AppendRunCounters("g_", global, result.metrics);
     return result;
   }
 

@@ -70,13 +70,17 @@ void WriteChromeTrace(const ExportContext& ctx, std::ostream& os) {
 void WriteJsonl(const ExportContext& ctx, std::ostream& os) {
   std::uint64_t total = ctx.tracer != nullptr ? ctx.tracer->total_emitted() : 0;
   std::uint64_t dropped = ctx.tracer != nullptr ? ctx.tracer->dropped() : 0;
+  std::string serving_member;
+  if (ctx.serving != nullptr && ctx.serving[0] != '\0') {
+    serving_member = Sprintf("\"serving\":\"%s\",", ctx.serving);
+  }
   os << Sprintf("{\"type\":\"meta\",\"format\":\"ace-obs\",\"version\":1,\"app\":\"%s\","
                 "\"policy\":\"%s\",\"procs\":%d,\"page_size\":%u,\"pages\":%u,"
-                "\"seed\":%llu,\"fault_plan\":\"%s\","
+                "\"seed\":%llu,\"fault_plan\":\"%s\",%s"
                 "\"events_emitted\":%llu,\"events_dropped\":%llu}\n",
                 ctx.app, ctx.policy, ctx.num_processors, ctx.page_size, ctx.num_pages,
                 static_cast<unsigned long long>(ctx.seed), ctx.fault_plan,
-                static_cast<unsigned long long>(total),
+                serving_member.c_str(), static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(dropped));
   if (ctx.tracer != nullptr) {
     for (ProcId p = 0; p < ctx.tracer->num_processors(); ++p) {

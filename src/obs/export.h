@@ -39,6 +39,9 @@ struct ExportContext {
   // dump alone. Empty plan = no injection.
   std::uint64_t seed = 0;
   const char* fault_plan = "";
+  // Serving-workload shape ("ten4/z0.9/ch3/req1500/seed1"), echoed in the meta
+  // header when the run drove the serving app; empty (and omitted) for batch apps.
+  const char* serving = "";
 };
 
 // Chrome trace-event JSON ({"traceEvents":[...]}); requires ctx.tracer.

@@ -19,7 +19,7 @@ const char* LiveCounterKey(int counter) {
       "deg_oom_faults",    "tlb_hits",          "tlb_misses",
       "dec_local",         "dec_global",        "dec_remote",
       "trace_emitted",     "trace_dropped",     "user_ns",
-      "system_ns",
+      "system_ns",         "requests",          "req_lat_ns",
   };
   ACE_CHECK(counter >= 0 && counter < kNumLiveCounters);
   return kKeys[counter];

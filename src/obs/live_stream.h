@@ -63,6 +63,13 @@ enum LiveCounter {
   kLcTraceDropped,
   kLcUserNs,
   kLcSystemNs,
+  // Application-level serving counters (Machine::RecordAppRequest): completed
+  // requests and the running sum of their virtual-time latencies. Zero for apps
+  // that never record requests. Cumulative latency (not a percentile) keeps the
+  // vocabulary monotone, as the validator requires; a reader derives mean latency
+  // per interval as req_lat_ns / requests.
+  kLcRequests,
+  kLcReqLatNs,
   kNumLiveCounters,
 };
 

@@ -77,6 +77,8 @@ void FlattenLiveCounters(const LiveSample& s, std::uint64_t out[kNumLiveCounters
   out[kLcTraceDropped] = s.trace_dropped;
   out[kLcUserNs] = static_cast<std::uint64_t>(s.user_ns);
   out[kLcSystemNs] = static_cast<std::uint64_t>(s.system_ns);
+  out[kLcRequests] = s.app_requests;
+  out[kLcReqLatNs] = s.app_req_lat_ns;
 }
 
 void LiveSampler::BeginRun(LiveRunMeta meta) {

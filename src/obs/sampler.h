@@ -58,6 +58,10 @@ struct LiveSample {
   // degrades to counters-only records with no hot-page list.
   bool have_heat = false;
   std::vector<std::array<std::uint64_t, 4>> page_refs;
+  // Application-level serving counters (Machine::RecordAppRequest); zeros when
+  // the running app records no requests.
+  std::uint64_t app_requests = 0;
+  std::uint64_t app_req_lat_ns = 0;
 
   std::uint64_t TlbHits() const;
   std::uint64_t TlbMisses() const;

@@ -1,0 +1,124 @@
+#include "src/serving/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+int LatencyHistogram::BucketIndex(std::uint64_t ns) {
+  if (ns < static_cast<std::uint64_t>(kSub)) {
+    return static_cast<int>(ns);
+  }
+  const int msb = 63 - std::countl_zero(ns);  // >= kSubBits
+  int block = msb - kSubBits + 1;
+  if (block > kDecades) {
+    // Saturate absurd values (beyond ~2^52 ns of virtual time) into the top decade.
+    block = kDecades;
+    return block * kSub + (kSub - 1);
+  }
+  const int shift = msb - kSubBits;
+  const int sub = static_cast<int>((ns >> shift) & (kSub - 1));
+  return block * kSub + sub;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperNs(int index) {
+  ACE_CHECK(index >= 0 && index < kNumBuckets);
+  const int block = index / kSub;
+  const int sub = index % kSub;
+  if (block == 0) {
+    return static_cast<std::uint64_t>(sub);
+  }
+  return ((static_cast<std::uint64_t>(kSub) + sub + 1) << (block - 1)) - 1;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  if (other.max_ns_ > max_ns_) {
+    max_ns_ = other.max_ns_;
+  }
+}
+
+std::uint64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  ACE_CHECK(p >= 0.0 && p <= 100.0);
+  // Rank of the requested percentile, 1-based, never past the last sample.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return BucketUpperNs(i);
+    }
+  }
+  return max_ns_;
+}
+
+void LatencyReservoir::Record(std::uint64_t ns) {
+  seen_++;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(ns);
+    return;
+  }
+  const std::uint64_t j = rng_.Below(seen_);
+  if (j < capacity_) {
+    samples_[static_cast<std::size_t>(j)] = ns;
+  }
+}
+
+void LatencyReservoir::Merge(const LatencyReservoir& other) {
+  if (other.seen_ == 0) {
+    return;
+  }
+  if (seen_ == 0) {
+    seen_ = other.seen_;
+    samples_ = other.samples_;
+    return;
+  }
+  const std::uint64_t total = seen_ + other.seen_;
+  // Per slot, keep this side's value with probability seen_/total; otherwise draw a
+  // uniform sample from the other side's reservoir. Slots only this side fills (the
+  // other reservoir being smaller) are kept as-is.
+  const std::size_t common = std::min(samples_.size(), other.samples_.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const std::uint64_t pick = rng_.Below(total);
+    if (pick >= seen_) {
+      samples_[i] = other.samples_[rng_.Below(other.samples_.size())];
+    }
+  }
+  for (std::size_t i = samples_.size(); i < other.samples_.size(); ++i) {
+    samples_.push_back(other.samples_[i]);
+  }
+  seen_ = total;
+}
+
+std::uint64_t LatencyReservoir::SampleQuantileNs(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  ACE_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<std::uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  if (idx >= sorted.size()) {
+    idx = sorted.size() - 1;
+  }
+  return sorted[idx];
+}
+
+}  // namespace ace

@@ -1,0 +1,203 @@
+// Serving — the multi-tenant KV store workload (the warehouse-scale scenario).
+//
+// Unlike the paper's batch kernels, Serving is scored on per-request latency: a
+// deterministic open-loop client population (src/serving/workload.h) issues GETs and
+// PUTs against values living in paged anonymous memory, so every request walks the
+// MMU/NUMA resolve path and the placement policy directly shapes the latency
+// distribution. A request whose arrival lies in the future idles the shard forward
+// (open-loop: the client does not wait for the server); a request arriving into a
+// backlog observes queueing delay — latency is completion minus arrival, both in
+// virtual time, so every percentile is byte-identical across hosts, sweep worker
+// counts, and TLB on/off.
+//
+// Verification is built in like the batch apps': within a phase each (tenant, key)
+// has exactly one writer (the tenant's home shard), so home-shard GETs check every
+// value word against the expected version mix, and after the final barrier each
+// shard audits the full keyspace it homes. Off-home GETs may interleave with a
+// concurrent PUT at word granularity and are deliberately only read, not checked.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/serving/latency.h"
+#include "src/serving/workload.h"
+#include "src/serving/zipf.h"
+#include "src/threads/sim_span.h"
+#include "src/threads/sync.h"
+
+namespace ace {
+namespace {
+
+// Fixed per-request bookkeeping (parse/dispatch/reply) charged as pure compute.
+constexpr TimeNs kRequestOverheadNs = 2'000;
+
+class ServingApp : public App {
+ public:
+  const char* name() const override { return "Serving"; }
+
+  AppResult Run(Machine& machine, const AppConfig& config) override {
+    const ServingParams params = ResolveServingParams(config);
+    const int tenants = params.tenants;
+    const std::uint32_t keys = params.keys_per_tenant;
+    const std::uint32_t words = params.value_words;
+    const int threads = config.num_threads;
+    const ServingWorkload wl = BuildServingWorkload(params, threads);
+
+    Task* task = machine.CreateTask("serving");
+    const std::uint64_t store_words =
+        static_cast<std::uint64_t>(tenants) * keys * words;
+    VirtAddr store_va = task->MapAnonymous("kv-values", store_words * 4);
+    VirtAddr bar_va = task->MapAnonymous("barrier", machine.page_size());
+    Barrier barrier(bar_va, threads);
+
+    // Expected version per (tenant, key). Host state: all fibers run on one host
+    // thread, and within a phase only the home shard writes a given slot.
+    std::vector<std::uint32_t> version(static_cast<std::size_t>(tenants) * keys, 0);
+
+    std::vector<LatencyHistogram> hist(static_cast<std::size_t>(threads));
+    std::vector<std::vector<LatencyHistogram>> tenant_hist(
+        static_cast<std::size_t>(threads),
+        std::vector<LatencyHistogram>(static_cast<std::size_t>(tenants)));
+    std::vector<LatencyReservoir> reservoirs;
+    for (int tid = 0; tid < threads; ++tid) {
+      reservoirs.emplace_back(params.seed ^ (0xACE5EEDull + tid));
+    }
+    std::vector<std::uint64_t> gets(threads, 0), puts(threads, 0), remotes(threads, 0),
+        verify_failures(threads, 0);
+    std::uint64_t scan_failures = 0;
+
+    Runtime rt(&machine, task, config.runtime);
+    rt.Run(threads, [&](int tid, Env& env) {
+      std::uint32_t sense = 0;
+      SimSpan<std::uint32_t> store(env, store_va, store_words);
+
+      for (int phase = 0; phase < params.phases; ++phase) {
+        const auto& queue = wl.queues[static_cast<std::size_t>(phase)]
+                                     [static_cast<std::size_t>(tid)];
+        for (const ServingRequest& r : queue) {
+          const TimeNs now = env.machine().clocks().now(env.proc());
+          if (now < static_cast<TimeNs>(r.arrival_ns)) {
+            env.Compute(static_cast<TimeNs>(r.arrival_ns) - now);
+          }
+          env.Compute(kRequestOverheadNs);
+          const std::size_t slot = static_cast<std::size_t>(r.tenant) * keys + r.key;
+          const std::size_t base = slot * words;
+          if (r.is_put) {
+            const std::uint32_t v = ++version[slot];
+            for (std::uint32_t w = 0; w < words; ++w) {
+              store[base + w] = ServingValueWord(r.tenant, r.key, v, w);
+            }
+            puts[tid]++;
+          } else {
+            const std::uint32_t v = version[slot];
+            bool bad = false;
+            for (std::uint32_t w = 0; w < words; ++w) {
+              const std::uint32_t got = store.Get(base + w);
+              if (r.remote == 0 && got != ServingValueWord(r.tenant, r.key, v, w)) {
+                bad = true;
+              }
+            }
+            if (bad) {
+              verify_failures[tid]++;
+            }
+            gets[tid]++;
+            remotes[tid] += r.remote;
+          }
+          const TimeNs done = env.machine().clocks().now(env.proc());
+          const std::uint64_t latency_ns =
+              static_cast<std::uint64_t>(done) - r.arrival_ns;
+          hist[tid].Record(latency_ns);
+          tenant_hist[tid][r.tenant].Record(latency_ns);
+          reservoirs[tid].Record(latency_ns);
+          machine.RecordAppRequest(static_cast<TimeNs>(latency_ns));
+        }
+        barrier.Wait(env, &sense);
+      }
+
+      // Final audit: each shard verifies every key of the tenants it homes in the
+      // last phase against the expected final version.
+      for (int t = 0; t < tenants; ++t) {
+        if (ServingHomeShard(t, params.phases - 1, threads) != tid) {
+          continue;
+        }
+        for (std::uint32_t k = 0; k < keys; ++k) {
+          const std::size_t slot = static_cast<std::size_t>(t) * keys + k;
+          const std::uint32_t v = version[slot];
+          for (std::uint32_t w = 0; w < words; ++w) {
+            if (store.Get(slot * words + w) !=
+                ServingValueWord(static_cast<std::uint32_t>(t), k, v, w)) {
+              scan_failures++;
+            }
+          }
+        }
+      }
+    });
+
+    LatencyHistogram all;
+    LatencyReservoir sample(params.seed ^ 0x5EEDFACEull);
+    std::vector<LatencyHistogram> per_tenant(static_cast<std::size_t>(tenants));
+    std::uint64_t total_gets = 0, total_puts = 0, total_remote = 0, total_bad = 0;
+    for (int tid = 0; tid < threads; ++tid) {
+      all.Merge(hist[tid]);
+      sample.Merge(reservoirs[tid]);
+      for (int t = 0; t < tenants; ++t) {
+        per_tenant[t].Merge(tenant_hist[tid][t]);
+      }
+      total_gets += gets[tid];
+      total_puts += puts[tid];
+      total_remote += remotes[tid];
+      total_bad += verify_failures[tid];
+    }
+
+    AppResult result;
+    result.ok = total_bad == 0 && scan_failures == 0 &&
+                all.count() == wl.total_requests && total_puts == wl.puts &&
+                total_remote == wl.remote_gets;
+    result.work_units = wl.total_requests;
+
+    auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) / 1e6; };
+    result.metrics.emplace_back("requests", static_cast<double>(all.count()));
+    result.metrics.emplace_back("gets", static_cast<double>(total_gets));
+    result.metrics.emplace_back("puts", static_cast<double>(total_puts));
+    result.metrics.emplace_back("remote_gets", static_cast<double>(total_remote));
+    result.metrics.emplace_back("lat_mean_ms", all.MeanNs() / 1e6);
+    result.metrics.emplace_back("lat_p50_ms", ms(all.PercentileNs(50)));
+    result.metrics.emplace_back("lat_p95_ms", ms(all.PercentileNs(95)));
+    result.metrics.emplace_back("lat_p99_ms", ms(all.PercentileNs(99)));
+    result.metrics.emplace_back("lat_max_ms", ms(all.max_ns()));
+    // Per-tenant tail, capped to keep baseline files readable at high tenant counts.
+    const int reported = std::min(tenants, 8);
+    for (int t = 0; t < reported; ++t) {
+      result.metrics.emplace_back("ten" + std::to_string(t) + "_p50_ms",
+                                  ms(per_tenant[t].PercentileNs(50)));
+      result.metrics.emplace_back("ten" + std::to_string(t) + "_p99_ms",
+                                  ms(per_tenant[t].PercentileNs(99)));
+    }
+
+    char detail[256];
+    std::snprintf(detail, sizeof(detail),
+                  "requests=%llu p50=%.3fms p99=%.3fms res_p50=%.3fms%s",
+                  static_cast<unsigned long long>(all.count()),
+                  ms(all.PercentileNs(50)), ms(all.PercentileNs(99)),
+                  ms(sample.SampleQuantileNs(0.5)),
+                  result.ok ? " verify ok" : " VERIFY FAILED");
+    result.detail = detail;
+
+    machine.DestroyTask(task);
+    return result;
+  }
+
+  // Roughly 30% of requests are PUTs writing every value word; the rest fetch.
+  double ModelGL(const LatencyModel& latency) const override {
+    return latency.MixRatio(0.3);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<App> CreateServing() { return std::make_unique<ServingApp>(); }
+
+}  // namespace ace

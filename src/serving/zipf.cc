@@ -1,0 +1,40 @@
+#include "src/serving/zipf.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace ace {
+
+ZipfSampler::ZipfSampler(std::uint32_t num_keys, double skew) {
+  ACE_CHECK(num_keys >= 1);
+  ACE_CHECK(skew >= 0.0 && skew <= 4.0);
+  cdf_.resize(num_keys);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < num_keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, skew);
+    cdf_[r] = total;
+  }
+  for (std::uint32_t r = 0; r < num_keys; ++r) {
+    cdf_[r] /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+std::uint32_t ZipfSampler::Sample(ServingRng& rng) const {
+  const double u = rng.Unit();
+  // First rank whose CDF strictly exceeds u.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = static_cast<std::uint32_t>(cdf_.size()) - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ace

@@ -1,0 +1,70 @@
+// Deterministic random primitives for the serving client population.
+//
+// Everything the open-loop clients do — key popularity, op mix, burst lengths,
+// inter-arrival jitter — is derived from one SplitMix64 stream seeded by the run's
+// serving seed, so a (seed, params) pair names exactly one request trace on every
+// host and compiler. The Zipfian sampler precomputes the CDF once and binary-searches
+// it per draw; ranks are permuted per tenant so tenants do not share hot keys.
+
+#ifndef SRC_SERVING_ZIPF_H_
+#define SRC_SERVING_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ace {
+
+// SplitMix64: tiny, seedable, and identical everywhere. Kept independent of the
+// soak tool's copy so the client model owns its stream discipline.
+class ServingRng {
+ public:
+  explicit ServingRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be nonzero. Modulo bias is irrelevant here (n is tiny
+  // against 2^64) and the simple form keeps the stream obvious.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipfian rank sampler over [0, num_keys): P(rank = r) proportional to
+// 1 / (r + 1)^skew. skew = 0 degenerates to uniform. Draws cost one rng call plus a
+// binary search of the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t num_keys, double skew);
+
+  std::uint32_t Sample(ServingRng& rng) const;
+
+  std::uint32_t num_keys() const { return static_cast<std::uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); back() == 1.0
+};
+
+// A 32-bit mixer for value words and per-tenant key permutations (xorshift-multiply;
+// full-avalanche so neighbouring inputs give unrelated words).
+inline std::uint32_t ServingMix32(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7FEB352Du;
+  x ^= x >> 15;
+  x *= 0x846CA68Bu;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace ace
+
+#endif  // SRC_SERVING_ZIPF_H_

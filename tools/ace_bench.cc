@@ -54,7 +54,7 @@ void Usage() {
       "usage: ace_bench --suite NAME [options]\n"
       "  --list                 list available suites and their cell counts\n"
       "  --suite NAME           suite to run: smoke | full | table3 | table4 |\n"
-      "                         threshold | gl | refs\n"
+      "                         threshold | gl | refs | serving | serving-full\n"
       "  --workers N            host worker threads (default: hardware concurrency)\n"
       "  --out FILE             write results as BENCH JSON (self-validated)\n"
       "  --baseline FILE        compare against a baseline BENCH JSON; exit 1 on any\n"
@@ -381,6 +381,7 @@ int main(int argc, char** argv) {
     std::printf("\n-- Table 4 view --\n%s", ace::RenderTable4(result).c_str());
     std::printf("\n-- threshold view --\n%s", ace::RenderThresholdTable(result).c_str());
     std::printf("\n-- G/L view --\n%s", ace::RenderGlTable(result).c_str());
+    std::printf("\n-- serving view --\n%s", ace::RenderServingTable(result).c_str());
   }
 
   if (!args.out.empty()) {

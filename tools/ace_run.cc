@@ -48,6 +48,11 @@ void Usage() {
       "  --pager                enable pageout to backing store\n"
       "  --global-pages N       logical page pool size (default 4096)\n"
       "  --seed N               run seed (fault-plan probability streams; default 0)\n"
+      "serving workload (--app Serving; ignored by the batch apps):\n"
+      "  --tenants N            key namespaces sharing the store (default 4)\n"
+      "  --skew X               Zipfian exponent of key popularity (default 0.9)\n"
+      "  --churn N              scheduled hot-shard rotation phases (default 3)\n"
+      "  --requests N           open-loop request budget / duration (0 = from --scale)\n"
       "  --plan STR             arm a fault-injection plan (src/inject grammar, e.g.\n"
       "                         'local-exhausted@every:3;copy-fail@nth:5')\n"
       "  --trace                print the sharing-class trace report\n"
@@ -109,6 +114,8 @@ int main(int argc, char** argv) {
   bool optimal = false;
   bool experiment = false;
   std::uint64_t seed = 0;
+  ace::ServingOptions serving;
+  bool serving_flags = false;
   std::string plan_text;
   std::string trace_out;
   std::string jsonl_out;
@@ -169,6 +176,18 @@ int main(int argc, char** argv) {
       scheduler = next();
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--tenants") {
+      serving.tenants = std::atoi(next());
+      serving_flags = true;
+    } else if (arg == "--skew") {
+      serving.zipf_skew = std::atof(next());
+      serving_flags = true;
+    } else if (arg == "--churn") {
+      serving.churn_phases = std::atoi(next());
+      serving_flags = true;
+    } else if (arg == "--requests") {
+      serving.requests = std::strtoull(next(), nullptr, 0);
+      serving_flags = true;
     } else if (arg == "--plan") {
       plan_text = next();
     } else if (arg == "--pager") {
@@ -212,6 +231,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The serving-workload shape, echoed in the JSONL meta header and the live-feed
+  // tag (like --seed/--plan) so a serving run is replayable from its dump alone.
+  const bool is_serving = app_name == "Serving" || app_name == "serving";
+  std::string serving_desc;
+  if (is_serving || serving_flags) {
+    serving_desc = "ten" + std::to_string(serving.tenants) + "/z" +
+                   ace::Fmt("%g", serving.zipf_skew) + "/ch" +
+                   std::to_string(serving.churn_phases) + "/req" +
+                   std::to_string(serving.requests) + "/seed" +
+                   std::to_string(serving.seed);
+  }
+
   ace::ExperimentOptions options;
   options.num_threads = threads;
   options.scale = scale;
@@ -222,6 +253,7 @@ int main(int argc, char** argv) {
   options.config.global_pages = global_pages;
   options.scheduler =
       scheduler == "migrating" ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
+  options.serving = serving;
 
   options.enable_tlb = !no_tlb;
 
@@ -324,6 +356,7 @@ int main(int argc, char** argv) {
     meta.seed = seed;
     meta.fault_plan = plan_text;
     meta.tlb = machine.tlb_enabled();
+    meta.tag = serving_desc;
     sampler->BeginRun(std::move(meta));
   }
 
@@ -331,6 +364,7 @@ int main(int argc, char** argv) {
   cfg.num_threads = threads;
   cfg.scale = scale;
   cfg.variant = variant;
+  cfg.serving = serving;
   cfg.runtime.scheduler = options.scheduler;
   cfg.runtime.sampler = sampler.get();
   ace::AppResult result = app->Run(machine, cfg);
@@ -346,6 +380,9 @@ int main(int argc, char** argv) {
   std::printf("seed:           %llu%s%s\n", (unsigned long long)seed,
               plan_text.empty() ? "" : "   fault plan: ",
               plan_text.empty() ? "" : plan_text.c_str());
+  if (!serving_desc.empty()) {
+    std::printf("serving:        %s\n", serving_desc.c_str());
+  }
   std::printf("user time:      %.4f s   system time: %.4f s\n",
               machine.clocks().TotalUser() * 1e-9, machine.clocks().TotalSystem() * 1e-9);
   const ace::MachineStats& s = machine.stats();
@@ -423,6 +460,7 @@ int main(int argc, char** argv) {
     ctx.app = app_name.c_str();
     ctx.seed = seed;
     ctx.fault_plan = plan_text.c_str();
+    ctx.serving = serving_desc.c_str();
 
     auto write_file = [&](const std::string& path, const char* what, auto writer) {
       std::ofstream out(path);

@@ -90,6 +90,9 @@ struct RunSpec {
   bool pager = false;
   bool tlb = false;
   std::uint32_t global_pages = 4096;
+  // Open-loop request budget for Serving draws (0 for the batch apps): keeps each
+  // soak run a short bounded burst well inside --run-timeout.
+  std::uint64_t serving_requests = 0;
   ace::FaultPlan plan;
   std::uint64_t fault_seed = 0;
 };
@@ -166,13 +169,16 @@ RunSpec DeriveRun(std::uint64_t seed) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   RunSpec spec;
   spec.fault_seed = seed;
-  static const char* kApps[] = {"ParMult", "Gfetch",  "IMatMult", "Primes1",
-                                "Primes2", "Primes3", "FFT",      "PlyTrace"};
-  spec.app = kApps[rng.Below(8)];
+  static const char* kApps[] = {"ParMult", "Gfetch",  "IMatMult", "Primes1", "Primes2",
+                                "Primes3", "FFT",     "PlyTrace", "Serving"};
+  spec.app = kApps[rng.Below(9)];
   spec.threads = 2 + static_cast<int>(rng.Below(5));
   spec.scale = 0.25;
   if (spec.app == "Primes2" || spec.app == "PlyTrace") {
     spec.variant = static_cast<int>(rng.Below(2));
+  }
+  if (spec.app == "Serving") {
+    spec.serving_requests = 512;
   }
   static const char* kPolicies[] = {"move-limit", "remote-home", "all-global", "all-local",
                                     "reconsider"};
@@ -196,13 +202,18 @@ RunSpec DeriveRun(std::uint64_t seed) {
 }
 
 std::string ReplayCommand(const RunSpec& spec) {
+  char requests[48] = "";
+  if (spec.serving_requests != 0) {
+    std::snprintf(requests, sizeof requests, " --requests %llu",
+                  static_cast<unsigned long long>(spec.serving_requests));
+  }
   char buf[512];
   std::snprintf(buf, sizeof buf,
                 "ace_soak --replay --app %s --threads %d --scale %g --variant %d "
-                "--policy %s --threshold %d%s%s%s --fault-seed %llu --plan '%s'",
+                "--policy %s --threshold %d%s%s%s%s --fault-seed %llu --plan '%s'",
                 spec.app.c_str(), spec.threads, spec.scale, spec.variant, spec.policy.c_str(),
                 spec.threshold, spec.migrating ? " --migrating" : "",
-                spec.pager ? " --pager" : "", spec.tlb ? " --tlb" : "",
+                spec.pager ? " --pager" : "", spec.tlb ? " --tlb" : "", requests,
                 static_cast<unsigned long long>(spec.fault_seed),
                 spec.plan.Format().c_str());
   return buf;
@@ -249,6 +260,10 @@ std::string RunInProcess(const RunSpec& spec) {
   cfg.variant = spec.variant;
   cfg.runtime.scheduler =
       spec.migrating ? ace::SchedulerKind::kMigrating : ace::SchedulerKind::kAffinity;
+  // Serving draws: a bounded request budget and a per-seed client population, both
+  // reproduced exactly by the replay command line.
+  cfg.serving.requests = spec.serving_requests;
+  cfg.serving.seed = spec.fault_seed;
 
   ace::LiveStreamWriter live_writer;
   std::unique_ptr<ace::LiveSampler> sampler;
@@ -604,6 +619,8 @@ int main(int argc, char** argv) {
       replay_spec.pager = true;
     } else if (arg == "--tlb") {
       replay_spec.tlb = true;
+    } else if (arg == "--requests") {
+      replay_spec.serving_requests = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--fault-seed") {
       replay_spec.fault_seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--plan") {
