@@ -35,6 +35,25 @@ constexpr SiteName kSiteNames[kNumFaultSites] = {
     {FaultSite::kSkipMoveCount, "skip-move-count"},
 };
 
+struct ChaosName {
+  ChaosKind kind;
+  const char* name;
+};
+
+constexpr ChaosName kChaosNames[kNumChaosKinds] = {
+    {ChaosKind::kDrainMem, "drain-mem"},
+    {ChaosKind::kStallProc, "stall-proc"},
+    {ChaosKind::kSlowLink, "slow-link"},
+};
+
+// Plan names canonically use dashes; accept underscores as aliases so plans pasted
+// from prose ("drain_mem") parse without a round of trial and error.
+std::string NormalizeName(std::string_view name) {
+  std::string out(name);
+  std::replace(out.begin(), out.end(), '_', '-');
+  return out;
+}
+
 bool ParseU64(std::string_view text, std::uint64_t* out) {
   if (text.empty()) {
     return false;
@@ -82,13 +101,58 @@ const char* FaultSiteName(FaultSite site) {
 }
 
 bool ParseFaultSite(std::string_view name, FaultSite* out) {
+  std::string normalized = NormalizeName(name);
   for (const SiteName& s : kSiteNames) {
-    if (name == s.name) {
+    if (normalized == s.name) {
       *out = s.site;
       return true;
     }
   }
   return false;
+}
+
+const char* ChaosKindName(ChaosKind kind) {
+  for (const ChaosName& c : kChaosNames) {
+    if (c.kind == kind) {
+      return c.name;
+    }
+  }
+  return "?";
+}
+
+bool ParseChaosKind(std::string_view name, ChaosKind* out) {
+  std::string normalized = NormalizeName(name);
+  for (const ChaosName& c : kChaosNames) {
+    if (normalized == c.name) {
+      *out = c.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ValidPlanNames() {
+  std::string out;
+  for (const SiteName& s : kSiteNames) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += s.name;
+  }
+  for (const ChaosName& c : kChaosNames) {
+    out += ", ";
+    out += c.name;
+  }
+  return out;
+}
+
+std::string ChaosEvent::Format() const {
+  std::ostringstream out;
+  out << ChaosKindName(kind) << '@' << node << ':' << t_begin << ':' << t_end;
+  if (kind != ChaosKind::kStallProc) {
+    out << ':' << permille;
+  }
+  return out.str();
 }
 
 std::string FaultSchedule::Format() const {
@@ -125,6 +189,12 @@ std::string FaultPlan::Format() const {
     }
     out += s.Format();
   }
+  for (const ChaosEvent& e : chaos) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += e.Format();
+  }
   return out;
 }
 
@@ -156,10 +226,6 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
     if (at == std::string_view::npos) {
       return fail("missing '@trigger'");
     }
-    FaultSchedule sched;
-    if (!ParseFaultSite(item.substr(0, at), &sched.site)) {
-      return fail("unknown fault site '" + std::string(item.substr(0, at)) + "'");
-    }
     std::string_view trigger = item.substr(at + 1);
 
     auto field = [&trigger](std::size_t idx) -> std::string_view {
@@ -175,6 +241,49 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
       std::size_t end = trigger.find(':', start);
       return trigger.substr(start, end == std::string_view::npos ? end : end - start);
     };
+
+    ChaosKind chaos_kind;
+    if (ParseChaosKind(item.substr(0, at), &chaos_kind)) {
+      // Chaos events: NODE:T0:T1[:PERMILLE].
+      ChaosEvent event;
+      event.kind = chaos_kind;
+      std::uint64_t node = 0, t0 = 0, t1 = 0;
+      if (!ParseU64(field(0), &node) || node >= static_cast<std::uint64_t>(kMaxProcessors)) {
+        return fail("chaos event needs a node index below " + std::to_string(kMaxProcessors));
+      }
+      if (!ParseU64(field(1), &t0) || !ParseU64(field(2), &t1) || t1 <= t0) {
+        return fail("chaos event needs a window NODE:T0:T1 with T1 > T0");
+      }
+      event.node = static_cast<std::uint32_t>(node);
+      event.t_begin = static_cast<TimeNs>(t0);
+      event.t_end = static_cast<TimeNs>(t1);
+      std::uint64_t permille = 0;
+      switch (chaos_kind) {
+        case ChaosKind::kDrainMem:
+          // Optional remaining-capacity fraction; default 0 = hot-remove.
+          if (!field(3).empty() && (!ParseU64(field(3), &permille) || permille > 1000)) {
+            return fail("drain-mem permille must be in [0,1000]");
+          }
+          break;
+        case ChaosKind::kStallProc:
+          break;
+        case ChaosKind::kSlowLink:
+          if (!ParseU64(field(3), &permille) || permille < 1000) {
+            return fail("slow-link needs a cost multiplier permille >= 1000");
+          }
+          break;
+      }
+      event.permille = static_cast<std::uint32_t>(permille);
+      plan.chaos.push_back(event);
+      continue;
+    }
+
+    FaultSchedule sched;
+    if (!ParseFaultSite(item.substr(0, at), &sched.site)) {
+      return fail("unknown fault site or chaos event '" + std::string(item.substr(0, at)) +
+                  "' (valid: " + ValidPlanNames() + ")");
+    }
+
     std::string_view kind = field(0);
 
     if (kind == "always") {

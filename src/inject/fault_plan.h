@@ -15,12 +15,23 @@
 //     local-exhausted@every:3;copy-fail@nth:5;pool-exhausted@p:0.02:7
 //
 // Grammar (see also DESIGN.md section 8):
-//     plan      := schedule (';' schedule)*
+//     plan      := item (';' item)*
+//     item      := schedule | chaos
 //     schedule  := site '@' trigger
 //     trigger   := 'nth:' N | 'every:' K | 'p:' P [':' SEED]
 //                | 'window:' T0 ':' T1 | 'always'
+//     chaos     := 'drain-mem' '@' NODE ':' T0 ':' T1 [':' PERMILLE]
+//                | 'stall-proc' '@' NODE ':' T0 ':' T1
+//                | 'slow-link' '@' NODE ':' T0 ':' T1 ':' MULT_PERMILLE
 // Occurrence counts are per site (1-based); P is a probability in [0,1]; T0/T1 are
 // virtual nanoseconds (the acting processor's clock, end-exclusive).
+//
+// Chaos events are machine-scoped: instead of firing at a named code site they
+// change the simulated machine itself for a virtual-time window [T0, T1) — a memory
+// node's frame pool shrinks to PERMILLE/1000 of capacity (0 = hot-remove), a
+// processor stops dispatching, or a node's global/remote references get their cost
+// multiplied by MULT_PERMILLE/1000 (>= 1000). Underscores in names are accepted as
+// aliases for dashes ('drain_mem' == 'drain-mem'). See DESIGN.md section 13.
 
 #ifndef SRC_INJECT_FAULT_PLAN_H_
 #define SRC_INJECT_FAULT_PLAN_H_
@@ -55,6 +66,33 @@ inline constexpr int kNumFaultSites = 7;
 const char* FaultSiteName(FaultSite site);
 bool ParseFaultSite(std::string_view name, FaultSite* out);
 
+// Machine-scoped chaos events (node loss, processor stall, link degradation).
+// Unlike fault sites these are not tied to a code location: the ChaosController
+// (src/machine/chaos.h) applies each event when virtual time crosses its window.
+enum class ChaosKind : std::uint8_t {
+  kDrainMem = 0,   // node's local frame pool shrinks to permille/1000 of capacity
+  kStallProc = 1,  // processor stops dispatching for the window
+  kSlowLink = 2,   // node's global/remote reference costs multiplied by permille/1000
+};
+
+inline constexpr int kNumChaosKinds = 3;
+
+const char* ChaosKindName(ChaosKind kind);
+bool ParseChaosKind(std::string_view name, ChaosKind* out);
+
+// Comma-separated list of every valid site and chaos name, for error messages.
+std::string ValidPlanNames();
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kDrainMem;
+  std::uint32_t node = 0;       // processor / memory-node index
+  TimeNs t_begin = 0;           // window in virtual ns, end-exclusive
+  TimeNs t_end = 0;
+  std::uint32_t permille = 0;   // drain: capacity remaining; slow-link: cost multiplier
+
+  std::string Format() const;
+};
+
 // When one site fires. `n` is the 1-based occurrence for kNth and the period for
 // kEveryK; probability draws use SplitMix64 seeded from (injector seed ^ schedule
 // seed), so the same plan string under the same --seed replays bit-identically.
@@ -74,8 +112,9 @@ struct FaultSchedule {
 
 struct FaultPlan {
   std::vector<FaultSchedule> schedules;
+  std::vector<ChaosEvent> chaos;
 
-  bool empty() const { return schedules.empty(); }
+  bool empty() const { return schedules.empty() && chaos.empty(); }
 
   // Round-trippable string form ('' for the empty plan).
   std::string Format() const;

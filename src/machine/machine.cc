@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/machine/chaos.h"
 #include "src/obs/sampler.h"
 
 namespace ace {
@@ -90,7 +91,10 @@ Machine::Machine(Options options)
   }
   fault_handler_ =
       std::make_unique<FaultHandler>(pmap_.get(), pool_.get(), pager_.get(), &stats_);
-  if (!options_.fault_plan.empty()) {
+  // Site schedules arm the injector; chaos events arm the controller. Each half is
+  // independent so a chaos-only plan leaves fault_injector() null (ace_soak's
+  // clean-run checks rely on that) and a sites-only plan leaves chaos() null.
+  if (!options_.fault_plan.schedules.empty()) {
     injector_ = std::make_unique<FaultInjector>(options_.fault_plan, options_.fault_seed);
     injector_->set_clocks(&clocks_);
     phys_.set_fault_injector(injector_.get());
@@ -99,6 +103,12 @@ Machine::Machine(Options options)
     if (pager_ != nullptr) {
       pager_->set_fault_injector(injector_.get());
     }
+  }
+  if (!options_.fault_plan.chaos.empty()) {
+    chaos_ = std::make_unique<ChaosController>(options_.fault_plan.chaos, this);
+    // A slow-link window changes reference costs mid-run; cached TLB entry costs
+    // must not batch past the window boundary.
+    RecomputeFastPathMode();
   }
 }
 
@@ -151,6 +161,10 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
       if (cls != MemoryClass::kLocal && bus_.options().model_contention) {
         // Bus contention dilates every transaction that crosses the IPC bus.
         cost = static_cast<TimeNs>(static_cast<double>(cost) * bus_.DilationFactor());
+      }
+      if (chaos_ != nullptr && cls != MemoryClass::kLocal) {
+        // Slow-link chaos dilates this processor's off-node references in-window.
+        cost = chaos_->AdjustCost(proc, cost);
       }
       clocks_.ChargeUser(proc, cost);
       stats_.RecordRef(proc, cls, kind);
@@ -221,6 +235,9 @@ bool Machine::FastAccessImmediate(ProcId proc, const Tlb::Entry& entry, VirtAddr
   if (entry.cls != MemoryClass::kLocal && bus_.options().model_contention) {
     cost = static_cast<TimeNs>(static_cast<double>(cost) * bus_.DilationFactor());
   }
+  if (chaos_ != nullptr && entry.cls != MemoryClass::kLocal) {
+    cost = chaos_->AdjustCost(proc, cost);
+  }
   clocks_.ChargeUser(proc, cost);
   stats_.RecordRef(proc, entry.cls, kind);
   if (obs_ != nullptr && obs_->heat_on() && entry.lp != kNoLogicalPage) {
@@ -281,7 +298,11 @@ void Machine::FlushPendingRefs() {
 }
 
 void Machine::RecomputeFastPathMode() {
-  batchable_ = !bus_.options().model_contention && ref_observer_ == nullptr;
+  // A slow-link chaos plan also rules out batching: batched hits charge costs cached
+  // in the TLB entry at fill time, which would carry a pre-window cost across the
+  // window boundary (or vice versa). Immediate mode recomputes per reference.
+  batchable_ = !bus_.options().model_contention && ref_observer_ == nullptr &&
+               (chaos_ == nullptr || !chaos_->has_slow_link());
   fast_immediate_ = !batchable_ || (obs_ != nullptr && obs_->heat_on());
 }
 
@@ -469,6 +490,9 @@ void Machine::CaptureLiveSample(LiveSample* out) {
 
   out->app_requests = app_requests_;
   out->app_req_lat_ns = app_req_lat_ns_;
+  out->app_timeouts = app_timeouts_;
+  out->app_retries = app_retries_;
+  out->app_shed = app_shed_;
 }
 
 }  // namespace ace

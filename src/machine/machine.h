@@ -45,6 +45,7 @@
 
 namespace ace {
 
+class ChaosController;
 struct LiveSample;
 
 // Which NUMA policy the machine boots with.
@@ -227,8 +228,13 @@ class Machine {
   NumaPolicy& policy() { return *active_policy_; }
   // The pageout daemon, or nullptr when the machine runs without backing store.
   AcePager* pager() { return pager_.get(); }
-  // The armed fault injector, or nullptr when Options::fault_plan was empty.
+  // The armed fault injector, or nullptr when Options::fault_plan carried no site
+  // schedules (a chaos-only plan arms the controller below but not the injector).
   FaultInjector* fault_injector() { return injector_.get(); }
+  // The chaos controller (src/machine/chaos.h), or nullptr when the plan carried no
+  // chaos events. The runtime's dispatch loop advances it; the serving app consults
+  // it to arm its SLO machinery (deadlines/retry/shed stay off on chaos-free runs).
+  ChaosController* chaos() { return chaos_.get(); }
   const PolicySpec& policy_spec() const { return options_.policy; }
 
   // Typed policy accessors (nullptr if the machine runs a different policy).
@@ -270,6 +276,15 @@ class Machine {
     app_requests_ += 1;
     app_req_lat_ns_ += static_cast<std::uint64_t>(latency_ns);
   }
+
+  // SLO outcome counters for the serving workload under chaos (DESIGN.md section
+  // 13): requests that missed their virtual-time deadline, retry attempts issued,
+  // and requests shed by the per-tenant backlog guard. Same contract as
+  // RecordAppRequest — monotone, purely observational, zero on chaos-free runs
+  // (the app only arms its SLO machinery when chaos() is non-null).
+  void RecordAppTimeout() { app_timeouts_ += 1; }
+  void RecordAppRetry() { app_retries_ += 1; }
+  void RecordAppShed() { app_shed_ += 1; }
 
   // The software TLB and its counter group (the `tlb` observability group). The
   // counters are kept out of MachineStats: they differ between TLB-on and TLB-off
@@ -399,6 +414,10 @@ class Machine {
   std::unique_ptr<PagePool> pool_;
   std::unique_ptr<AcePager> pager_;
   std::unique_ptr<FaultHandler> fault_handler_;
+  // Holds only non-owning pointers back into this machine; constructed last when the
+  // plan carries chaos events, null otherwise (the dispatch hook and the per-access
+  // cost hook then cost one never-taken branch each).
+  std::unique_ptr<ChaosController> chaos_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::uint64_t task_counter_ = 0;
 
@@ -407,6 +426,9 @@ class Machine {
 
   std::uint64_t app_requests_ = 0;
   std::uint64_t app_req_lat_ns_ = 0;
+  std::uint64_t app_timeouts_ = 0;
+  std::uint64_t app_retries_ = 0;
+  std::uint64_t app_shed_ = 0;
 };
 
 }  // namespace ace

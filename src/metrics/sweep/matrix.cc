@@ -99,7 +99,8 @@ void AppendUnique(std::vector<SweepCell>& cells, const std::vector<SweepCell>& e
 const std::vector<std::string>& SuiteNames() {
   static const std::vector<std::string> kNames = {"smoke",     "full", "table3",
                                                   "table4",    "threshold", "gl",
-                                                  "refs",      "serving", "serving-full"};
+                                                  "refs",      "serving", "serving-full",
+                                                  "serving-chaos"};
   return kNames;
 }
 
@@ -206,6 +207,22 @@ Suite MakeSuite(const std::string& name, int threads_override, double scale_over
       }
     }
     suite.cells.push_back(ServingCell(4, 0.25, 4, 4, 1.1, 3));
+  } else if (name == "serving-chaos") {
+    suite.description =
+        "Chaos resilience: serving SLO outcomes under node drain, stall, and slow link";
+    // The canonical drain: node 2 hot-removes its local pool mid-run (permille 0)
+    // while node 1 stalls for 20 ms. The SLO guard must absorb it with zero
+    // timeouts left after retry/shed, and the post-window tail (recovery_p99_ms)
+    // must return to the healthy band. The second cell dilates node 1's off-node
+    // reference costs 3x, exercising the immediate (non-batched) TLB path.
+    {
+      SweepCell drain = ServingCell(4, 0.25, 1, 4, 0.9, 3);
+      drain.fault_plan = "drain-mem@2:30000000:60000000;stall-proc@1:36000000:56000000";
+      suite.cells.push_back(drain);
+      SweepCell slow = ServingCell(4, 0.25, 1, 4, 0.9, 3);
+      slow.fault_plan = "slow-link@1:20000000:80000000:3000";
+      suite.cells.push_back(slow);
+    }
   } else if (name == "serving-full") {
     suite.description =
         "Nightly serving matrix: tenants x skew x churn x move threshold at full scale";

@@ -203,6 +203,19 @@ CellResult RunCellUnguarded(const SweepCell& cell, const MachineConfig& base_con
     }
     AppendRunCounters("", numa, result.metrics);
     AppendRunCounters("g_", global, result.metrics);
+    // Chaos accounting, emitted only for cells whose plan carries chaos events so
+    // chaos-free cell JSON (and its committed baselines) is byte-identical to
+    // before chaos existed.
+    if (!options.fault_plan.chaos.empty()) {
+      result.metrics.emplace_back("chaos_events",
+                                  static_cast<double>(numa.stats.chaos_events));
+      result.metrics.emplace_back("evacuated_pages",
+                                  static_cast<double>(numa.stats.evacuated_pages));
+      result.metrics.emplace_back("g_chaos_events",
+                                  static_cast<double>(global.stats.chaos_events));
+      result.metrics.emplace_back("g_evacuated_pages",
+                                  static_cast<double>(global.stats.evacuated_pages));
+    }
     return result;
   }
 

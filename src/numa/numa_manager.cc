@@ -88,7 +88,9 @@ void NumaManager::VerifyAllInvariants() const {
         [&](ProcId p) { held[static_cast<std::size_t>(p)]++; });
   }
   for (ProcId p = 0; p < num_processors_; ++p) {
-    std::uint32_t allocated = phys_->local_pages_per_proc() - phys_->FreeLocalFrames(p);
+    // AllocatedLocalFrames, not capacity - FreeLocalFrames: a drain-mem chaos limit
+    // caps FreeLocalFrames without changing how many frames are actually held.
+    std::uint32_t allocated = phys_->AllocatedLocalFrames(p);
     ACE_CHECK_MSG(allocated == held[static_cast<std::size_t>(p)],
                   "invariant: allocated local frames not accounted to pages");
   }
@@ -716,6 +718,39 @@ std::uint32_t NumaManager::MigrateResidentPages(ProcId from, ProcId to) {
     }
   }
   return moved;
+}
+
+std::uint32_t NumaManager::EvacuateNode(ProcId node, std::uint32_t target_frames, ProcId proc) {
+  std::uint32_t evacuated = 0;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    if (phys_->AllocatedLocalFrames(node) <= target_frames) {
+      break;
+    }
+    NumaPageInfo& info = pages_[lp];
+    if (!info.copies.Contains(node)) {
+      continue;
+    }
+    if ((info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) &&
+        info.owner == node) {
+      // Owned content lives only in the node's local frame: drop every mapping, copy
+      // it back to the global frame, then release the frame. The page reverts to
+      // Read-Only with its content global; the next touch re-places it through the
+      // normal fault path (which degrades to GLOBAL while the drain limit holds).
+      mappings_->RemoveAllMappings(lp);
+      SyncOwner(lp, proc);
+      FlushCopy(lp, node, proc);
+      info.state = PageState::kReadOnly;
+      info.owner = kNoProc;
+      ObsNoteState(lp, proc);
+    } else {
+      // Read-Only replica: the global frame already has the content, just flush.
+      FlushCopy(lp, node, proc);
+    }
+    stats_->evacuated_pages++;
+    ++evacuated;
+    ACE_VERIFY_PAGE(lp);
+  }
+  return evacuated;
 }
 
 const std::uint8_t* NumaManager::PrepareForPageout(LogicalPage lp, ProcId proc) {

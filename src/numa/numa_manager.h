@@ -103,6 +103,14 @@ class NumaManager {
   // number of pages moved.
   std::uint32_t MigrateResidentPages(ProcId from, ProcId to);
 
+  // Chaos drain support (DESIGN.md section 13): push resident copies off `node`'s
+  // local memory until at most `target_frames` remain allocated there. Owned pages
+  // (local-writable or remote-homed at `node`) are synced back to their global frame
+  // and revert to Read-Only; read-only replicas are flushed. Every released copy
+  // counts as one evacuated page. Charges `proc`'s system clock (the processor the
+  // chaos controller is acting on behalf of). Returns the number of pages evacuated.
+  std::uint32_t EvacuateNode(ProcId node, std::uint32_t target_frames, ProcId proc);
+
   // Pageout support: collapse the page's cache state so its current content sits in
   // its global frame (drop mappings, sync a local-writable/remote-homed copy back,
   // flush replicas, materialize pending zeros), charging `proc` system time. Returns a

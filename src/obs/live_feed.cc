@@ -281,6 +281,25 @@ std::string RenderLiveFrame(const LiveFeedState& s, LiveView view, std::size_t t
         Appendf(&out, "%12s %14llu %14llu\n", r.name, (unsigned long long)s.totals[r.c],
                 (unsigned long long)s.last[r.c]);
       }
+      // Chaos and SLO outcomes (DESIGN.md section 13). All-zero on chaos-free
+      // runs, so print the block only once something moved — the common case
+      // keeps its familiar frame.
+      if (s.totals[kLcChaosEvents] != 0 || s.totals[kLcEvacuatedPages] != 0 ||
+          s.totals[kLcTimeouts] != 0 || s.totals[kLcRetries] != 0 ||
+          s.totals[kLcShed] != 0) {
+        Appendf(&out, "  chaos: events=%llu evacuated=%llu  slo: timeouts=%llu "
+                "retries=%llu shed=%llu  (interval %llu/%llu/%llu/%llu/%llu)\n",
+                (unsigned long long)s.totals[kLcChaosEvents],
+                (unsigned long long)s.totals[kLcEvacuatedPages],
+                (unsigned long long)s.totals[kLcTimeouts],
+                (unsigned long long)s.totals[kLcRetries],
+                (unsigned long long)s.totals[kLcShed],
+                (unsigned long long)s.last[kLcChaosEvents],
+                (unsigned long long)s.last[kLcEvacuatedPages],
+                (unsigned long long)s.last[kLcTimeouts],
+                (unsigned long long)s.last[kLcRetries],
+                (unsigned long long)s.last[kLcShed]);
+      }
       break;
     }
   }

@@ -20,6 +20,8 @@ const char* LiveCounterKey(int counter) {
       "dec_local",         "dec_global",        "dec_remote",
       "trace_emitted",     "trace_dropped",     "user_ns",
       "system_ns",         "requests",          "req_lat_ns",
+      "chaos_events",      "evacuated_pages",   "timeouts",
+      "retries",           "shed",
   };
   ACE_CHECK(counter >= 0 && counter < kNumLiveCounters);
   return kKeys[counter];

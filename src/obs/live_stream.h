@@ -70,6 +70,15 @@ enum LiveCounter {
   // per interval as req_lat_ns / requests.
   kLcRequests,
   kLcReqLatNs,
+  // Chaos and graceful-degradation counters (DESIGN.md section 13): chaos
+  // transitions applied, pages evacuated off draining nodes, and the serving app's
+  // SLO outcomes (deadline misses, retries, shed requests). All exactly zero on
+  // chaos-free runs.
+  kLcChaosEvents,
+  kLcEvacuatedPages,
+  kLcTimeouts,
+  kLcRetries,
+  kLcShed,
   kNumLiveCounters,
 };
 

@@ -79,6 +79,11 @@ void FlattenLiveCounters(const LiveSample& s, std::uint64_t out[kNumLiveCounters
   out[kLcSystemNs] = static_cast<std::uint64_t>(s.system_ns);
   out[kLcRequests] = s.app_requests;
   out[kLcReqLatNs] = s.app_req_lat_ns;
+  out[kLcChaosEvents] = s.stats.chaos_events;
+  out[kLcEvacuatedPages] = s.stats.evacuated_pages;
+  out[kLcTimeouts] = s.app_timeouts;
+  out[kLcRetries] = s.app_retries;
+  out[kLcShed] = s.app_shed;
 }
 
 void LiveSampler::BeginRun(LiveRunMeta meta) {

@@ -62,6 +62,12 @@ struct LiveSample {
   // the running app records no requests.
   std::uint64_t app_requests = 0;
   std::uint64_t app_req_lat_ns = 0;
+  // SLO outcome counters under chaos (Machine::RecordAppTimeout/Retry/Shed);
+  // zeros on chaos-free runs. The chaos_events/evacuated_pages counters ride in
+  // `stats` above.
+  std::uint64_t app_timeouts = 0;
+  std::uint64_t app_retries = 0;
+  std::uint64_t app_shed = 0;
 
   std::uint64_t TlbHits() const;
   std::uint64_t TlbMisses() const;

@@ -37,7 +37,7 @@ FrameRef PhysicalMemory::AllocLocal(ProcId proc) {
     return FrameRef::Invalid();
   }
   auto& free_list = local_free_[static_cast<std::size_t>(proc)];
-  if (free_list.empty()) {
+  if (free_list.empty() || AllocatedLocalFrames(proc) >= LocalLimit(proc)) {
     return FrameRef::Invalid();
   }
   std::uint32_t index = free_list.back();
@@ -54,7 +54,38 @@ void PhysicalMemory::FreeLocal(FrameRef frame) {
 
 std::uint32_t PhysicalMemory::FreeLocalFrames(ProcId proc) const {
   ACE_CHECK(proc >= 0 && proc < num_processors_);
-  return static_cast<std::uint32_t>(local_free_[static_cast<std::size_t>(proc)].size());
+  std::uint32_t free_frames =
+      static_cast<std::uint32_t>(local_free_[static_cast<std::size_t>(proc)].size());
+  std::uint32_t limit = LocalLimit(proc);
+  std::uint32_t allocated = local_pages_per_proc_ - free_frames;
+  if (allocated >= limit) {
+    return 0;
+  }
+  std::uint32_t headroom = limit - allocated;
+  return headroom < free_frames ? headroom : free_frames;
+}
+
+std::uint32_t PhysicalMemory::AllocatedLocalFrames(ProcId proc) const {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  return local_pages_per_proc_ -
+         static_cast<std::uint32_t>(local_free_[static_cast<std::size_t>(proc)].size());
+}
+
+void PhysicalMemory::SetLocalLimit(ProcId proc, std::uint32_t limit) {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  if (local_limit_.empty()) {
+    local_limit_.assign(static_cast<std::size_t>(num_processors_), local_pages_per_proc_);
+  }
+  local_limit_[static_cast<std::size_t>(proc)] =
+      limit < local_pages_per_proc_ ? limit : local_pages_per_proc_;
+}
+
+std::uint32_t PhysicalMemory::LocalLimit(ProcId proc) const {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  if (local_limit_.empty()) {
+    return local_pages_per_proc_;
+  }
+  return local_limit_[static_cast<std::size_t>(proc)];
 }
 
 TimeNs PhysicalMemory::CopyPage(FrameRef src, FrameRef dst, ProcId copier) {

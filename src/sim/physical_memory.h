@@ -47,9 +47,22 @@ class PhysicalMemory {
   // single never-taken branch.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Frames still allocatable on `proc` — free-list population capped by the chaos
+  // capacity limit below. Zero both when the memory is exhausted and when a drain
+  // event shrank the limit under the current allocation.
   std::uint32_t FreeLocalFrames(ProcId proc) const;
+  // Frames currently handed out on `proc`, independent of any capacity limit.
+  std::uint32_t AllocatedLocalFrames(ProcId proc) const;
   std::uint32_t local_pages_per_proc() const { return local_pages_per_proc_; }
   std::uint32_t global_pages() const { return global_pages_; }
+
+  // Chaos capacity limit (drain-mem events, DESIGN.md section 13): cap `proc`'s
+  // usable frame count at `limit` (clamped to the physical capacity). AllocLocal
+  // fails while the allocation sits at or above the limit; frames already handed
+  // out stay valid — the NumaManager evacuates them. Restoring the full limit ends
+  // the drain.
+  void SetLocalLimit(ProcId proc, std::uint32_t limit);
+  std::uint32_t LocalLimit(ProcId proc) const;
 
   // --- Data access -----------------------------------------------------------------
   // Inline: ReadWord/WriteWord sit on the per-reference fast path (src/machine/tlb.h).
@@ -117,6 +130,11 @@ class PhysicalMemory {
 
   // Per-processor free lists of local frame indices.
   std::vector<std::vector<std::uint32_t>> local_free_;
+
+  // Per-processor usable-frame cap; local_pages_per_proc_ unless a drain-mem chaos
+  // event is active (empty until the first SetLocalLimit keeps chaos-free runs on
+  // the exact pre-chaos code path).
+  std::vector<std::uint32_t> local_limit_;
 
   FaultInjector* injector_ = nullptr;
 };

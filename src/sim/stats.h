@@ -54,6 +54,11 @@ struct MachineStats {
   std::uint64_t degraded_pool_retries = 0;      // extra evict+alloc rounds beyond the first
   std::uint64_t degraded_oom_faults = 0;        // fault gave up after the bounded retries
 
+  // Chaos accounting (DESIGN.md section 13). Both exactly zero unless the fault plan
+  // carries chaos events, so every chaos-free baseline survives unchanged.
+  std::uint64_t chaos_events = 0;     // chaos transitions applied (activation + recovery)
+  std::uint64_t evacuated_pages = 0;  // resident copies flushed/synced off a draining node
+
   void RecordRef(ProcId proc, MemoryClass cls, AccessKind kind) {
     RecordRefBlock(proc, cls, kind, 1);
   }

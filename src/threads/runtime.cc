@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/machine/chaos.h"
 #include "src/obs/sampler.h"
 
 namespace ace {
@@ -207,6 +208,18 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
 void Runtime::DispatchNextFrom(FiberContext* from, int self) {
   int next = PickNext();
   ACE_CHECK_MSG(next >= 0, "no runnable thread but work remains");
+  if (machine_->chaos() != nullptr) {
+    // Chaos transitions fire when the minimum runnable clock — monotone across
+    // dispatches — crosses an event boundary. A transition can advance a clock (a
+    // stall pads the node to its window end) or charge evacuation time to the
+    // chosen fiber's processor, so re-pick until no further transition applies;
+    // each event transitions at most twice, so the loop is bounded.
+    while (machine_->chaos()->Advance(
+        ProcNow(fibers_[static_cast<std::size_t>(next)]->env.proc_),
+        fibers_[static_cast<std::size_t>(next)]->env.proc_)) {
+      next = PickNext();
+    }
+  }
   if (options_.sampler != nullptr) {
     // The chosen fiber's clock is the minimum runnable clock — monotone
     // nondecreasing across dispatches, so it is a valid sample timestamp. Ticked

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/inject/fault_plan.h"
+#include "src/machine/chaos.h"
 #include "src/machine/machine.h"
 #include "tests/machine_invariants.h"
 
@@ -378,6 +379,155 @@ TEST(PagerDegradeTest, VictimContentionSparesPagesButEvictionProceeds) {
   machine.numa_manager().VerifyAllInvariants();
 }
 
+// --- chaos grammar --------------------------------------------------------------------
+
+TEST(ChaosPlan, FormatParseRoundTrip) {
+  const char* kCanonical =
+      "drain-mem@2:30000000:60000000:0;stall-proc@1:36000000:56000000;"
+      "slow-link@0:1000:2000:3000";
+  FaultPlan plan = Plan(kCanonical);
+  ASSERT_EQ(plan.chaos.size(), 3u);
+  EXPECT_TRUE(plan.schedules.empty());
+  EXPECT_EQ(plan.Format(), kCanonical);
+  EXPECT_EQ(Plan(plan.Format()).Format(), kCanonical);
+
+  EXPECT_EQ(plan.chaos[0].kind, ChaosKind::kDrainMem);
+  EXPECT_EQ(plan.chaos[0].node, 2u);
+  EXPECT_EQ(plan.chaos[0].t_begin, 30'000'000);
+  EXPECT_EQ(plan.chaos[0].t_end, 60'000'000);
+  EXPECT_EQ(plan.chaos[0].permille, 0u);
+  EXPECT_EQ(plan.chaos[1].kind, ChaosKind::kStallProc);
+  EXPECT_EQ(plan.chaos[2].kind, ChaosKind::kSlowLink);
+  EXPECT_EQ(plan.chaos[2].permille, 3000u);
+}
+
+TEST(ChaosPlan, DrainPermilleIsOptionalAndCanonicalizes) {
+  // Omitted permille = hot-remove; Format always writes it back explicitly.
+  FaultPlan plan = Plan("drain-mem@1:10:20");
+  ASSERT_EQ(plan.chaos.size(), 1u);
+  EXPECT_EQ(plan.chaos[0].permille, 0u);
+  EXPECT_EQ(plan.Format(), "drain-mem@1:10:20:0");
+  EXPECT_EQ(Plan("drain-mem@1:10:20:250").Format(), "drain-mem@1:10:20:250");
+}
+
+TEST(ChaosPlan, UnderscoreNamesAreAliases) {
+  const char* kAliased = "drain_mem@1:10:20:500;stall_proc@0:5:9;slow_link@2:1:2:1500";
+  const char* kCanonical = "drain-mem@1:10:20:500;stall-proc@0:5:9;slow-link@2:1:2:1500";
+  EXPECT_EQ(Plan(kAliased).Format(), kCanonical);
+}
+
+TEST(ChaosPlan, SchedulesAndChaosMixInOnePlan) {
+  FaultPlan plan = Plan("frame-alloc@nth:2;drain-mem@0:10:20:0;copy-fail@always");
+  EXPECT_EQ(plan.schedules.size(), 2u);
+  EXPECT_EQ(plan.chaos.size(), 1u);
+  // Format groups schedules first, then chaos; the grouped form still round-trips.
+  EXPECT_EQ(plan.Format(), "frame-alloc@nth:2;copy-fail@always;drain-mem@0:10:20:0");
+  EXPECT_EQ(Plan(plan.Format()).Format(), plan.Format());
+}
+
+TEST(ChaosPlan, RejectsMalformedEvents) {
+  const char* kBad[] = {
+      "drain-mem@16:10:20",       // node >= kMaxProcessors
+      "drain-mem@x:10:20",        // non-numeric node
+      "drain-mem@1:20:20",        // empty window (T1 <= T0)
+      "drain-mem@1:20:10",        // inverted window
+      "drain-mem@1:10:20:1001",   // residual permille > 1000
+      "stall-proc@1:10",          // missing T1
+      "slow-link@1:10:20",        // slow-link without its multiplier
+      "slow-link@1:10:20:999",    // multiplier < 1000 (a speedup, not a degradation)
+  };
+  for (const char* text : kBad) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(text, &plan, &error)) << text;
+    EXPECT_NE(error.find(std::string("'") + text + "'"), std::string::npos)
+        << text << ": error does not quote the event: " << error;
+  }
+}
+
+// Satellite contract: a plan naming an unknown site must list every valid site and
+// chaos name, so a typo is fixable straight from the error text. Table-driven over
+// representative misspellings of both vocabularies.
+TEST(ChaosPlan, UnknownNameErrorListsEveryValidName) {
+  const char* kTypos[] = {
+      "no-such-site@always",
+      "drain-men@1:10:20",
+      "stallproc@1:10:20",
+      "slow-links@1:10:20:2000",
+      "local-exhau@every:3",
+  };
+  const char* kAllNames[] = {
+      "local-exhausted", "pool-exhausted", "victim-contention", "frame-alloc",
+      "copy-fail",       "skip-sync",      "skip-move-count",   "drain-mem",
+      "stall-proc",      "slow-link",
+  };
+  for (const char* text : kTypos) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(text, &plan, &error)) << text;
+    for (const char* name : kAllNames) {
+      EXPECT_NE(error.find(name), std::string::npos)
+          << text << ": error must list valid name '" << name << "': " << error;
+    }
+  }
+  // The helper the tools print on bad --plan/--chaos input carries the same list.
+  std::string names = ValidPlanNames();
+  for (const char* name : kAllNames) {
+    EXPECT_NE(names.find(name), std::string::npos) << name;
+  }
+}
+
+// --- chaos controller arming ----------------------------------------------------------
+
+TEST(ChaosController, ArmedOnlyWhenThePlanCarriesChaosEvents) {
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.fault_plan = Plan("drain-mem@1:10000:20000:0");
+  Machine with_chaos(mo);
+  ASSERT_NE(with_chaos.chaos(), nullptr);
+  EXPECT_EQ(with_chaos.chaos()->num_events(), 1u);
+  EXPECT_FALSE(with_chaos.chaos()->has_slow_link());
+  // A chaos-only plan arms no site injector; a schedules-only plan arms no chaos.
+  EXPECT_EQ(with_chaos.fault_injector(), nullptr);
+
+  mo.fault_plan = Plan("frame-alloc@nth:2");
+  Machine schedules_only(mo);
+  EXPECT_EQ(schedules_only.chaos(), nullptr);
+  ASSERT_NE(schedules_only.fault_injector(), nullptr);
+
+  mo.fault_plan = Plan("slow-link@0:10:20:2000");
+  Machine slow(mo);
+  ASSERT_NE(slow.chaos(), nullptr);
+  EXPECT_TRUE(slow.chaos()->has_slow_link());
+}
+
+TEST(ChaosController, EventsOnNonexistentNodesAreDropped) {
+  // A plan written for a larger machine replays harmlessly on a smaller one.
+  Machine::Options mo;
+  mo.config.num_processors = 2;
+  mo.fault_plan = Plan("drain-mem@7:10:20:0;stall-proc@1:10:20");
+  Machine machine(mo);
+  ASSERT_NE(machine.chaos(), nullptr);
+  EXPECT_EQ(machine.chaos()->num_events(), 1u);
+}
+
+TEST(ChaosController, SlowLinkDilatesOnlyTheNamedProcessorInsideTheWindow) {
+  Machine::Options mo;
+  mo.config.num_processors = 2;
+  mo.fault_plan = Plan("slow-link@1:1000:2000:3000");
+  Machine machine(mo);
+  ASSERT_NE(machine.chaos(), nullptr);
+  // Before activation every processor is at identity.
+  EXPECT_EQ(machine.chaos()->AdjustCost(0, 100), 100);
+  EXPECT_EQ(machine.chaos()->AdjustCost(1, 100), 100);
+  machine.chaos()->Advance(1500, 0);  // crosses T0: window active on proc 1
+  EXPECT_EQ(machine.chaos()->AdjustCost(0, 100), 100);
+  EXPECT_EQ(machine.chaos()->AdjustCost(1, 100), 300);
+  machine.chaos()->Advance(2500, 0);  // crosses T1: back to identity
+  EXPECT_EQ(machine.chaos()->AdjustCost(1, 100), 100);
+  EXPECT_EQ(machine.stats().chaos_events, 2u);  // activation + recovery
+}
+
 // --- zero cost when unarmed -----------------------------------------------------------
 
 TEST(FaultInjection, UnarmedMachineHasNoInjectorAndNoDegradation) {
@@ -397,6 +547,10 @@ TEST(FaultInjection, UnarmedMachineHasNoInjectorAndNoDegradation) {
   EXPECT_EQ(s.degraded_copy_failures, 0u);
   EXPECT_EQ(s.degraded_pool_retries, 0u);
   EXPECT_EQ(s.degraded_oom_faults, 0u);
+  // The same zero-cost contract for chaos: no controller, counters exactly zero.
+  EXPECT_EQ(machine.chaos(), nullptr);
+  EXPECT_EQ(s.chaos_events, 0u);
+  EXPECT_EQ(s.evacuated_pages, 0u);
 }
 
 }  // namespace

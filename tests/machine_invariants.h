@@ -83,9 +83,11 @@ inline void CheckMachineInvariants(Machine& m) {
     }
   }
 
-  // Frame accounting: allocated local frames == frames held by pages.
+  // Frame accounting: allocated local frames == frames held by pages. Uses
+  // AllocatedLocalFrames directly (a drain-mem chaos limit caps FreeLocalFrames
+  // without changing the number of frames actually held).
   for (ProcId p = 0; p < procs; ++p) {
-    std::uint32_t allocated = phys.local_pages_per_proc() - phys.FreeLocalFrames(p);
+    std::uint32_t allocated = phys.AllocatedLocalFrames(p);
     EXPECT_EQ(allocated, frames_held[static_cast<std::size_t>(p)])
         << "local frame leak on proc " << p;
   }

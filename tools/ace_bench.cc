@@ -54,7 +54,8 @@ void Usage() {
       "usage: ace_bench --suite NAME [options]\n"
       "  --list                 list available suites and their cell counts\n"
       "  --suite NAME           suite to run: smoke | full | table3 | table4 |\n"
-      "                         threshold | gl | refs | serving | serving-full\n"
+      "                         threshold | gl | refs | serving | serving-full |\n"
+      "                         serving-chaos\n"
       "  --workers N            host worker threads (default: hardware concurrency)\n"
       "  --out FILE             write results as BENCH JSON (self-validated)\n"
       "  --baseline FILE        compare against a baseline BENCH JSON; exit 1 on any\n"
@@ -78,6 +79,8 @@ void Usage() {
       "                         exit 4 when anything was quarantined\n"
       "  --failures FILE        write quarantined cells as ace-failures-v1 JSON\n"
       "  --plan PLAN            fault-injection plan applied to every cell\n"
+      "  --chaos PLAN           chaos events appended to every cell's plan (same\n"
+      "                         grammar, e.g. 'drain-mem@1:30000000:90000000:250')\n"
       "  --fault-seed N         seed for probabilistic plan schedules\n"
       "  --only SUBSTR          run only cells whose key contains SUBSTR (replay)\n"
       "  --no-host              omit host stats from --out (byte-comparable)\n"
@@ -109,6 +112,7 @@ struct Args {
   bool fail_fast = false;
   std::string failures;
   std::string plan;
+  std::string chaos;
   unsigned long long fault_seed = 0;
   std::string only;
   bool no_host = false;
@@ -199,6 +203,8 @@ int main(int argc, char** argv) {
       args.failures = v;
     } else if ((v = OptValue(argc, argv, &i, "--plan")) != nullptr) {
       args.plan = v;
+    } else if ((v = OptValue(argc, argv, &i, "--chaos")) != nullptr) {
+      args.chaos = v;
     } else if ((v = OptValue(argc, argv, &i, "--fault-seed")) != nullptr) {
       args.fault_seed = std::strtoull(v, nullptr, 10);
     } else if ((v = OptValue(argc, argv, &i, "--only")) != nullptr) {
@@ -277,6 +283,23 @@ int main(int argc, char** argv) {
     for (ace::SweepCell& cell : suite.cells) {
       cell.fault_plan = args.plan;
       cell.fault_seed = args.fault_seed;
+    }
+  }
+  if (!args.chaos.empty()) {
+    // Chaos items append to whatever plan a cell already carries (suite-defined or
+    // --plan), keeping one plan string per cell for keys and replay lines.
+    ace::FaultPlan parsed;
+    std::string error;
+    if (!ace::FaultPlan::Parse(args.chaos, &parsed, &error)) {
+      std::fprintf(stderr, "invalid --chaos: %s\n", error.c_str());
+      return 2;
+    }
+    for (ace::SweepCell& cell : suite.cells) {
+      cell.fault_plan = cell.fault_plan.empty() ? args.chaos
+                                                : cell.fault_plan + ";" + args.chaos;
+      if (args.fault_seed != 0) {
+        cell.fault_seed = args.fault_seed;
+      }
     }
   }
   if (!args.only.empty()) {
@@ -405,9 +428,12 @@ int main(int argc, char** argv) {
       }
       if (!args.plan.empty()) {
         replay += " --plan '" + args.plan + "'";
-        if (args.fault_seed != 0) {
-          replay += " --fault-seed " + std::to_string(args.fault_seed);
-        }
+      }
+      if (!args.chaos.empty()) {
+        replay += " --chaos '" + args.chaos + "'";
+      }
+      if ((!args.plan.empty() || !args.chaos.empty()) && args.fault_seed != 0) {
+        replay += " --fault-seed " + std::to_string(args.fault_seed);
       }
       if (args.deadline_ns > 0) {
         replay += " --deadline " + std::to_string(args.deadline_ns);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/apps/app.h"
+#include "src/machine/chaos.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/table.h"
 #include "src/obs/export.h"
@@ -55,6 +56,9 @@ void Usage() {
       "  --requests N           open-loop request budget / duration (0 = from --scale)\n"
       "  --plan STR             arm a fault-injection plan (src/inject grammar, e.g.\n"
       "                         'local-exhausted@every:3;copy-fail@nth:5')\n"
+      "  --chaos STR            append machine-scoped chaos events to the plan, e.g.\n"
+      "                         'drain-mem@1:30000000:90000000:250' (same grammar;\n"
+      "                         also arms the serving SLO guard)\n"
       "  --trace                print the sharing-class trace report\n"
       "  --no-tlb               disable the software-TLB fast path (same metrics,\n"
       "                         slower; ACE_TLB=0 in the environment does the same)\n"
@@ -117,6 +121,7 @@ int main(int argc, char** argv) {
   ace::ServingOptions serving;
   bool serving_flags = false;
   std::string plan_text;
+  std::string chaos_text;
   std::string trace_out;
   std::string jsonl_out;
   std::string heat_csv;
@@ -190,6 +195,8 @@ int main(int argc, char** argv) {
       serving_flags = true;
     } else if (arg == "--plan") {
       plan_text = next();
+    } else if (arg == "--chaos") {
+      chaos_text = next();
     } else if (arg == "--pager") {
       pager = true;
     } else if (arg == "--no-tlb") {
@@ -300,6 +307,12 @@ int main(int argc, char** argv) {
   mo.enable_pager = pager;
   mo.enable_tlb = !no_tlb;
   mo.fault_seed = seed;
+  // --chaos rides the same plan grammar: chaos items simply append to --plan, so
+  // every downstream consumer (feed meta, JSONL dump, replay lines) sees one plan
+  // string that reproduces the run exactly.
+  if (!chaos_text.empty()) {
+    plan_text = plan_text.empty() ? chaos_text : plan_text + ";" + chaos_text;
+  }
   if (!plan_text.empty()) {
     std::string error;
     if (!ace::FaultPlan::Parse(plan_text, &mo.fault_plan, &error)) {
@@ -406,6 +419,12 @@ int main(int argc, char** argv) {
                 (unsigned long long)s.degraded_copy_failures,
                 (unsigned long long)s.degraded_pool_retries,
                 (unsigned long long)s.degraded_oom_faults);
+  }
+  if (machine.chaos() != nullptr) {
+    std::printf("chaos:          %zu planned events, %llu transitions applied, "
+                "%llu pages evacuated\n",
+                machine.chaos()->num_events(), (unsigned long long)s.chaos_events,
+                (unsigned long long)s.evacuated_pages);
   }
   if (tlb_stats) {
     const ace::TlbStats t = machine.tlb_stats();

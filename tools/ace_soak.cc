@@ -12,7 +12,9 @@
 //   * counter identities that must survive any injection: page_syncs <= page_copies
 //     + zero_fills, pageins <= pageouts, measured alpha in [0, 1],
 //   * on clean runs (every 8th seed carries an empty plan), that every degradation
-//     counter stayed zero — injection must be zero-cost when unarmed.
+//     counter stayed zero — injection must be zero-cost when unarmed,
+//   * on chaos-free runs (chaos events ride along only on every 4th seed), that the
+//     chaos counters stayed zero and no controller was built.
 //
 // A failing run's plan is shrunk to a minimal subset of schedules that still fails
 // and printed as a replayable `ace_soak --replay ...` command line (also written to
@@ -165,6 +167,34 @@ ace::FaultSchedule GenSchedule(Rng& rng, bool pager) {
   return s;
 }
 
+// Machine-scoped chaos events are kept survivable by construction: windows start
+// after warmup and always end (5–30 ms wide, inside every app's horizon at soak
+// scale), drains never exceed half the node's pool unless the full hot-remove
+// (permille 0) is drawn, and slow links dilate at most 4x. Node ids are drawn
+// below the thread count, so every event targets a node that actually exists.
+ace::ChaosEvent GenChaosEvent(Rng& rng, int threads) {
+  ace::ChaosEvent e;
+  e.node = rng.Below(static_cast<std::uint32_t>(threads));
+  e.t_begin = 5'000'000 + static_cast<ace::TimeNs>(rng.Below(45)) * 1'000'000;
+  e.t_end = e.t_begin + 5'000'000 + static_cast<ace::TimeNs>(rng.Below(25)) * 1'000'000;
+  switch (rng.Below(3)) {
+    case 0: {
+      e.kind = ace::ChaosKind::kDrainMem;
+      static const std::uint32_t kResidual[] = {0, 250, 500};
+      e.permille = kResidual[rng.Below(3)];
+      break;
+    }
+    case 1:
+      e.kind = ace::ChaosKind::kStallProc;
+      break;
+    default:
+      e.kind = ace::ChaosKind::kSlowLink;
+      e.permille = 2000 + rng.Below(5) * 500;  // 2x .. 4x remote-cost dilation
+      break;
+  }
+  return e;
+}
+
 RunSpec DeriveRun(std::uint64_t seed) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   RunSpec spec;
@@ -196,6 +226,15 @@ RunSpec DeriveRun(std::uint64_t seed) {
     std::uint32_t count = 1 + rng.Below(3);
     for (std::uint32_t i = 0; i < count; ++i) {
       spec.plan.schedules.push_back(GenSchedule(rng, spec.pager));
+    }
+  }
+  // Every 4th seed also rides a machine-scoped chaos plan (disjoint from the clean
+  // seeds above: seed % 8 == 0 implies seed % 4 == 0). All other seeds stay
+  // chaos-free so RunInProcess can assert the chaos counters' zero-cost invariant.
+  if (seed % 4 == 2) {
+    std::uint32_t count = 1 + rng.Below(2);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      spec.plan.chaos.push_back(GenChaosEvent(rng, spec.threads));
     }
   }
   return spec;
@@ -342,6 +381,14 @@ std::string RunInProcess(const RunSpec& spec) {
       return fail("clean run must not degrade (disarmed injection is zero-cost)", degraded, 0);
     }
   }
+  if (spec.plan.chaos.empty()) {
+    // Chaos-free runs (including every plan-only seed) must never build a controller
+    // or touch the chaos counters — chaos, like injection, is zero-cost when unarmed.
+    if (s.chaos_events != 0 || s.evacuated_pages != 0 || machine.chaos() != nullptr) {
+      return fail("chaos-free run must keep chaos counters zero",
+                  s.chaos_events + s.evacuated_pages, 0);
+    }
+  }
   return "";
 }
 
@@ -402,16 +449,29 @@ std::string RunForked(const RunSpec& spec) {
   return what.empty() ? "child exited with failure but reported nothing" : what;
 }
 
-// Greedy schedule-subset minimization: drop any schedule whose removal keeps the
-// violation alive, to a locally minimal (often single-schedule) reproducer.
+// Greedy plan-subset minimization: drop any schedule or chaos event whose removal
+// keeps the violation alive, to a locally minimal (often single-item) reproducer.
 RunSpec ShrinkPlan(RunSpec spec) {
   bool progress = true;
-  while (progress && spec.plan.schedules.size() > 1) {
+  while (progress && spec.plan.schedules.size() + spec.plan.chaos.size() > 1) {
     progress = false;
     for (std::size_t i = 0; i < spec.plan.schedules.size(); ++i) {
       RunSpec candidate = spec;
       candidate.plan.schedules.erase(candidate.plan.schedules.begin() +
                                      static_cast<std::ptrdiff_t>(i));
+      if (!RunForked(candidate).empty()) {
+        spec = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) {
+      continue;
+    }
+    for (std::size_t i = 0; i < spec.plan.chaos.size(); ++i) {
+      RunSpec candidate = spec;
+      candidate.plan.chaos.erase(candidate.plan.chaos.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
       if (!RunForked(candidate).empty()) {
         spec = std::move(candidate);
         progress = true;
@@ -771,7 +831,8 @@ int main(int argc, char** argv) {
     std::printf("  violation: %s\n", what.c_str());
     RunSpec shrunk = ShrinkPlan(spec);
     std::string repro = ReplayCommand(shrunk);
-    std::printf("  shrunk to %zu schedule(s): %s\n", shrunk.plan.schedules.size(),
+    std::printf("  shrunk to %zu schedule(s) + %zu chaos event(s): %s\n",
+                shrunk.plan.schedules.size(), shrunk.plan.chaos.size(),
                 shrunk.plan.Format().c_str());
     std::printf("  replay: %s\n", repro.c_str());
     if (!repro_out.empty()) {
