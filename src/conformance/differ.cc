@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/numa/policies.h"
+#include "src/numa/replica_manager.h"
 #include "src/obs/observability.h"
 #include "src/sim/bus.h"
 #include "src/sim/clocks.h"
@@ -158,6 +159,7 @@ RefModel::Config BuildModelConfig(const ConformConfig& cc) {
   mc.words_per_page = cc.WordsPerPage();
   mc.policy = cc.policy;
   mc.move_threshold = cc.move_threshold;
+  mc.durability = cc.durability;
   return mc;
 }
 
@@ -192,6 +194,15 @@ struct Differ::Impl {
       phys.set_fault_injector(injector.get());
       manager.set_fault_injector(injector.get());
     }
+    if (cc.durability) {
+      // Unbounded journal: the RefModel tracks only current logical content (never
+      // the stale global copy an unreplicated page degrades to), so every owned page
+      // must stay recoverable. One journal per page is the true upper bound.
+      ReplicaManager::Options ropt;
+      ropt.journal_page_cap = cc.pages;
+      replica = std::make_unique<ReplicaManager>(machine, &phys, &clocks, &stats, &bus, ropt);
+      manager.set_replica_manager(replica.get());
+    }
     // The conformance sweeps run with full observability attached: a protocol bug that
     // only appears when tracing is on (or one the hooks themselves introduce) must not
     // slip past the differ. The small ring keeps long sweeps cheap.
@@ -215,6 +226,8 @@ struct Differ::Impl {
   RefModel model;
   Observability obs;
   std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<ReplicaManager> replica;  // armed when config.durability
+  std::uint32_t dead_nodes = 0;             // bit p: processor p killed this stream
 };
 
 std::optional<std::string> Differ::Impl::CompareAll() {
@@ -282,6 +295,15 @@ std::optional<std::string> Differ::Impl::CompareAll() {
       {"ownership_moves", stats.ownership_moves, want.ownership_moves},
       {"pages_pinned", stats.pages_pinned, want.pages_pinned},
       {"local_alloc_failures", stats.local_alloc_failures, want.local_alloc_failures},
+      // Durability and recovery: all six stay zero when config.durability is off (the
+      // disarmed-substrate invariant); with it on, lost_pages is compared against the
+      // model's constant zero, i.e. every kill and corruption must be recoverable.
+      {"evacuated_pages", stats.evacuated_pages, want.evacuated_pages},
+      {"replicated_pages", stats.replicated_pages, want.replicated_pages},
+      {"journal_bytes", stats.journal_bytes, want.journal_bytes},
+      {"recovered_pages", stats.recovered_pages, want.recovered_pages},
+      {"lost_pages", stats.lost_pages, want.lost_pages},
+      {"checksum_failures", stats.checksum_failures, want.checksum_failures},
   };
   for (const auto& c : counters) {
     if (c.got != c.want) {
@@ -341,6 +363,10 @@ std::optional<std::string> Differ::Step(const ConformOp& op) {
       } else {
         im.phys.WriteWord(got.frame, offset, op.value);
         im.model.WriteWord(op.lp, offset / kWordBytes, op.value);
+        // The journal hook Machine::Access runs after every store (no-op unless the
+        // durability substrate is armed and the store landed in an owned frame).
+        im.manager.NoteStore(op.lp, offset, op.value, op.proc, /*charge=*/true);
+        im.model.NoteStore(op.lp);
       }
       if (cc.tlb) {
         im.tlb.Install(op.proc, op.lp, got.frame, got.prot);
@@ -391,6 +417,45 @@ std::optional<std::string> Differ::Step(const ConformOp& op) {
       im.manager.SetPragma(op.lp, op.pragma);
       im.model.SetPragma(op.lp, op.pragma);
       break;
+    case ConformOp::Kind::kKillNode: {
+      // Mirror RecoveryManager's applicability: the target must be alive, and the
+      // acting processor must be a *different* live one (which also guarantees a
+      // survivor). Inapplicable kills are skipped so shrunk streams stay meaningful.
+      bool node_dead = ((im.dead_nodes >> static_cast<std::uint32_t>(op.proc)) & 1u) != 0;
+      bool actor_dead = ((im.dead_nodes >> static_cast<std::uint32_t>(op.proc2)) & 1u) != 0;
+      if (!cc.durability || node_dead || actor_dead || op.proc == op.proc2) {
+        break;
+      }
+      im.dead_nodes |= 1u << static_cast<std::uint32_t>(op.proc);
+      // The RecoveryManager's exact sequence: fence the allocator, reconstruct and
+      // release, then poison the dead slab so stale reads surface as loud garbage.
+      im.phys.SetLocalLimit(op.proc, 0);
+      std::uint32_t got = im.manager.KillNode(op.proc, op.proc2);
+      im.phys.PoisonLocal(op.proc, 0xDE);
+      std::uint32_t want = im.model.KillNode(op.proc);
+      if (got != want) {
+        std::ostringstream out;
+        out << "released-page count of " << FormatOp(op) << ": manager=" << got
+            << " model=" << want;
+        return out.str();
+      }
+      break;
+    }
+    case ConformOp::Kind::kCorruptNode: {
+      bool node_dead = ((im.dead_nodes >> static_cast<std::uint32_t>(op.proc)) & 1u) != 0;
+      if (!cc.durability || node_dead) {
+        break;  // RecoveryManager also drops corrupt-page events on dead nodes
+      }
+      std::uint32_t got = im.manager.CorruptAndScrubNode(op.proc, op.seed, op.value, op.proc2);
+      std::uint32_t want = im.model.CorruptAndScrub(op.proc, op.seed, op.value);
+      if (got != want) {
+        std::ostringstream out;
+        out << "detected-corruption count of " << FormatOp(op) << ": manager=" << got
+            << " model=" << want;
+        return out.str();
+      }
+      break;
+    }
   }
   return im.CompareAll();
 }
@@ -430,12 +495,24 @@ std::vector<ConformOp> GenerateOps(const ConformConfig& config, std::uint64_t se
       op.kind = ConformOp::Kind::kMigrate;
       op.proc = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
       op.proc2 = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
-    } else {
+    } else if (!config.durability || r < 96) {
+      // Without durability this branch is everything from 94 up, so streams for
+      // existing (non-durability) configs stay byte-identical seed for seed.
       op.kind = ConformOp::Kind::kPragma;
       op.lp = rng.Below(config.pages);
       std::uint32_t p = rng.Below(3);
       op.pragma = p == 0 ? PlacementPragma::kDefault
                          : (p == 1 ? PlacementPragma::kCacheable : PlacementPragma::kNoncacheable);
+    } else if (r < 99) {
+      op.kind = ConformOp::Kind::kCorruptNode;
+      op.proc = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
+      op.proc2 = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
+      op.value = 100 + rng.Below(901);  // permille in [100, 1000]
+      op.seed = rng.Next();
+    } else {
+      op.kind = ConformOp::Kind::kKillNode;
+      op.proc = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
+      op.proc2 = static_cast<ProcId>(rng.Below(static_cast<std::uint32_t>(config.num_processors)));
     }
     ops.push_back(op);
   }
@@ -517,6 +594,13 @@ std::string FormatOp(const ConformOp& op) {
       break;
     case ConformOp::Kind::kPragma:
       out << "pragma lp=" << op.lp << " " << PragmaName(op.pragma);
+      break;
+    case ConformOp::Kind::kKillNode:
+      out << "kill-node node=" << op.proc << " actor=" << op.proc2;
+      break;
+    case ConformOp::Kind::kCorruptNode:
+      out << "corrupt-node node=" << op.proc << " actor=" << op.proc2
+          << " permille=" << op.value << " seed=0x" << std::hex << op.seed << std::dec;
       break;
   }
   return out.str();

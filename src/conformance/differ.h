@@ -46,6 +46,12 @@ struct ConformConfig {
   // transition that should have shot the translation down but didn't — is a
   // divergence. ace_conform and the soak flip this per seed (the ACE_TLB analog).
   bool tlb = false;
+  // Arm the durability substrate on the real side (a ReplicaManager with an
+  // effectively unbounded journal — the RefModel's mirror assumes every owned page
+  // is recoverable) and let GenerateOps emit kill-node / corrupt-page operations.
+  // With it, the comparison extends to the durability counters, and lost_pages is
+  // checked against the model's constant zero: full recoverability, per operation.
+  bool durability = false;
 
   std::uint32_t WordsPerPage() const { return page_size / kWordBytes; }
 };
@@ -61,18 +67,21 @@ struct ConformOp {
     kPageRound = 3,  // PrepareForPageout -> ResetPage -> LoadPageContent
     kMigrate = 4,    // MigrateResidentPages proc -> proc2
     kPragma = 5,     // SetPragma
+    kKillNode = 6,   // SetLocalLimit(0) -> KillNode -> PoisonLocal (durability only)
+    kCorruptNode = 7,  // CorruptAndScrubNode (durability only)
   };
 
   Kind kind = Kind::kAccess;
   LogicalPage lp = 0;
   LogicalPage lp2 = 0;  // kCopy destination
-  ProcId proc = 0;      // acting processor; kMigrate source
-  ProcId proc2 = 0;     // kMigrate destination
+  ProcId proc = 0;      // acting processor; kMigrate source; kKillNode/kCorruptNode target
+  ProcId proc2 = 0;     // kMigrate destination; kKillNode/kCorruptNode acting processor
   AccessKind access = AccessKind::kFetch;
   bool writable_region = true;  // max_prot: kReadWrite if set, else kRead (fetch only)
   std::uint32_t offset = 0;     // word-aligned byte offset touched by kAccess
-  std::uint32_t value = 0;      // value stored by kAccess stores
+  std::uint32_t value = 0;      // value stored by kAccess stores; kCorruptNode permille
   PlacementPragma pragma = PlacementPragma::kDefault;
+  std::uint64_t seed = 0;  // kCorruptNode frame-selection seed
 };
 
 struct Divergence {

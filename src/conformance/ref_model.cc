@@ -1,6 +1,7 @@
 #include "src/conformance/ref_model.h"
 
 #include "src/common/check.h"
+#include "src/numa/replica_manager.h"  // DurabilitySplitMix64 (shared corrupt-page walk)
 
 namespace ace {
 
@@ -169,12 +170,14 @@ void RefModel::CollapseToGlobal(LogicalPage lp) {
       break;
     case PageState::kLocalWritable:
       counters_.page_syncs++;
+      page.journal_open = false;  // the sync retires the dirty-page journal
       FlushCopy(lp, page.owner);
       page.owner = kNoProc;
       break;
     case PageState::kRemoteHomed:
       counters_.page_unmaps++;
       counters_.page_syncs++;
+      page.journal_open = false;
       FlushCopy(lp, page.owner);
       page.owner = kNoProc;
       break;
@@ -207,6 +210,7 @@ RefModel::Outcome RefModel::ResolveRead(LogicalPage lp, ProcId proc, Protection 
                                                             : Protection::kRead};
         }
         counters_.page_syncs++;
+        page.journal_open = false;
         FlushCopy(lp, page.owner);
         page.state = PageState::kReadOnly;
         page.owner = kNoProc;
@@ -220,6 +224,7 @@ RefModel::Outcome RefModel::ResolveRead(LogicalPage lp, ProcId proc, Protection 
                                                             : Protection::kRead};
         }
         counters_.page_syncs++;
+        page.journal_open = false;
         FlushCopy(lp, page.owner);
         page.state = PageState::kReadOnly;
         page.owner = kNoProc;
@@ -254,6 +259,7 @@ RefModel::Outcome RefModel::ResolveWrite(LogicalPage lp, ProcId proc, Protection
         counters_.page_unmaps++;
         if (page.owner != proc) {
           counters_.page_syncs++;
+          page.journal_open = false;
           FlushCopy(lp, page.owner);
           page.state = PageState::kReadOnly;
           page.owner = kNoProc;
@@ -266,6 +272,7 @@ RefModel::Outcome RefModel::ResolveWrite(LogicalPage lp, ProcId proc, Protection
       case PageState::kLocalWritable:
         if (page.owner != proc) {
           counters_.page_syncs++;
+          page.journal_open = false;
           FlushCopy(lp, page.owner);
           page.state = PageState::kReadOnly;
           page.owner = kNoProc;
@@ -369,6 +376,7 @@ void RefModel::CopyLogicalPage(LogicalPage src, LogicalPage dst) {
   if (src_page.state == PageState::kLocalWritable ||
       src_page.state == PageState::kRemoteHomed) {
     counters_.page_syncs++;
+    src_page.journal_open = false;  // SyncOwner on the source retires its journal
   }
   counters_.page_copies++;
   dst_page.zero_pending = false;
@@ -381,6 +389,7 @@ std::uint32_t RefModel::MigrateResidentPages(ProcId from, ProcId to) {
     Page& page = pages_[lp];
     if (page.state == PageState::kLocalWritable && page.owner == from) {
       counters_.page_syncs++;
+      page.journal_open = false;
       FlushCopy(lp, from);
       page.state = PageState::kReadOnly;
       page.owner = kNoProc;
@@ -411,6 +420,87 @@ void RefModel::PageRoundTrip(LogicalPage lp) {
   std::vector<std::uint32_t> content = std::move(page.content);
   page = Page{};
   page.content = std::move(content);
+}
+
+// --- durability mirror (DESIGN.md section 14) -------------------------------------------
+
+void RefModel::NoteStore(LogicalPage lp) {
+  if (!config_.durability) {
+    return;
+  }
+  Page& page = At(lp);
+  if ((page.state != PageState::kLocalWritable && page.state != PageState::kRemoteHomed) ||
+      page.owner == kNoProc) {
+    return;  // only owned frames are journaled (NumaManager::NoteStore)
+  }
+  if (!page.journal_open) {
+    // First store since ownership: the whole frame mirrors off-node. Unbounded
+    // journal (see Config::durability), so the cap-overflow path never triggers.
+    page.journal_open = true;
+    counters_.replicated_pages++;
+    counters_.journal_bytes += config_.words_per_page * kWordBytes;
+  } else {
+    counters_.journal_bytes += kWordBytes;  // later stores write through one word
+  }
+}
+
+std::uint32_t RefModel::KillNode(ProcId node) {
+  ACE_CHECK(node >= 0 && node < config_.num_processors);
+  std::uint32_t released = 0;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    Page& page = pages_[lp];
+    if (!page.copies.Contains(node)) {
+      continue;
+    }
+    ++released;
+    if ((page.state == PageState::kLocalWritable || page.state == PageState::kRemoteHomed) &&
+        page.owner == node) {
+      counters_.page_unmaps++;  // UnmapAll: remote-homed pages are mapped everywhere
+      // Unbounded journal: a dirty page replays from its journal, a clean one from
+      // the (current) global frame — either way the content survives unchanged.
+      counters_.recovered_pages++;
+      page.copies.Remove(node);
+      free_frames_[static_cast<std::size_t>(node)]++;
+      page.owner = kNoProc;
+      page.state = PageState::kReadOnly;
+      page.journal_open = false;
+      counters_.page_flushes++;
+    } else {
+      // Read-Only replica: dies with its node, like an evacuation without the sync.
+      FlushCopy(lp, node);
+      counters_.evacuated_pages++;
+    }
+  }
+  // The recovery manager zeroes the dead node's allocation limit before the kill, so
+  // its free-frame level reads zero from here on and EnsureLocalCopy always fails.
+  free_frames_[static_cast<std::size_t>(node)] = 0;
+  return released;
+}
+
+std::uint32_t RefModel::CorruptAndScrub(ProcId node, std::uint64_t seed,
+                                        std::uint32_t permille) {
+  ACE_CHECK(node >= 0 && node < config_.num_processors);
+  std::uint64_t rng = seed;
+  std::uint32_t detected = 0;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    Page& page = pages_[lp];
+    if (!page.copies.Contains(node)) {
+      continue;
+    }
+    // One draw per resident frame, same order and recurrence as the real walk.
+    const std::uint64_t draw = DurabilitySplitMix64(&rng);
+    if (draw % 1000 >= permille) {
+      continue;
+    }
+    // Every corrupted frame is detected (checksum / reference comparison) and
+    // repaired in place from its authoritative source — journal for dirty owners,
+    // global frame for clean owners and replicas, zeros for pending-zero replicas.
+    // No protocol state, logical content, or frame level changes.
+    counters_.checksum_failures++;
+    counters_.recovered_pages++;
+    ++detected;
+  }
+  return detected;
 }
 
 // --- observation ----------------------------------------------------------------------

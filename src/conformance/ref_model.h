@@ -47,6 +47,13 @@ class RefModel {
     std::uint32_t words_per_page = 64;
     PolicyKind policy = PolicyKind::kMoveLimit;
     int move_threshold = 4;
+    // Mirror the durability substrate (src/numa/replica_manager.h): dirty-page
+    // journal accounting on owned stores, and the KillNode/CorruptAndScrub
+    // transitions. The model assumes an *unbounded* journal — it tracks only the
+    // current logical content, never the stale global copy an unreplicated page
+    // would degrade to — so the differ must attach the real ReplicaManager with an
+    // effectively unlimited journal_page_cap.
+    bool durability = false;
   };
 
   // What one resolved request looks like from outside: which memory the mapping
@@ -69,6 +76,16 @@ class RefModel {
     std::uint64_t ownership_moves = 0;
     std::uint64_t pages_pinned = 0;
     std::uint64_t local_alloc_failures = 0;
+    // Durability and recovery (all zero unless Config::durability). With the
+    // unbounded-journal assumption every killed or corrupted page is recoverable,
+    // so lost_pages stays zero by construction — comparing it against the real side
+    // asserts full recoverability, not just agreement.
+    std::uint64_t evacuated_pages = 0;
+    std::uint64_t replicated_pages = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t recovered_pages = 0;
+    std::uint64_t lost_pages = 0;
+    std::uint64_t checksum_failures = 0;
   };
 
   // Observable per-page state.
@@ -107,6 +124,28 @@ class RefModel {
   // keeps its content but loses all placement state (and its policy move count).
   void PageRoundTrip(LogicalPage lp);
 
+  // --- durability mirror (Config::durability; DESIGN.md section 14) -------------------
+
+  // A user store landed in `lp`'s owner frame (call after WriteWord when the access
+  // resolved to a local frame). Mirrors NumaManager::NoteStore's journal accounting:
+  // the first store since ownership mirrors the whole page, later ones write through
+  // one word. The journal retires whenever the owner syncs back.
+  void NoteStore(LogicalPage lp);
+
+  // NumaManager::KillNode on a node whose allocation limit was zeroed: every resident
+  // copy at `node` dies. Owned pages recover from the journal (dirty) or the current
+  // global frame (clean) — unbounded journal, so never lost — and degrade to
+  // Read-Only with no copies; Read-Only replicas die like an evacuation without the
+  // sync. Afterwards the node's free-frame level reads zero (SetLocalLimit(node, 0)).
+  // Returns the number of released pages.
+  std::uint32_t KillNode(ProcId node);
+
+  // NumaManager::CorruptAndScrubNode: one DurabilitySplitMix64 draw per page resident
+  // at `node` in ascending order decides corruption (draw % 1000 < permille). Every
+  // corrupted frame is detected and repaired in place — checksum_failures and
+  // recovered_pages each advance by one; no state, content, or frame level changes.
+  std::uint32_t CorruptAndScrub(ProcId node, std::uint64_t seed, std::uint32_t permille);
+
   PageView View(LogicalPage lp) const;
   std::uint32_t FreeLocalFrames(ProcId proc) const;
   const Counters& counters() const { return counters_; }
@@ -123,6 +162,10 @@ class RefModel {
     // Policy-side per-page state (move count and the sticky pin/home decision).
     int moves = 0;
     bool placed = false;
+    // Durability mirror: a dirty-page journal is open for this page (stored-to since
+    // ownership and not yet synced back). Journal *content* is not tracked — every
+    // store writes through, so it always equals the current logical content.
+    bool journal_open = false;
     // Current logical content, one entry per word. While zero_pending is set the
     // logical content is zero regardless of this array (ReadWord handles it).
     std::vector<std::uint32_t> content;

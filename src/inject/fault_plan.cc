@@ -44,7 +44,26 @@ constexpr ChaosName kChaosNames[kNumChaosKinds] = {
     {ChaosKind::kDrainMem, "drain-mem"},
     {ChaosKind::kStallProc, "stall-proc"},
     {ChaosKind::kSlowLink, "slow-link"},
+    {ChaosKind::kKillNode, "kill-node"},
+    {ChaosKind::kCorruptPage, "corrupt-page"},
 };
+
+// How many ':'-separated trigger fields each chaos kind accepts: a trailing field
+// the kind does not define is a parse error, not silently ignored junk.
+int MaxChaosFields(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kDrainMem:
+    case ChaosKind::kCorruptPage:
+      return 4;  // NODE:T0:T1[:PERMILLE]
+    case ChaosKind::kStallProc:
+      return 3;  // NODE:T0:T1
+    case ChaosKind::kSlowLink:
+      return 4;  // NODE:T0:T1:MULT (required)
+    case ChaosKind::kKillNode:
+      return 2;  // NODE:T0
+  }
+  return 0;
+}
 
 // Plan names canonically use dashes; accept underscores as aliases so plans pasted
 // from prose ("drain_mem") parse without a round of trial and error.
@@ -148,7 +167,11 @@ std::string ValidPlanNames() {
 
 std::string ChaosEvent::Format() const {
   std::ostringstream out;
-  out << ChaosKindName(kind) << '@' << node << ':' << t_begin << ':' << t_end;
+  out << ChaosKindName(kind) << '@' << node << ':' << t_begin;
+  if (kind == ChaosKind::kKillNode) {
+    return out.str();  // permanent: one timestamp, no window end
+  }
+  out << ':' << t_end;
   if (kind != ChaosKind::kStallProc) {
     out << ':' << permille;
   }
@@ -244,14 +267,31 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
 
     ChaosKind chaos_kind;
     if (ParseChaosKind(item.substr(0, at), &chaos_kind)) {
-      // Chaos events: NODE:T0:T1[:PERMILLE].
+      // Chaos events: NODE:T0:T1[:PERMILLE] (kill-node: NODE:T0 only). Every
+      // argument is validated here — window ordering, permille ranges, field
+      // counts — so a malformed plan is rejected with a named error instead of
+      // being silently clamped at run time.
       ChaosEvent event;
       event.kind = chaos_kind;
+      int num_fields = trigger.empty()
+                           ? 0
+                           : 1 + static_cast<int>(
+                                     std::count(trigger.begin(), trigger.end(), ':'));
+      if (num_fields > MaxChaosFields(chaos_kind)) {
+        return fail(std::string(ChaosKindName(chaos_kind)) + " takes at most " +
+                    std::to_string(MaxChaosFields(chaos_kind)) + " arguments");
+      }
       std::uint64_t node = 0, t0 = 0, t1 = 0;
       if (!ParseU64(field(0), &node) || node >= static_cast<std::uint64_t>(kMaxProcessors)) {
         return fail("chaos event needs a node index below " + std::to_string(kMaxProcessors));
       }
-      if (!ParseU64(field(1), &t0) || !ParseU64(field(2), &t1) || t1 <= t0) {
+      if (chaos_kind == ChaosKind::kKillNode) {
+        // Permanent event: one timestamp, no recovery window.
+        if (!ParseU64(field(1), &t0)) {
+          return fail("kill-node needs NODE:T0 (the virtual ns the node dies)");
+        }
+        t1 = t0;
+      } else if (!ParseU64(field(1), &t0) || !ParseU64(field(2), &t1) || t1 <= t0) {
         return fail("chaos event needs a window NODE:T0:T1 with T1 > T0");
       }
       event.node = static_cast<std::uint32_t>(node);
@@ -266,10 +306,19 @@ bool FaultPlan::Parse(std::string_view text, FaultPlan* out, std::string* error)
           }
           break;
         case ChaosKind::kStallProc:
+        case ChaosKind::kKillNode:
           break;
         case ChaosKind::kSlowLink:
           if (!ParseU64(field(3), &permille) || permille < 1000) {
             return fail("slow-link needs a cost multiplier permille >= 1000");
+          }
+          break;
+        case ChaosKind::kCorruptPage:
+          // Optional corruption density; default 100 = 10% of resident frames.
+          permille = 100;
+          if (!field(3).empty() && (!ParseU64(field(3), &permille) || permille == 0 ||
+                                    permille > 1000)) {
+            return fail("corrupt-page permille must be in [1,1000]");
           }
           break;
       }

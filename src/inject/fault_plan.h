@@ -23,6 +23,8 @@
 //     chaos     := 'drain-mem' '@' NODE ':' T0 ':' T1 [':' PERMILLE]
 //                | 'stall-proc' '@' NODE ':' T0 ':' T1
 //                | 'slow-link' '@' NODE ':' T0 ':' T1 ':' MULT_PERMILLE
+//                | 'kill-node' '@' NODE ':' T0
+//                | 'corrupt-page' '@' NODE ':' T0 ':' T1 [':' PERMILLE]
 // Occurrence counts are per site (1-based); P is a probability in [0,1]; T0/T1 are
 // virtual nanoseconds (the acting processor's clock, end-exclusive).
 //
@@ -32,6 +34,15 @@
 // processor stops dispatching, or a node's global/remote references get their cost
 // multiplied by MULT_PERMILLE/1000 (>= 1000). Underscores in names are accepted as
 // aliases for dashes ('drain_mem' == 'drain-mem'). See DESIGN.md section 13.
+//
+// Two chaos kinds are *permanent* (DESIGN.md section 14): kill-node takes one
+// timestamp — at T0 the node and every frame resident in its local memory are gone
+// for the rest of the run (the recovery subsystem reconstructs what it can from
+// mirrors and journals) — and corrupt-page flips bits in a deterministic
+// PERMILLE/1000 subset of the node's resident frames at T0 (default 100), with the
+// checksum scrub detecting and repairing each corruption. Event arguments are
+// validated at parse time (window ordering, permille ranges, field counts) so a
+// malformed plan fails with a named error instead of being silently clamped.
 
 #ifndef SRC_INJECT_FAULT_PLAN_H_
 #define SRC_INJECT_FAULT_PLAN_H_
@@ -70,12 +81,21 @@ bool ParseFaultSite(std::string_view name, FaultSite* out);
 // Unlike fault sites these are not tied to a code location: the ChaosController
 // (src/machine/chaos.h) applies each event when virtual time crosses its window.
 enum class ChaosKind : std::uint8_t {
-  kDrainMem = 0,   // node's local frame pool shrinks to permille/1000 of capacity
-  kStallProc = 1,  // processor stops dispatching for the window
-  kSlowLink = 2,   // node's global/remote reference costs multiplied by permille/1000
+  kDrainMem = 0,     // node's local frame pool shrinks to permille/1000 of capacity
+  kStallProc = 1,    // processor stops dispatching for the window
+  kSlowLink = 2,     // node's global/remote reference costs multiplied by permille/1000
+  kKillNode = 3,     // permanent: node + resident frames gone at T0 (no recovery window)
+  kCorruptPage = 4,  // silent bit-rot in permille/1000 of the node's resident frames
 };
 
-inline constexpr int kNumChaosKinds = 3;
+inline constexpr int kNumChaosKinds = 5;
+
+// Whether `kind` is one of the permanent-failure kinds that arm the durability
+// subsystem (ReplicaManager / RecoveryManager); transient kinds never do, so every
+// pre-existing chaos plan keeps its exact disarmed behaviour.
+inline bool IsDurableChaosKind(ChaosKind kind) {
+  return kind == ChaosKind::kKillNode || kind == ChaosKind::kCorruptPage;
+}
 
 const char* ChaosKindName(ChaosKind kind);
 bool ParseChaosKind(std::string_view name, ChaosKind* out);
@@ -115,6 +135,17 @@ struct FaultPlan {
   std::vector<ChaosEvent> chaos;
 
   bool empty() const { return schedules.empty() && chaos.empty(); }
+
+  // True when any chaos event is a permanent failure (kill-node / corrupt-page);
+  // the machine then arms the replica and recovery managers.
+  bool has_durable_chaos() const {
+    for (const ChaosEvent& e : chaos) {
+      if (IsDurableChaosKind(e.kind)) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   // Round-trippable string form ('' for the empty plan).
   std::string Format() const;

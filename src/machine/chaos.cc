@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/machine/machine.h"
+#include "src/machine/recovery.h"
 
 namespace ace {
 
@@ -39,7 +40,13 @@ bool ChaosController::Advance(TimeNs now, ProcId proc) {
       // Env::MigrateTo's idle padding).
       machine_->FlushPendingRefs();
       Activate(e, proc);
-      es.phase = e.kind == ChaosKind::kStallProc ? Phase::kDone : Phase::kActive;
+      // One-shot kinds have no recovery transition: a stall pads the whole window at
+      // activation; the permanent kinds (kill-node, corrupt-page) have nothing to
+      // undo — recovery already happened inside Activate.
+      es.phase = (e.kind == ChaosKind::kStallProc || e.kind == ChaosKind::kKillNode ||
+                  e.kind == ChaosKind::kCorruptPage)
+                     ? Phase::kDone
+                     : Phase::kActive;
       if (es.phase == Phase::kDone) {
         ++done_;
       }
@@ -83,6 +90,17 @@ void ChaosController::Activate(const ChaosEvent& event, ProcId proc) {
     case ChaosKind::kSlowLink:
       slow_mult_[event.node] = event.permille;
       break;
+    case ChaosKind::kKillNode:
+      // Permanent: the recovery manager (armed whenever the plan carries a durable
+      // event, so non-null here) reconstructs what the mirrors and journals cover
+      // and the dispatch loop re-homes the node's fibers off the dead bitmask.
+      ACE_CHECK(machine_->recovery() != nullptr);
+      machine_->recovery()->OnKillNode(static_cast<ProcId>(event.node), proc);
+      break;
+    case ChaosKind::kCorruptPage:
+      ACE_CHECK(machine_->recovery() != nullptr);
+      machine_->recovery()->OnCorruptPage(event, proc);
+      break;
   }
 }
 
@@ -97,6 +115,9 @@ void ChaosController::Recover(const ChaosEvent& event) {
     case ChaosKind::kSlowLink:
       slow_mult_[event.node] = 1000;
       break;
+    case ChaosKind::kKillNode:
+    case ChaosKind::kCorruptPage:
+      break;  // one-shot: never reach Phase::kActive
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "src/machine/chaos.h"
+#include "src/machine/recovery.h"
+#include "src/numa/replica_manager.h"
 #include "src/obs/sampler.h"
 
 namespace ace {
@@ -104,6 +106,21 @@ Machine::Machine(Options options)
       pager_->set_fault_injector(injector_.get());
     }
   }
+  // Permanent chaos (kill-node / corrupt-page) arms the durability pair: mirrors,
+  // journals and checksums in the ReplicaManager, event application in the
+  // RecoveryManager. Plans without a durable event never build either, so every
+  // pre-existing run keeps its exact code paths, costs and counters.
+  if (options_.fault_plan.has_durable_chaos()) {
+    ReplicaManager::Options ropt;
+    ropt.journal_page_cap = options_.journal_page_cap;
+    replica_ = std::make_unique<ReplicaManager>(options_.config, &phys_, &clocks_,
+                                                &stats_, &bus_, ropt);
+    pmap_->manager().set_replica_manager(replica_.get());
+    recovery_ = std::make_unique<RecoveryManager>(this);
+    // Batched TLB accounting would complete owned stores without the journal
+    // write-through hook; every armed store must take the immediate path.
+    RecomputeFastPathMode();
+  }
   if (!options_.fault_plan.chaos.empty()) {
     chaos_ = std::make_unique<ChaosController>(options_.fault_plan.chaos, this);
     // A slow-link window changes reference costs mid-run; cached TLB entry costs
@@ -169,7 +186,9 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
       clocks_.ChargeUser(proc, cost);
       stats_.RecordRef(proc, cls, kind);
       LogicalPage lp = kNoLogicalPage;
-      if (tlb_on_ || (obs_ != nullptr && obs_->heat_on())) {
+      if (tlb_on_ || (obs_ != nullptr && obs_->heat_on()) || replica_ != nullptr) {
+        // The durability subsystem needs the logical page for its store hook even
+        // when both the TLB and heat profiling are off (ACE_TLB=0 equivalence).
         lp = pmap_->LookupLogicalPage(proc, vpage);
       }
       if (obs_ != nullptr && obs_->heat_on() && lp != kNoLogicalPage) {
@@ -185,6 +204,11 @@ AccessStatus Machine::Access(Task& task, ProcId proc, VirtAddr va, AccessKind ki
         *value = phys_.ReadWord(t.frame, offset);
       } else {
         phys_.WriteWord(t.frame, offset, *value);
+        if (replica_ != nullptr && lp != kNoLogicalPage) {
+          // Journal write-through for owned pages (no-op for global-writable ones;
+          // their checksum was invalidated when they entered that state).
+          pmap_->manager().NoteStore(lp, offset, *value, proc, /*charge=*/true);
+        }
       }
       if (ref_observer_ != nullptr) {
         ref_observer_(ref_observer_ctx_, proc, va, kind, cls);
@@ -251,6 +275,9 @@ bool Machine::FastAccessImmediate(ProcId proc, const Tlb::Entry& entry, VirtAddr
     *value = phys_.ReadWord(entry.frame, offset);
   } else {
     phys_.WriteWord(entry.frame, offset, *value);
+    if (replica_ != nullptr && entry.lp != kNoLogicalPage) {
+      pmap_->manager().NoteStore(entry.lp, offset, *value, proc, /*charge=*/true);
+    }
   }
   if (ref_observer_ != nullptr) {
     ref_observer_(ref_observer_ctx_, proc, va, kind, entry.cls);
@@ -301,8 +328,10 @@ void Machine::RecomputeFastPathMode() {
   // A slow-link chaos plan also rules out batching: batched hits charge costs cached
   // in the TLB entry at fill time, which would carry a pre-window cost across the
   // window boundary (or vice versa). Immediate mode recomputes per reference.
+  // An armed durability subsystem rules it out too: batched hits complete stores
+  // without the journal write-through hook, so every store must go immediate.
   batchable_ = !bus_.options().model_contention && ref_observer_ == nullptr &&
-               (chaos_ == nullptr || !chaos_->has_slow_link());
+               (chaos_ == nullptr || !chaos_->has_slow_link()) && replica_ == nullptr;
   fast_immediate_ = !batchable_ || (obs_ != nullptr && obs_->heat_on());
 }
 
@@ -493,6 +522,7 @@ void Machine::CaptureLiveSample(LiveSample* out) {
   out->app_timeouts = app_timeouts_;
   out->app_retries = app_retries_;
   out->app_shed = app_shed_;
+  out->dead_nodes = recovery_ != nullptr ? recovery_->dead_nodes() : 0;
 }
 
 }  // namespace ace

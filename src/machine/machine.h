@@ -46,6 +46,7 @@
 namespace ace {
 
 class ChaosController;
+class RecoveryManager;
 struct LiveSample;
 
 // Which NUMA policy the machine boots with.
@@ -118,6 +119,11 @@ class Machine {
     // schedules' random streams.
     FaultPlan fault_plan;
     std::uint64_t fault_seed = 0;
+    // Open dirty-page journals allowed at once when the plan carries a permanent
+    // chaos event (kill-node / corrupt-page) and the durability subsystem is armed.
+    // Owned pages beyond the cap run unreplicated and are lost if their node dies.
+    // Ignored on plans without durable chaos — the ReplicaManager is never built.
+    std::uint32_t journal_page_cap = 4096;
     // The software-TLB fast path (src/machine/tlb.h). On by default; results are
     // byte-identical either way (the differential equivalence suite enforces it), so
     // turning it off is only useful for that very comparison. The environment
@@ -235,6 +241,14 @@ class Machine {
   // chaos events. The runtime's dispatch loop advances it; the serving app consults
   // it to arm its SLO machinery (deadlines/retry/shed stay off on chaos-free runs).
   ChaosController* chaos() { return chaos_.get(); }
+  // The durability pair (DESIGN.md section 14), or nullptr unless the plan carries a
+  // permanent chaos event (kill-node / corrupt-page). The replica manager keeps
+  // off-node mirrors, journals and checksums; the recovery manager applies permanent
+  // events and tracks dead nodes (the dispatch loop re-homes orphaned fibers off its
+  // bitmask).
+  ReplicaManager* replica_manager() { return replica_.get(); }
+  RecoveryManager* recovery() { return recovery_.get(); }
+  std::uint64_t fault_seed() const { return options_.fault_seed; }
   const PolicySpec& policy_spec() const { return options_.policy; }
 
   // Typed policy accessors (nullptr if the machine runs a different policy).
@@ -410,6 +424,9 @@ class Machine {
   NumaPolicy* active_policy_ = nullptr;      // the policy actually in use
   // Declared before pmap_ so the hooks stay valid while the pmap layer tears down.
   std::unique_ptr<Observability> obs_;
+  // Declared before pmap_ (like obs_) so the NUMA manager's store/sync hooks stay
+  // valid while the pmap layer tears down (~Machine drains the pool -> ResetPage).
+  std::unique_ptr<ReplicaManager> replica_;
   std::unique_ptr<PmapAce> pmap_;
   std::unique_ptr<PagePool> pool_;
   std::unique_ptr<AcePager> pager_;
@@ -418,6 +435,9 @@ class Machine {
   // plan carries chaos events, null otherwise (the dispatch hook and the per-access
   // cost hook then cost one never-taken branch each).
   std::unique_ptr<ChaosController> chaos_;
+  // Applies permanent chaos (kill-node / corrupt-page); non-null exactly when
+  // replica_ is. Holds only a back-pointer into this machine.
+  std::unique_ptr<RecoveryManager> recovery_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::uint64_t task_counter_ = 0;
 

@@ -100,7 +100,7 @@ const std::vector<std::string>& SuiteNames() {
   static const std::vector<std::string> kNames = {"smoke",     "full", "table3",
                                                   "table4",    "threshold", "gl",
                                                   "refs",      "serving", "serving-full",
-                                                  "serving-chaos"};
+                                                  "serving-chaos", "serving-killnode"};
   return kNames;
 }
 
@@ -222,6 +222,29 @@ Suite MakeSuite(const std::string& name, int threads_override, double scale_over
       SweepCell slow = ServingCell(4, 0.25, 1, 4, 0.9, 3);
       slow.fault_plan = "slow-link@1:20000000:80000000:3000";
       suite.cells.push_back(slow);
+    }
+  } else if (name == "serving-killnode") {
+    suite.description =
+        "Permanent failure: serving survives a node kill and a silent-corruption scrub";
+    // The canonical permanent-failure plan (DESIGN.md section 14): a corruption
+    // burst flips bits in every resident frame of node 1 at 2 ms — the checksum
+    // scrub must detect and repair each one — then node 2 dies for good at 5 ms,
+    // while pages are still locally owned, and everything it held must be
+    // reconstructed from its off-node mirror or dirty-page journal. (The move-limit
+    // policy pins the hot set global within ~20 ms at this scale, so permanent
+    // events land early, where there is actually resident state to lose.) The gate
+    // is exact on the recovery counters (lost_pages at 0 is the no-undetected-loss
+    // guarantee) and 2% on the virtual-time latency percentiles. The second cell
+    // scrubs two surviving nodes back-to-back with no kill, pinning detection and
+    // repair accounting independently of the evacuation path.
+    {
+      SweepCell kill = ServingCell(4, 0.25, 1, 4, 0.9, 3);
+      kill.fault_plan = "corrupt-page@1:2000000:4000000:1000;kill-node@2:5000000";
+      suite.cells.push_back(kill);
+      SweepCell scrub = ServingCell(4, 0.25, 1, 4, 0.9, 3);
+      scrub.fault_plan =
+          "corrupt-page@0:2000000:4000000:1000;corrupt-page@3:5000000:7000000:1000";
+      suite.cells.push_back(scrub);
     }
   } else if (name == "serving-full") {
     suite.description =

@@ -62,6 +62,12 @@ bool RunsIdentical(const PlacementRun& a, const PlacementRun& b) {
       x.degraded_oom_faults != y.degraded_oom_faults) {
     return false;
   }
+  if (x.chaos_events != y.chaos_events || x.evacuated_pages != y.evacuated_pages ||
+      x.replicated_pages != y.replicated_pages || x.journal_bytes != y.journal_bytes ||
+      x.recovered_pages != y.recovered_pages || x.lost_pages != y.lost_pages ||
+      x.checksum_failures != y.checksum_failures) {
+    return false;
+  }
   for (std::size_t p = 0; p < x.refs.size(); ++p) {
     const ProcRefCounts& u = x.refs[p];
     const ProcRefCounts& v = y.refs[p];
@@ -215,6 +221,27 @@ CellResult RunCellUnguarded(const SweepCell& cell, const MachineConfig& base_con
                                   static_cast<double>(global.stats.chaos_events));
       result.metrics.emplace_back("g_evacuated_pages",
                                   static_cast<double>(global.stats.evacuated_pages));
+    }
+    // Recovery accounting, emitted only when the plan carries a *permanent* failure
+    // (kill-node / corrupt-page) — only then is the replica manager armed — so
+    // transient-chaos baselines (serving-chaos) stay byte-identical too. lost_pages
+    // in a committed baseline is the no-undetected-loss contract: a nonzero drift
+    // means an owned page died without a mirror or journal to restore it from.
+    if (options.fault_plan.has_durable_chaos()) {
+      auto durability = [&result](const char* prefix, const MachineStats& s) {
+        std::string p = prefix;
+        result.metrics.emplace_back(p + "replicated_pages",
+                                    static_cast<double>(s.replicated_pages));
+        result.metrics.emplace_back(p + "journal_bytes",
+                                    static_cast<double>(s.journal_bytes));
+        result.metrics.emplace_back(p + "recovered_pages",
+                                    static_cast<double>(s.recovered_pages));
+        result.metrics.emplace_back(p + "lost_pages", static_cast<double>(s.lost_pages));
+        result.metrics.emplace_back(p + "checksum_failures",
+                                    static_cast<double>(s.checksum_failures));
+      };
+      durability("", numa.stats);
+      durability("g_", global.stats);
     }
     return result;
   }

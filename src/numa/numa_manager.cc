@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/inject/fault_plan.h"
+#include "src/numa/replica_manager.h"
 #include "src/obs/observability.h"
 
 namespace ace {
@@ -175,6 +176,12 @@ void NumaManager::SyncOwner(LogicalPage lp, ProcId proc) {
   bus_->RecordTransfer(page_size_, clocks_->now(proc));
   stats_->page_syncs++;
   ObsEvent(TraceEventType::kSync, lp, proc, static_cast<std::uint32_t>(info.owner));
+  if (replica_ != nullptr) {
+    // The global frame is current again and *is* the off-node mirror now; the
+    // dirty-page journal retires and the integrity checksum is re-blessed.
+    replica_->CloseJournal(lp);
+    replica_->BlessGlobal(lp);
+  }
 }
 
 void NumaManager::FlushCopy(LogicalPage lp, ProcId holder, ProcId proc) {
@@ -241,6 +248,11 @@ bool NumaManager::EnsureLocalCopy(LogicalPage lp, ProcId proc) {
     stats_->zero_fills++;
     ObsEvent(TraceEventType::kZeroFill, lp, proc);
   } else {
+    if (replica_ != nullptr && !replica_->VerifyGlobal(lp)) {
+      // Integrity checksum failed on the remote fetch: the global frame was silently
+      // corrupted. Repair it before the copy so the corruption never replicates.
+      RepairGlobal(lp, proc);
+    }
     cost = phys_->CopyPage(FrameRef::Global(lp), frame, proc);
     bus_->RecordTransfer(page_size_, clocks_->now(proc));
     stats_->page_copies++;
@@ -475,6 +487,11 @@ Resolution NumaManager::ResolveRead(LogicalPage lp, ProcId proc, Protection max_
   }
   info.state = PageState::kGlobalWritable;
   info.owner = kNoProc;
+  if (replica_ != nullptr) {
+    // User stores will hit the global frame directly from here on; the checksum can
+    // no longer vouch for its content.
+    replica_->InvalidateChecksum(lp);
+  }
   MaterializeGlobalZero(lp, proc);
   // Global pages are mapped with maximum permissions: there is no consistency state to
   // protect, and mapping loose avoids future faults.
@@ -576,6 +593,9 @@ Resolution NumaManager::ResolveWrite(LogicalPage lp, ProcId proc, Protection max
   }
   info.state = PageState::kGlobalWritable;
   info.owner = kNoProc;
+  if (replica_ != nullptr) {
+    replica_->InvalidateChecksum(lp);  // direct user stores follow; see ResolveRead
+  }
   MaterializeGlobalZero(lp, proc);
   return Resolution{FrameRef::Global(lp), max_prot};
 }
@@ -659,6 +679,10 @@ void NumaManager::ResetPage(LogicalPage lp, ProcId proc) {
     phys_->FreeLocal(FrameRef::Local(holder, frame_idx));
   });
   ChargeSystem(proc, kernel_.consistency_op_ns);
+  if (replica_ != nullptr) {
+    replica_->CloseJournal(lp);
+    replica_->InvalidateChecksum(lp);
+  }
   info.Reset();
   policy_->NotePageFreed(lp);
   ObsEvent(TraceEventType::kFree, lp, proc);
@@ -686,6 +710,9 @@ void NumaManager::CopyLogicalPage(LogicalPage src, LogicalPage dst, ProcId proc)
   stats_->page_copies++;
   ObsEvent(TraceEventType::kReplicate, dst, proc, src);
   dst_info.zero_pending = false;
+  if (replica_ != nullptr) {
+    replica_->BlessGlobal(dst);  // the copy made dst's global content authoritative
+  }
   ACE_VERIFY_PAGE(src);
   ACE_VERIFY_PAGE(dst);
 }
@@ -753,6 +780,231 @@ std::uint32_t NumaManager::EvacuateNode(ProcId node, std::uint32_t target_frames
   return evacuated;
 }
 
+// --- durability and recovery (DESIGN.md section 14) --------------------------------------
+
+void NumaManager::NoteStore(LogicalPage lp, std::uint32_t offset, std::uint32_t value,
+                            ProcId proc, bool charge) {
+  if (replica_ == nullptr) {
+    return;
+  }
+  NumaPageInfo& info = Info(lp);
+  if ((info.state != PageState::kLocalWritable && info.state != PageState::kRemoteHomed) ||
+      info.owner == kNoProc) {
+    return;  // only owned frames need the dirty-page journal; global stores are covered
+             // by the checksum-invalidate at the Global-Writable transition
+  }
+  std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
+  replica_->NoteOwnedStore(lp,
+                           phys_->FrameData(FrameRef::Local(info.owner, frame_idx)),
+                           offset, value, proc, charge);
+}
+
+void NumaManager::RepairGlobal(LogicalPage lp, ProcId proc) {
+  NumaPageInfo& info = Info(lp);
+  stats_->checksum_failures++;
+  if (!info.copies.Empty()) {
+    // Read-Only replicas are byte-identical to the pre-corruption global content
+    // (cache invariant), so any surviving holder can donate it back.
+    ProcId donor = info.copies.First();
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(donor)];
+    TimeNs cost = phys_->CopyPage(FrameRef::Local(donor, frame_idx), FrameRef::Global(lp), proc);
+    ChargeSystem(proc, cost + kernel_.consistency_op_ns);
+    bus_->RecordTransfer(page_size_, clocks_->now(proc));
+    stats_->recovered_pages++;
+    ObsEvent(TraceEventType::kRecover, lp, proc,
+             static_cast<std::uint32_t>(RecoverySource::kReplica));
+  } else {
+    // No replica survives; the corrupted bytes are the page's content now.
+    stats_->lost_pages++;
+    ObsEvent(TraceEventType::kRecover, lp, proc,
+             static_cast<std::uint32_t>(RecoverySource::kNone));
+  }
+  replica_->BlessGlobal(lp);
+}
+
+std::uint32_t NumaManager::KillNode(ProcId node, ProcId proc) {
+  ACE_CHECK(node >= 0 && node < num_processors_);
+  ACE_CHECK_MSG(proc != node, "KillNode must act from a surviving processor");
+  std::uint32_t released = 0;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    NumaPageInfo& info = pages_[lp];
+    if (!info.copies.Contains(node)) {
+      continue;
+    }
+    ++released;
+    if ((info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) &&
+        info.owner == node) {
+      // The dead frame held the page's only current content. Drop every mapping
+      // (remote-homed pages are mapped from arbitrary processors), reconstruct what
+      // the mirror allows, and release the frame without ever reading it — the node
+      // is gone and its bytes are unreachable.
+      UnmapAll(lp, proc);
+      bool restored;
+      if (replica_ != nullptr && replica_->journal_open(lp)) {
+        // The journal mirrors every store since ownership; replay it into the
+        // global frame (charged at the mirror's per-word off-node rate).
+        std::memcpy(phys_->FrameData(FrameRef::Global(lp)), replica_->journal_data(lp),
+                    page_size_);
+        replica_->ChargeMirror(proc, page_size_ / kWordBytes);
+        bus_->RecordTransfer(page_size_, clocks_->now(proc));
+        stats_->recovered_pages++;
+        ObsEvent(TraceEventType::kRecover, lp, proc,
+                 static_cast<std::uint32_t>(RecoverySource::kJournal));
+        restored = true;
+      } else if (replica_ != nullptr && !replica_->unreplicated(lp)) {
+        // Owned but never dirtied since the last sync: the global frame is current
+        // and already is the mirror. Nothing to copy.
+        stats_->recovered_pages++;
+        ObsEvent(TraceEventType::kRecover, lp, proc,
+                 static_cast<std::uint32_t>(RecoverySource::kGlobalMirror));
+        restored = true;
+      } else {
+        // No mirror (journal cap overflow, or no replica manager at all): the
+        // content dies with the node; the stale global copy is all that remains.
+        stats_->lost_pages++;
+        ObsEvent(TraceEventType::kRecover, lp, proc,
+                 static_cast<std::uint32_t>(RecoverySource::kNone));
+        restored = false;
+      }
+      // Release the dead frame so machine-wide frame accounting stays exact; the
+      // recovery manager zeroes the node's allocation limit so it is never reused.
+      std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(node)];
+      phys_->FreeLocal(FrameRef::Local(node, frame_idx));
+      info.local_frame[static_cast<std::size_t>(node)] = NumaPageInfo::kNoFrame;
+      info.copies.Remove(node);
+      info.owner = kNoProc;
+      info.state = restored ? PageState::kReadOnly : PageState::kGlobalWritable;
+      if (replica_ != nullptr) {
+        replica_->CloseJournal(lp);
+        if (restored) {
+          replica_->BlessGlobal(lp);
+        } else {
+          replica_->InvalidateChecksum(lp);  // stale content, direct stores follow
+        }
+      }
+      ChargeSystem(proc, kernel_.consistency_op_ns);
+      stats_->page_flushes++;
+      ObsNoteState(lp, proc);
+    } else {
+      // Read-Only replica: the global frame already has the content; the replica
+      // simply dies with its node, like an evacuation without the sync.
+      FlushCopy(lp, node, proc);
+      stats_->evacuated_pages++;
+    }
+    ACE_VERIFY_PAGE(lp);
+  }
+  return released;
+}
+
+std::uint32_t NumaManager::CorruptAndScrubNode(ProcId node, std::uint64_t seed,
+                                               std::uint32_t permille, ProcId proc) {
+  ACE_CHECK(node >= 0 && node < num_processors_);
+  ACE_CHECK_MSG(replica_ != nullptr, "corrupt-page requires the durability substrate");
+  std::uint64_t rng = seed;
+  std::uint32_t detected = 0;
+  const std::uint32_t words = page_size_ / kWordBytes;
+  for (LogicalPage lp = 0; lp < pages_.size(); ++lp) {
+    NumaPageInfo& info = pages_[lp];
+    if (!info.copies.Contains(node)) {
+      continue;
+    }
+    // One draw per resident frame keeps the walk deterministic and independent of
+    // which frames end up corrupted (replays are byte-identical by construction).
+    const std::uint64_t draw = DurabilitySplitMix64(&rng);
+    if (draw % 1000 >= permille) {
+      continue;
+    }
+    // Silent bit-rot: flip one deterministic word of the resident frame.
+    std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(node)];
+    FrameRef frame = FrameRef::Local(node, frame_idx);
+    std::uint8_t* data = phys_->FrameData(frame);
+    const std::uint32_t offset = static_cast<std::uint32_t>((draw >> 10) % words) * kWordBytes;
+    std::uint32_t word;
+    std::memcpy(&word, data + offset, kWordBytes);
+    word ^= 0xDEADBEEFu;
+    std::memcpy(data + offset, &word, kWordBytes);
+
+    // Scrub (same atomic transition, so the cache invariants hold before and after):
+    // compare the frame against its authoritative reference and repair. Detection is
+    // a real comparison, not an assumption — a scrub that misses a corruption aborts.
+    const bool owned = (info.state == PageState::kLocalWritable ||
+                        info.state == PageState::kRemoteHomed) &&
+                       info.owner == node;
+    stats_->checksum_failures++;
+    ++detected;
+    if (owned && replica_->journal_open(lp)) {
+      ACE_CHECK_MSG(std::memcmp(data, replica_->journal_data(lp), page_size_) != 0,
+                    "scrub missed an injected corruption (journal)");
+      std::memcpy(data, replica_->journal_data(lp), page_size_);
+      replica_->ChargeMirror(proc, words);
+      bus_->RecordTransfer(page_size_, clocks_->now(proc));
+      ObsEvent(TraceEventType::kRecover, lp, proc,
+               static_cast<std::uint32_t>(RecoverySource::kJournal));
+      stats_->recovered_pages++;
+    } else if (owned && !replica_->unreplicated(lp)) {
+      // Owned but clean: the global frame is still current and repairs the owner copy.
+      ACE_CHECK_MSG(
+          std::memcmp(data, phys_->FrameData(FrameRef::Global(lp)), page_size_) != 0,
+          "scrub missed an injected corruption (clean owner)");
+      TimeNs cost = phys_->CopyPage(FrameRef::Global(lp), frame, proc);
+      ChargeSystem(proc, cost);
+      bus_->RecordTransfer(page_size_, clocks_->now(proc));
+      ObsEvent(TraceEventType::kRecover, lp, proc,
+               static_cast<std::uint32_t>(RecoverySource::kGlobalMirror));
+      stats_->recovered_pages++;
+    } else if (owned) {
+      // Unreplicated (journal cap overflow): the corruption is detected but there is
+      // nothing to repair from. The dirtied content is lost; the page degrades to
+      // Global-Writable over its stale global copy.
+      UnmapAll(lp, proc);
+      phys_->FreeLocal(frame);
+      info.local_frame[static_cast<std::size_t>(node)] = NumaPageInfo::kNoFrame;
+      info.copies.Remove(node);
+      info.owner = kNoProc;
+      info.state = PageState::kGlobalWritable;
+      replica_->CloseJournal(lp);
+      replica_->InvalidateChecksum(lp);
+      ChargeSystem(proc, kernel_.consistency_op_ns);
+      stats_->page_flushes++;
+      stats_->lost_pages++;
+      ObsEvent(TraceEventType::kRecover, lp, proc,
+               static_cast<std::uint32_t>(RecoverySource::kNone));
+      ObsNoteState(lp, proc);
+    } else if (info.zero_pending) {
+      // Pending-zero replica: the reference content is all-zero by invariant.
+      bool clean = true;
+      for (std::uint32_t i = 0; i < page_size_; ++i) {
+        if (data[i] != 0) {
+          clean = false;
+          break;
+        }
+      }
+      ACE_CHECK_MSG(!clean, "scrub missed an injected corruption (pending zero)");
+      TimeNs cost = phys_->ZeroPage(frame, proc);
+      ChargeSystem(proc, cost);
+      ObsEvent(TraceEventType::kRecover, lp, proc,
+               static_cast<std::uint32_t>(RecoverySource::kGlobalMirror));
+      stats_->recovered_pages++;
+    } else {
+      // Read-Only replica: repair from the checksummed global content.
+      ACE_CHECK_MSG(
+          std::memcmp(data, phys_->FrameData(FrameRef::Global(lp)), page_size_) != 0,
+          "scrub missed an injected corruption (replica)");
+      if (!replica_->VerifyGlobal(lp)) {
+        RepairGlobal(lp, proc);  // belt and braces: never repair from a bad source
+      }
+      TimeNs cost = phys_->CopyPage(FrameRef::Global(lp), frame, proc);
+      ChargeSystem(proc, cost);
+      bus_->RecordTransfer(page_size_, clocks_->now(proc));
+      ObsEvent(TraceEventType::kRecover, lp, proc,
+               static_cast<std::uint32_t>(RecoverySource::kGlobalMirror));
+      stats_->recovered_pages++;
+    }
+    ACE_VERIFY_PAGE(lp);
+  }
+  return detected;
+}
+
 const std::uint8_t* NumaManager::PrepareForPageout(LogicalPage lp, ProcId proc) {
   NumaPageInfo& info = Info(lp);
   mappings_->RemoveAllMappings(lp);
@@ -778,6 +1030,9 @@ void NumaManager::LoadPageContent(LogicalPage lp, const std::uint8_t* bytes, Pro
                 "LoadPageContent requires a fresh page");
   std::memcpy(phys_->FrameData(FrameRef::Global(lp)), bytes, phys_->page_size());
   ChargeSystem(proc, kernel_.consistency_op_ns);
+  if (replica_ != nullptr) {
+    replica_->BlessGlobal(lp);  // paged-in content is the authoritative global content
+  }
   ObsEvent(TraceEventType::kPagein, lp, proc);
   ACE_VERIFY_PAGE(lp);
 }
@@ -808,10 +1063,16 @@ void NumaManager::DebugWriteWord(LogicalPage lp, std::uint32_t offset, std::uint
   if (info.state == PageState::kLocalWritable || info.state == PageState::kRemoteHomed) {
     std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
     phys_->WriteWord(FrameRef::Local(info.owner, frame_idx), offset, value);
+    // Debug stores dirty the owner frame like any other store; the journal must see
+    // them (uncharged) or a later kill would reconstruct stale content.
+    NoteStore(lp, offset, value, info.owner, /*charge=*/false);
     return;
   }
   // Read-only replicas must stay identical; write the global copy and every replica.
   phys_->WriteWord(FrameRef::Global(lp), offset, value);
+  if (replica_ != nullptr) {
+    replica_->InvalidateChecksum(lp);  // re-blessed lazily on the next verify
+  }
   info.copies.ForEach([&](ProcId holder) {
     std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(holder)];
     phys_->WriteWord(FrameRef::Local(holder, frame_idx), offset, value);
@@ -830,6 +1091,11 @@ void NumaManager::SyncForInspection(LogicalPage lp, ProcId proc) {
     std::uint32_t frame_idx = info.local_frame[static_cast<std::size_t>(info.owner)];
     std::memcpy(phys_->FrameData(FrameRef::Global(lp)),
                 phys_->FrameData(FrameRef::Local(info.owner, frame_idx)), phys_->page_size());
+    if (replica_ != nullptr) {
+      // The inspection copy made the global frame current; keep the checksum in step
+      // (the journal stays open — the page is still owned and may be dirtied again).
+      replica_->BlessGlobal(lp);
+    }
   }
   (void)proc;
 }

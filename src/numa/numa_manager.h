@@ -30,6 +30,7 @@ namespace ace {
 
 class FaultInjector;
 class Observability;
+class ReplicaManager;
 
 // Dropping virtual mappings is the pmap manager's business (it owns the MMUs and the
 // mapping directory); the NUMA manager asks for it through this interface. This is the
@@ -111,6 +112,32 @@ class NumaManager {
   // chaos controller is acting on behalf of). Returns the number of pages evacuated.
   std::uint32_t EvacuateNode(ProcId node, std::uint32_t target_frames, ProcId proc);
 
+  // Permanent node failure (DESIGN.md section 14): `node` and every frame resident in
+  // its local memory are gone for the rest of the run. Owned pages are reconstructed
+  // into their global frame from the dirty-page journal when one is open, or declared
+  // already-mirrored when clean (the global frame is current); pages that overflowed
+  // the journal cap are genuinely lost and degrade to Global-Writable with whatever
+  // stale global content remains. Read-Only replicas on the node are simply dropped
+  // (the global frame has the content). Charges `proc` (a surviving processor acting
+  // for the kernel). Returns the number of resident copies released.
+  std::uint32_t KillNode(ProcId node, ProcId proc);
+
+  // Deterministic silent bit-rot (corrupt-page chaos event): flip one word in each
+  // frame resident on `node` selected by a SplitMix64 walk seeded with `seed`
+  // (permille/1000 of them in expectation), then run the checksum scrub, which detects
+  // every corrupted frame and repairs it — owned frames from the journal (or the
+  // global frame when clean), replicas from the checksummed global content. Corruption
+  // and scrub are one atomic transition so the protocol invariants (Read-Only replicas
+  // byte-identical to global) hold before and after. Returns corruptions detected.
+  std::uint32_t CorruptAndScrubNode(ProcId node, std::uint64_t seed, std::uint32_t permille,
+                                    ProcId proc);
+
+  // A store just landed in the owner frame of `lp` (local-writable or remote-homed);
+  // forward it to the replica manager's dirty-page journal. No-op unless a replica
+  // manager is attached and the page is owned. `charge` is false for debug stores.
+  void NoteStore(LogicalPage lp, std::uint32_t offset, std::uint32_t value, ProcId proc,
+                 bool charge);
+
   // Pageout support: collapse the page's cache state so its current content sits in
   // its global frame (drop mappings, sync a local-writable/remote-homed copy back,
   // flush replicas, materialize pending zeros), charging `proc` system time. Returns a
@@ -146,6 +173,12 @@ class NumaManager {
   // single never-taken branch per hook.
   void set_observability(Observability* obs) { obs_ = obs; }
   Observability* observability() const { return obs_; }
+
+  // Attach the durability substrate (src/numa/replica_manager.h). Armed only when the
+  // fault plan carries a permanent chaos event; null (the default) keeps every hook at
+  // a single never-taken branch so disarmed runs stay byte-identical.
+  void set_replica_manager(ReplicaManager* replica) { replica_ = replica; }
+  ReplicaManager* replica_manager() const { return replica_; }
 
   // Protocol invariant checks (conformance subsystem). With the ACE_CHECK_INVARIANTS
   // CMake option ON these are compiled in and run automatically after every
@@ -203,6 +236,10 @@ class NumaManager {
   // Re-resolves the request down the GLOBAL path — which never needs a local frame —
   // from whatever consistent state the page is in now, and counts the fallback.
   Resolution DegradeToGlobal(LogicalPage lp, AccessKind kind, ProcId proc, Protection max_prot);
+  // The global frame failed its integrity checksum on a remote fetch; restore it from
+  // a surviving Read-Only replica (byte-identical by invariant) when one exists,
+  // otherwise accept the corrupted content as lost.
+  void RepairGlobal(LogicalPage lp, ProcId proc);
 
   PhysicalMemory* phys_;
   ProcClocks* clocks_;
@@ -220,6 +257,7 @@ class NumaManager {
   ActionTrace last_trace_;
   FaultInjector* injector_ = nullptr;
   Observability* obs_ = nullptr;
+  ReplicaManager* replica_ = nullptr;
 };
 
 }  // namespace ace

@@ -129,8 +129,8 @@ void WriteJsonl(const ExportContext& ctx, std::ostream& os) {
           "\"store_global\":%llu,\"store_remote\":%llu,\"faults\":%u,\"zero_fills\":%u,"
           "\"replicates\":%u,\"migrates\":%u,\"syncs\":%u,\"flushes\":%u,\"unmaps\":%u,"
           "\"pins\":%u,\"pageouts\":%u,\"pageins\":%u,\"alloc_fails\":%u,\"frees\":%u,"
-          "\"bulk_migrates\":%u,\"degrades\":%u,\"t_ro_ns\":%lld,\"t_lw_ns\":%lld,"
-          "\"t_gw_ns\":%lld,\"t_rh_ns\":%lld,\"by_proc\":[%s]}\n",
+          "\"bulk_migrates\":%u,\"degrades\":%u,\"recovers\":%u,\"t_ro_ns\":%lld,"
+          "\"t_lw_ns\":%lld,\"t_gw_ns\":%lld,\"t_rh_ns\":%lld,\"by_proc\":[%s]}\n",
           lp, StateTag(h.state), (unsigned long long)h.fetch_local,
           (unsigned long long)h.fetch_global, (unsigned long long)h.fetch_remote,
           (unsigned long long)h.store_local, (unsigned long long)h.store_global,
@@ -141,9 +141,10 @@ void WriteJsonl(const ExportContext& ctx, std::ostream& os) {
           h.Count(TraceEventType::kPin), h.Count(TraceEventType::kPageout),
           h.Count(TraceEventType::kPagein), h.Count(TraceEventType::kLocalAllocFail),
           h.Count(TraceEventType::kFree), h.Count(TraceEventType::kBulkMigrate),
-          h.Count(TraceEventType::kDegrade), (long long)h.time_in_state[0],
-          (long long)h.time_in_state[1], (long long)h.time_in_state[2],
-          (long long)h.time_in_state[3], by_proc.str().c_str());
+          h.Count(TraceEventType::kDegrade), h.Count(TraceEventType::kRecover),
+          (long long)h.time_in_state[0], (long long)h.time_in_state[1],
+          (long long)h.time_in_state[2], (long long)h.time_in_state[3],
+          by_proc.str().c_str());
     }
   }
 }
@@ -151,7 +152,8 @@ void WriteJsonl(const ExportContext& ctx, std::ostream& os) {
 void WriteHeatCsv(const HeatProfile& heat, std::ostream& os) {
   os << "lp,state,total,local,global,remote,local_frac,faults,zero_fills,replicates,"
         "migrates,syncs,flushes,unmaps,pins,pageouts,pageins,alloc_fails,frees,"
-        "bulk_migrates,degrades,t_ro_ns,t_lw_ns,t_gw_ns,t_rh_ns,procs_touching\n";
+        "bulk_migrates,degrades,recovers,t_ro_ns,t_lw_ns,t_gw_ns,t_rh_ns,"
+        "procs_touching\n";
   for (LogicalPage lp = 0; lp < heat.num_pages(); ++lp) {
     const PageHeat& h = heat.page(lp);
     if (h.Total() == 0) {
@@ -162,7 +164,7 @@ void WriteHeatCsv(const HeatProfile& heat, std::ostream& os) {
       procs_touching += h.refs_by_proc[static_cast<std::size_t>(p)] != 0 ? 1 : 0;
     }
     os << Sprintf(
-        "%u,%s,%llu,%llu,%llu,%llu,%.6f,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,"
+        "%u,%s,%llu,%llu,%llu,%llu,%.6f,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,"
         "%lld,%lld,%lld,%lld,%d\n",
         lp, StateTag(h.state), (unsigned long long)h.Total(),
         (unsigned long long)h.LocalTotal(), (unsigned long long)h.GlobalTotal(),
@@ -175,6 +177,7 @@ void WriteHeatCsv(const HeatProfile& heat, std::ostream& os) {
         h.Count(TraceEventType::kPageout), h.Count(TraceEventType::kPagein),
         h.Count(TraceEventType::kLocalAllocFail), h.Count(TraceEventType::kFree),
         h.Count(TraceEventType::kBulkMigrate), h.Count(TraceEventType::kDegrade),
+        h.Count(TraceEventType::kRecover),
         (long long)h.time_in_state[0], (long long)h.time_in_state[1],
         (long long)h.time_in_state[2], (long long)h.time_in_state[3], procs_touching);
   }

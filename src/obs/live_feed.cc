@@ -250,10 +250,13 @@ std::string RenderLiveFrame(const LiveFeedState& s, LiveView view, std::size_t t
         const std::uint64_t global = t[1] + t[4];
         const std::uint64_t remote = t[2] + t[5];
         const std::uint64_t int_p = l[0] + l[1] + l[2] + l[3] + l[4] + l[5];
-        Appendf(&out, "%5zu %12llu %12llu %12llu %9llu %8.1f%%\n", p,
+        // dead_nodes accumulates the kill-node bitmask (bits only ever set, so the
+        // per-interval deltas telescope to the current mask).
+        const bool down = p < 64 && ((s.totals[kLcDeadNodes] >> p) & 1u) != 0;
+        Appendf(&out, "%5zu %12llu %12llu %12llu %9llu %8.1f%%%s\n", p,
                 (unsigned long long)local, (unsigned long long)global,
                 (unsigned long long)remote, (unsigned long long)int_p,
-                Pct(t[6], t[6] + t[7]));
+                Pct(t[6], t[6] + t[7]), down ? "  node DOWN" : "");
       }
       break;
     }
@@ -299,6 +302,22 @@ std::string RenderLiveFrame(const LiveFeedState& s, LiveView view, std::size_t t
                 (unsigned long long)s.last[kLcTimeouts],
                 (unsigned long long)s.last[kLcRetries],
                 (unsigned long long)s.last[kLcShed]);
+      }
+      // Durability and recovery (DESIGN.md section 14). Non-zero only under a
+      // permanent chaos event (kill-node / corrupt-page), so chaos-free frames —
+      // and transient-chaos frames — are byte-identical to before.
+      if (s.totals[kLcReplicatedPages] != 0 || s.totals[kLcJournalBytes] != 0 ||
+          s.totals[kLcRecoveredPages] != 0 || s.totals[kLcLostPages] != 0 ||
+          s.totals[kLcChecksumFailures] != 0 || s.totals[kLcDeadNodes] != 0) {
+        Appendf(&out,
+                "  recovery: replicated=%llu journal=%llu B recovered=%llu "
+                "lost=%llu checksum-fails=%llu dead-nodes=0x%llx\n",
+                (unsigned long long)s.totals[kLcReplicatedPages],
+                (unsigned long long)s.totals[kLcJournalBytes],
+                (unsigned long long)s.totals[kLcRecoveredPages],
+                (unsigned long long)s.totals[kLcLostPages],
+                (unsigned long long)s.totals[kLcChecksumFailures],
+                (unsigned long long)s.totals[kLcDeadNodes]);
       }
       break;
     }

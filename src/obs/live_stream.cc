@@ -21,7 +21,9 @@ const char* LiveCounterKey(int counter) {
       "trace_emitted",     "trace_dropped",     "user_ns",
       "system_ns",         "requests",          "req_lat_ns",
       "chaos_events",      "evacuated_pages",   "timeouts",
-      "retries",           "shed",
+      "retries",           "shed",              "replicated_pages",
+      "journal_bytes",     "recovered_pages",   "lost_pages",
+      "checksum_failures", "dead_nodes",
   };
   ACE_CHECK(counter >= 0 && counter < kNumLiveCounters);
   return kKeys[counter];

@@ -79,6 +79,18 @@ enum LiveCounter {
   kLcTimeouts,
   kLcRetries,
   kLcShed,
+  // Durability and recovery counters (DESIGN.md section 14): owned pages that
+  // opened a dirty-page journal, bytes mirrored off-node, pages reconstructed after
+  // a kill-node or checksum-detected corruption, pages written off as lost,
+  // checksum verification failures, and the dead-node bitmask (bit p = processor p
+  // lost to kill-node; monotone — bits only ever set). All exactly zero unless the
+  // plan carries a permanent chaos event.
+  kLcReplicatedPages,
+  kLcJournalBytes,
+  kLcRecoveredPages,
+  kLcLostPages,
+  kLcChecksumFailures,
+  kLcDeadNodes,
   kNumLiveCounters,
 };
 

@@ -84,6 +84,12 @@ void FlattenLiveCounters(const LiveSample& s, std::uint64_t out[kNumLiveCounters
   out[kLcTimeouts] = s.app_timeouts;
   out[kLcRetries] = s.app_retries;
   out[kLcShed] = s.app_shed;
+  out[kLcReplicatedPages] = s.stats.replicated_pages;
+  out[kLcJournalBytes] = s.stats.journal_bytes;
+  out[kLcRecoveredPages] = s.stats.recovered_pages;
+  out[kLcLostPages] = s.stats.lost_pages;
+  out[kLcChecksumFailures] = s.stats.checksum_failures;
+  out[kLcDeadNodes] = s.dead_nodes;
 }
 
 void LiveSampler::BeginRun(LiveRunMeta meta) {

@@ -68,6 +68,12 @@ struct LiveSample {
   std::uint64_t app_timeouts = 0;
   std::uint64_t app_retries = 0;
   std::uint64_t app_shed = 0;
+  // Dead-node bitmask (bit p = processor p lost to kill-node chaos). Monotone —
+  // bits are only ever set — so the feed validator's non-negative-delta rule holds.
+  // Zero unless the plan carries a permanent chaos event. The durability counters
+  // (replicated/recovered/lost pages, journal bytes, checksum failures) ride in
+  // `stats` above.
+  std::uint32_t dead_nodes = 0;
 
   std::uint64_t TlbHits() const;
   std::uint64_t TlbMisses() const;

@@ -34,9 +34,19 @@ enum class TraceEventType : std::uint8_t {
   kDegrade = 13,        // graceful degradation: placement fell back to the global path
                         // after cleanup began, or a local copy failed post-allocation
                         // (aux = FaultSite when injected, ~0u for genuine exhaustion)
+  kRecover = 14,        // durability recovery: page reconstructed after a kill-node or
+                        // a checksum-detected corruption (aux = RecoverySource)
 };
 
-inline constexpr int kNumTraceEventTypes = 14;
+inline constexpr int kNumTraceEventTypes = 15;
+
+// aux values of kRecover events: where the reconstructed content came from.
+enum class RecoverySource : std::uint32_t {
+  kJournal = 0,      // dirty-page journal mirror (page was owned and written)
+  kGlobalMirror = 1, // global frame was current (owned but clean, or scrubbed replica)
+  kReplica = 2,      // surviving Read-Only replica repaired a corrupt global frame
+  kNone = 3,         // nothing to restore from: the page is lost (degrades to GLOBAL)
+};
 
 inline const char* TraceEventTypeName(TraceEventType t) {
   switch (t) {
@@ -68,6 +78,8 @@ inline const char* TraceEventTypeName(TraceEventType t) {
       return "bulk-migrate";
     case TraceEventType::kDegrade:
       return "degrade";
+    case TraceEventType::kRecover:
+      return "recover";
   }
   return "?";
 }

@@ -97,6 +97,12 @@ TimeNs PhysicalMemory::CopyPage(FrameRef src, FrameRef dst, ProcId copier) {
   return static_cast<TimeNs>(static_cast<double>(per_word) * words_per_page_ * copy_efficiency_);
 }
 
+void PhysicalMemory::PoisonLocal(ProcId proc, std::uint8_t byte) {
+  ACE_CHECK(proc >= 0 && proc < num_processors_);
+  auto& slab = local_data_[static_cast<std::size_t>(proc)];
+  std::memset(slab.data(), byte, slab.size());
+}
+
 TimeNs PhysicalMemory::ZeroPage(FrameRef frame, ProcId zeroer) {
   ACE_CHECK(frame.valid());
   std::memset(FrameData(frame), 0, page_size_);

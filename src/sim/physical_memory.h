@@ -102,6 +102,12 @@ class PhysicalMemory {
   // Zero a frame. Returns the kernel-time cost (one store per word at the target).
   TimeNs ZeroPage(FrameRef frame, ProcId zeroer);
 
+  // Overwrite every byte of `proc`'s local slab with `byte`. Used after a kill-node
+  // chaos event: the dead node's frames must never again read as silently-correct
+  // data, so a protocol bug that reaches one shows up as loud garbage. No cost — a
+  // dead node's memory is not a device anyone pays to touch.
+  void PoisonLocal(ProcId proc, std::uint8_t byte);
+
   std::uint32_t page_size() const { return page_size_; }
 
  private:

@@ -59,6 +59,16 @@ struct MachineStats {
   std::uint64_t chaos_events = 0;     // chaos transitions applied (activation + recovery)
   std::uint64_t evacuated_pages = 0;  // resident copies flushed/synced off a draining node
 
+  // Durability accounting (DESIGN.md section 14). All five stay exactly zero unless
+  // the fault plan carries a permanent chaos event (kill-node / corrupt-page) — only
+  // then is the replica manager armed — so every pre-existing baseline, transient
+  // chaos plans included, survives byte-identical.
+  std::uint64_t replicated_pages = 0;   // dirty-page journals opened (off-node mirrors)
+  std::uint64_t journal_bytes = 0;      // bytes written through open journals
+  std::uint64_t recovered_pages = 0;    // pages reconstructed from mirror/journal/replica
+  std::uint64_t lost_pages = 0;         // unreplicated owned pages lost with their node
+  std::uint64_t checksum_failures = 0;  // corrupted frames detected by the checksum scrub
+
   void RecordRef(ProcId proc, MemoryClass cls, AccessKind kind) {
     RecordRefBlock(proc, cls, kind, 1);
   }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/machine/chaos.h"
+#include "src/machine/recovery.h"
 #include "src/obs/sampler.h"
 
 namespace ace {
@@ -59,6 +60,14 @@ void Env::Yield() { runtime_->MaybeYield(*this, /*voluntary=*/true); }
 
 void Env::MigrateTo(ProcId new_proc, bool move_pages) {
   ACE_CHECK(new_proc >= 0 && new_proc < runtime_->machine_->num_processors());
+  if (runtime_->machine_->recovery() != nullptr) {
+    // A migration aimed at a node lost to kill-node chaos lands on the next live
+    // processor instead — a real OS refuses to bind to an offline CPU. Terminates:
+    // the recovery manager guarantees at least one live processor (the caller's).
+    while (runtime_->machine_->recovery()->node_dead(new_proc)) {
+      new_proc = (new_proc + 1) % runtime_->machine_->num_processors();
+    }
+  }
   if (new_proc == proc_) {
     return;
   }
@@ -178,6 +187,13 @@ void Runtime::MaybeYield(Env& env, bool voluntary) {
       // under which "processes mov[ed] between processors far too often" (sec. 4.7).
       ProcId old_proc = env.proc_;
       ProcId new_proc = (env.proc_ + 1) % machine_->num_processors();
+      if (machine_->recovery() != nullptr) {
+        // Rotation skips nodes lost to kill-node chaos; stops at old_proc (live by
+        // construction) when no other processor survives.
+        while (machine_->recovery()->node_dead(new_proc)) {
+          new_proc = (new_proc + 1) % machine_->num_processors();
+        }
+      }
       // Keep causality: the destination may be behind; pad with idle time so the
       // thread cannot observe state "before" it was produced.
       TimeNs skew = ProcNow(old_proc) - ProcNow(new_proc);
@@ -219,6 +235,13 @@ void Runtime::DispatchNextFrom(FiberContext* from, int self) {
         fibers_[static_cast<std::size_t>(next)]->env.proc_)) {
       next = PickNext();
     }
+    // A kill-node transition orphans the fibers bound to the dead processor; move
+    // them to live processors before dispatching (a dead node must never execute).
+    if (machine_->recovery() != nullptr && machine_->recovery()->has_dead_nodes()) {
+      if (RehomeDeadNodeFibers()) {
+        next = PickNext();
+      }
+    }
   }
   if (options_.sampler != nullptr) {
     // The chosen fiber's clock is the minimum runnable clock — monotone
@@ -237,6 +260,47 @@ void Runtime::DispatchNextFrom(FiberContext* from, int self) {
     return;  // the yielding fiber won the dispatch again: no stack switch needed
   }
   FiberContext::Switch(from, &fiber.ctx);
+}
+
+bool Runtime::RehomeDeadNodeFibers() {
+  RecoveryManager* recovery = machine_->recovery();
+  bool moved = false;
+  for (auto& fp : fibers_) {
+    Fiber& fiber = *fp;
+    if (fiber.finished || !recovery->node_dead(fiber.env.proc_)) {
+      continue;
+    }
+    // Deterministic new home: the surviving processor with the smallest clock (ties
+    // to the lowest id) — the same min-clock rule every dispatch uses, so the choice
+    // is a pure function of simulation state.
+    ProcId best = kNoProc;
+    for (int p = 0; p < machine_->num_processors(); ++p) {
+      ProcId cand = static_cast<ProcId>(p);
+      if (recovery->node_dead(cand)) {
+        continue;
+      }
+      if (best == kNoProc || ProcNow(cand) < ProcNow(best)) {
+        best = cand;
+      }
+    }
+    ACE_CHECK_MSG(best != kNoProc, "kill-node left no surviving processor");
+    const ProcId old_proc = fiber.env.proc_;
+    // Keep causality exactly like Env::MigrateTo: pad the destination with idle time
+    // if it is behind the orphaned fiber's clock (committing open reference runs
+    // first so their bus-horizon stamps stay per-reference-exact). The dead node's
+    // pages were already re-homed to global memory by the recovery manager, so there
+    // is nothing to move.
+    TimeNs skew = ProcNow(old_proc) - ProcNow(best);
+    if (skew > 0) {
+      machine_->FlushPendingRefs();
+      machine_->clocks().ChargeIdle(best, skew);
+    }
+    fiber.env.proc_ = best;
+    fiber.migrate_epoch_ns = ProcNow(best);
+    migrations_++;
+    moved = true;
+  }
+  return moved;
 }
 
 void Runtime::CheckWatchdog(int next) {

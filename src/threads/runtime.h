@@ -151,6 +151,11 @@ class Runtime {
 
   // Pick the next fiber to dispatch; -1 if none runnable.
   int PickNext() const;
+  // Move every unfinished fiber whose processor died (kill-node chaos) to the
+  // surviving processor with the smallest clock, idle-padding causality exactly like
+  // MigrateTo. Returns true when any fiber moved (the caller re-picks). Only ever
+  // called when the machine's recovery manager reports dead nodes.
+  bool RehomeDeadNodeFibers();
   // Deadline for the chosen fiber: smallest clock among *other* runnable fibers.
   TimeNs DeadlineFor(int chosen) const;
 

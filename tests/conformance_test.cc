@@ -148,6 +148,94 @@ TEST(Conformance, InvariantSweepPassesAfterRandomStream) {
   differ.manager().VerifyAllInvariants();
 }
 
+// --- durability: kill-node / corrupt-page conformance ----------------------------------
+
+ConformOp Kill(ProcId node, ProcId actor) {
+  ConformOp op;
+  op.kind = ConformOp::Kind::kKillNode;
+  op.proc = node;
+  op.proc2 = actor;
+  return op;
+}
+
+ConformOp Corrupt(ProcId node, ProcId actor, std::uint32_t permille, std::uint64_t seed) {
+  ConformOp op;
+  op.kind = ConformOp::Kind::kCorruptNode;
+  op.proc = node;
+  op.proc2 = actor;
+  op.value = permille;
+  op.seed = seed;
+  return op;
+}
+
+// With config.durability the stream mixes in kill-node and corrupt-page operations,
+// the real side carries the ReplicaManager (unbounded journal), and the counter
+// comparison extends to the durability set — including lost_pages against the
+// model's constant zero, so every kill and corruption must be fully recoverable.
+TEST(Conformance, DurabilityKillAndCorruptStayConformantAcrossPoliciesAndSeeds) {
+  const RefModel::PolicyKind kinds[] = {
+      RefModel::PolicyKind::kMoveLimit, RefModel::PolicyKind::kRemoteHome,
+      RefModel::PolicyKind::kAllGlobal, RefModel::PolicyKind::kAllLocal};
+  for (RefModel::PolicyKind kind : kinds) {
+    for (std::uint64_t seed = 10; seed < 13; ++seed) {
+      ConformConfig config;
+      config.policy = kind;
+      config.durability = true;
+      config.tlb = (seed & 1) != 0;  // exercise the shootdown mirror under kills too
+      std::vector<ConformOp> ops = GenerateOps(config, seed, 2500);
+      std::optional<Divergence> d = RunOps(config, ops);
+      ASSERT_FALSE(d.has_value()) << PolicyKindName(kind) << " seed " << seed << " op "
+                                  << d->op_index << ": " << d->what;
+    }
+  }
+}
+
+TEST(Conformance, KilledOwnerRecoversDirtyContentFromJournal) {
+  ConformConfig config;
+  config.durability = true;
+  Differ differ(config);
+  // Page 0 is owned and dirty at processor 1: its only current content lives in the
+  // frame the kill destroys, so recovery must come from the dirty-page journal.
+  ASSERT_FALSE(differ.Step(Store(0, 1, 0, 0xfeed)).has_value());
+  ASSERT_FALSE(differ.Step(Kill(1, 0)).has_value());
+  EXPECT_EQ(differ.manager().DebugReadWord(0, 0), 0xfeedu);
+  EXPECT_EQ(differ.manager().PageInfo(0).state, PageState::kReadOnly);
+  EXPECT_EQ(differ.stats().recovered_pages, 1u);
+  EXPECT_EQ(differ.stats().lost_pages, 0u);
+  // The survivor can keep using the page (and the differ keeps agreeing).
+  ASSERT_FALSE(differ.Step(Store(0, 0, 0, 0xbeef)).has_value());
+  EXPECT_EQ(differ.manager().DebugReadWord(0, 0), 0xbeefu);
+}
+
+TEST(Conformance, CorruptionIsDetectedAndRepairedExactly) {
+  ConformConfig config;
+  config.durability = true;
+  Differ differ(config);
+  ASSERT_FALSE(differ.Step(Store(0, 1, 0, 0xabc)).has_value());
+  // permille 1000: every frame resident at processor 1 (exactly one) corrupts; the
+  // scrub must detect and repair it in place without touching protocol state.
+  ASSERT_FALSE(differ.Step(Corrupt(1, 0, 1000, 0x5eedu)).has_value());
+  EXPECT_EQ(differ.stats().checksum_failures, 1u);
+  EXPECT_EQ(differ.stats().recovered_pages, 1u);
+  EXPECT_EQ(differ.stats().lost_pages, 0u);
+  EXPECT_EQ(differ.manager().DebugReadWord(0, 0), 0xabcu);
+  EXPECT_EQ(differ.manager().PageInfo(0).state, PageState::kLocalWritable);
+}
+
+TEST(Conformance, DisarmedDurabilityCountersStayExactlyZero) {
+  ConformConfig config;  // durability off: the pre-durability machine, bit for bit
+  std::vector<ConformOp> ops = GenerateOps(config, 77, 2500);
+  Differ differ(config);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_FALSE(differ.Step(ops[i]).has_value());
+  }
+  EXPECT_EQ(differ.stats().replicated_pages, 0u);
+  EXPECT_EQ(differ.stats().journal_bytes, 0u);
+  EXPECT_EQ(differ.stats().recovered_pages, 0u);
+  EXPECT_EQ(differ.stats().lost_pages, 0u);
+  EXPECT_EQ(differ.stats().checksum_failures, 0u);
+}
+
 // --- bug detection and shrinking ------------------------------------------------------
 
 TEST(Conformance, SkippedSyncIsCaughtAndShrunkToAShortRepro) {

@@ -11,6 +11,8 @@
 #include "src/inject/fault_plan.h"
 #include "src/machine/chaos.h"
 #include "src/machine/machine.h"
+#include "src/machine/recovery.h"
+#include "src/numa/replica_manager.h"
 #include "tests/machine_invariants.h"
 
 namespace ace {
@@ -435,6 +437,13 @@ TEST(ChaosPlan, RejectsMalformedEvents) {
       "stall-proc@1:10",          // missing T1
       "slow-link@1:10:20",        // slow-link without its multiplier
       "slow-link@1:10:20:999",    // multiplier < 1000 (a speedup, not a degradation)
+      "kill-node@1",              // missing the death timestamp
+      "kill-node@1:10:20",        // a kill has no recovery window: NODE:T0 only
+      "kill-node@16:10",          // node >= kMaxProcessors
+      "corrupt-page@1:10",        // missing T1
+      "corrupt-page@1:20:10",     // inverted window
+      "corrupt-page@1:10:20:0",   // permille 0 corrupts nothing: not a valid event
+      "corrupt-page@1:10:20:1001",  // permille > 1000
   };
   for (const char* text : kBad) {
     FaultPlan plan;
@@ -459,7 +468,7 @@ TEST(ChaosPlan, UnknownNameErrorListsEveryValidName) {
   const char* kAllNames[] = {
       "local-exhausted", "pool-exhausted", "victim-contention", "frame-alloc",
       "copy-fail",       "skip-sync",      "skip-move-count",   "drain-mem",
-      "stall-proc",      "slow-link",
+      "stall-proc",      "slow-link",      "kill-node",         "corrupt-page",
   };
   for (const char* text : kTypos) {
     FaultPlan plan;
@@ -475,6 +484,29 @@ TEST(ChaosPlan, UnknownNameErrorListsEveryValidName) {
   for (const char* name : kAllNames) {
     EXPECT_NE(names.find(name), std::string::npos) << name;
   }
+}
+
+TEST(ChaosPlan, PermanentEventsRoundTripAndCanonicalize) {
+  FaultPlan plan = Plan("kill-node@2:30000000;corrupt-page@1:10:20:250");
+  ASSERT_EQ(plan.chaos.size(), 2u);
+  EXPECT_EQ(plan.chaos[0].kind, ChaosKind::kKillNode);
+  EXPECT_EQ(plan.chaos[0].node, 2u);
+  EXPECT_EQ(plan.chaos[0].t_begin, 30'000'000);
+  EXPECT_EQ(plan.chaos[0].t_end, 30'000'000);  // one-shot: the window collapses to T0
+  EXPECT_EQ(plan.chaos[1].kind, ChaosKind::kCorruptPage);
+  EXPECT_EQ(plan.chaos[1].permille, 250u);
+  EXPECT_EQ(plan.Format(), "kill-node@2:30000000;corrupt-page@1:10:20:250");
+  EXPECT_EQ(Plan(plan.Format()).Format(), plan.Format());
+
+  // Omitted corruption density defaults to 100 (10% of resident frames) and Format
+  // always writes it back explicitly.
+  EXPECT_EQ(Plan("corrupt-page@1:10:20").Format(), "corrupt-page@1:10:20:100");
+
+  // Only the permanent kinds arm the durability subsystem.
+  EXPECT_TRUE(plan.has_durable_chaos());
+  EXPECT_TRUE(Plan("corrupt-page@0:10:20").has_durable_chaos());
+  EXPECT_FALSE(Plan("drain-mem@1:10:20;slow-link@0:1:2:2000").has_durable_chaos());
+  EXPECT_FALSE(Plan("frame-alloc@nth:2").has_durable_chaos());
 }
 
 // --- chaos controller arming ----------------------------------------------------------
@@ -499,6 +531,31 @@ TEST(ChaosController, ArmedOnlyWhenThePlanCarriesChaosEvents) {
   Machine slow(mo);
   ASSERT_NE(slow.chaos(), nullptr);
   EXPECT_TRUE(slow.chaos()->has_slow_link());
+}
+
+TEST(ChaosController, DurabilityArmedOnlyWhenThePlanCarriesPermanentChaos) {
+  // Transient chaos arms the controller but must NOT build the durability pair:
+  // disarmed machines keep the exact pre-durability code paths and counters.
+  Machine::Options mo;
+  mo.config.num_processors = 4;
+  mo.fault_plan = Plan("drain-mem@1:10000:20000:0");
+  Machine transient(mo);
+  ASSERT_NE(transient.chaos(), nullptr);
+  EXPECT_EQ(transient.replica_manager(), nullptr);
+  EXPECT_EQ(transient.recovery(), nullptr);
+
+  mo.fault_plan = Plan("kill-node@1:900000000000");
+  Machine durable(mo);
+  ASSERT_NE(durable.replica_manager(), nullptr);
+  ASSERT_NE(durable.recovery(), nullptr);
+  EXPECT_FALSE(durable.recovery()->has_dead_nodes());
+  EXPECT_EQ(durable.recovery()->live_processors(), 4);
+  EXPECT_EQ(durable.replica_manager()->open_journals(), 0u);
+
+  mo.fault_plan = Plan("corrupt-page@0:10000:20000");
+  Machine scrub(mo);
+  EXPECT_NE(scrub.replica_manager(), nullptr);
+  EXPECT_NE(scrub.recovery(), nullptr);
 }
 
 TEST(ChaosController, EventsOnNonexistentNodesAreDropped) {

@@ -94,6 +94,11 @@ void ExpectIdenticalRuns(const ServingRun& a, const ServingRun& b,
   EXPECT_EQ(a.stats.degraded_copy_failures, b.stats.degraded_copy_failures) << what;
   EXPECT_EQ(a.stats.chaos_events, b.stats.chaos_events) << what;
   EXPECT_EQ(a.stats.evacuated_pages, b.stats.evacuated_pages) << what;
+  EXPECT_EQ(a.stats.replicated_pages, b.stats.replicated_pages) << what;
+  EXPECT_EQ(a.stats.journal_bytes, b.stats.journal_bytes) << what;
+  EXPECT_EQ(a.stats.recovered_pages, b.stats.recovered_pages) << what;
+  EXPECT_EQ(a.stats.lost_pages, b.stats.lost_pages) << what;
+  EXPECT_EQ(a.stats.checksum_failures, b.stats.checksum_failures) << what;
 }
 
 // --- the seven legacy fault sites -----------------------------------------------------
@@ -229,6 +234,47 @@ TEST(ServingChaos, ChaosFreeRunsCarryNoChaosOrSloRows) {
   EXPECT_FALSE(HasMetric(legacy.result, "timeouts"));
   EXPECT_EQ(legacy.stats.chaos_events, 0u);
   EXPECT_EQ(legacy.stats.evacuated_pages, 0u);
+}
+
+// --- permanent chaos: the recovery contract ---------------------------------------------
+
+// The canonical permanent-failure plan (the BENCH_serving_killnode gate cell): a
+// full-density corruption burst on node 1 at 2 ms, then node 2 dies for good at
+// 5 ms — early, while the move-limit policy still has locally owned state to lose
+// (it pins the hot set global within ~20 ms at this scale).
+constexpr const char kCanonicalKill[] =
+    "corrupt-page@1:2000000:4000000:1000;kill-node@2:5000000";
+
+TEST(ServingRecovery, CanonicalKillPlanRecoversEverythingWithZeroAborts) {
+  ServingRun run = RunServing(kCanonicalKill, 1, /*requests=*/0);  // full scale-0.25 load
+  EXPECT_TRUE(run.result.ok) << run.result.detail;
+  // The durability contract, end to end: pages were journaled before the failures,
+  // the scrub detected the corruption, the kill's resident state was reconstructed,
+  // and nothing was silently lost.
+  EXPECT_GT(run.stats.replicated_pages, 0u);
+  EXPECT_GT(run.stats.journal_bytes, 0u);
+  EXPECT_GE(run.stats.checksum_failures, 1u);
+  EXPECT_GT(run.stats.recovered_pages, 0u);
+  EXPECT_EQ(run.stats.lost_pages, 0u);
+  // The SLO guard absorbs both events: every request completes or is deliberately
+  // shed; no timeout survives to the final attempt, nothing aborts.
+  EXPECT_EQ(MetricOr(run.result, "timeouts", -1.0), 0.0);
+
+  ServingRun replay = RunServing(kCanonicalKill, 1, /*requests=*/0);
+  ExpectIdenticalRuns(run, replay, "canonical kill");
+}
+
+TEST(ServingRecovery, TransientChaosKeepsDurabilityCountersZero) {
+  // Transient chaos (the canonical drain) must not arm the durability subsystem:
+  // its counters stay exactly zero, which is what keeps BENCH_serving_chaos (and
+  // every other pre-durability baseline) byte-identical.
+  ServingRun run = RunServing(kCanonicalDrain, 1, 512);
+  EXPECT_TRUE(run.result.ok) << run.result.detail;
+  EXPECT_EQ(run.stats.replicated_pages, 0u);
+  EXPECT_EQ(run.stats.journal_bytes, 0u);
+  EXPECT_EQ(run.stats.recovered_pages, 0u);
+  EXPECT_EQ(run.stats.lost_pages, 0u);
+  EXPECT_EQ(run.stats.checksum_failures, 0u);
 }
 
 }  // namespace

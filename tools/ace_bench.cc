@@ -55,7 +55,7 @@ void Usage() {
       "  --list                 list available suites and their cell counts\n"
       "  --suite NAME           suite to run: smoke | full | table3 | table4 |\n"
       "                         threshold | gl | refs | serving | serving-full |\n"
-      "                         serving-chaos\n"
+      "                         serving-chaos | serving-killnode\n"
       "  --workers N            host worker threads (default: hardware concurrency)\n"
       "  --out FILE             write results as BENCH JSON (self-validated)\n"
       "  --baseline FILE        compare against a baseline BENCH JSON; exit 1 on any\n"

@@ -35,6 +35,7 @@ struct Options {
   int threshold = 4;
   std::string plan;
   int tlb = -1;  // -1 = derived from the seed (the per-seed ACE_TLB flip), 0/1 forced
+  int durability = -1;  // -1 = derived from the seed, 0/1 forced
   bool expect_divergence = false;
   bool quiet = false;
 };
@@ -48,14 +49,27 @@ bool DeriveTlb(std::uint64_t seed) {
   return ((z ^ (z >> 31)) & 1) != 0;
 }
 
+// The analogous per-seed durability flip (ConformConfig::durability): half of all
+// seeds arm the ReplicaManager and mix kill-node / corrupt-page operations into the
+// stream, so sweeps continuously exercise the recovery transitions too. A different
+// mix constant keeps the two flips uncorrelated across seeds.
+bool DeriveDurability(std::uint64_t seed) {
+  std::uint64_t z = (seed + 0xbf58476d1ce4e5b9ULL) * 0x94d049bb133111ebULL;
+  return ((z ^ (z >> 31)) & 1) != 0;
+}
+
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--ops N] [--policy move-limit|remote-home|"
                "all-global|all-local|all]\n"
                "          [--threshold N] [--plan FAULT-PLAN] [--tlb|--no-tlb]\n"
-               "          [--expect-divergence] [--quiet]\n"
+               "          [--durability|--no-durability] [--expect-divergence] [--quiet]\n"
                "  --tlb / --no-tlb  force the software-TLB shootdown mirror on or off\n"
-               "                    (default: flipped pseudo-randomly per seed)\n",
+               "                    (default: flipped pseudo-randomly per seed)\n"
+               "  --durability / --no-durability\n"
+               "                    force the durability substrate (kill-node and\n"
+               "                    corrupt-page operations) on or off (default: flipped\n"
+               "                    pseudo-randomly per seed)\n",
                argv0);
   std::exit(2);
 }
@@ -83,6 +97,10 @@ bool ParseOptions(int argc, char** argv, Options* opt) {
       opt->tlb = 1;
     } else if (arg == "--no-tlb") {
       opt->tlb = 0;
+    } else if (arg == "--durability") {
+      opt->durability = 1;
+    } else if (arg == "--no-durability") {
+      opt->durability = 0;
     } else if (arg == "--expect-divergence") {
       opt->expect_divergence = true;
     } else if (arg == "--quiet") {
@@ -135,6 +153,7 @@ int main(int argc, char** argv) {
     config.plan = plan;
     config.fault_seed = opt.seed;
     config.tlb = opt.tlb < 0 ? DeriveTlb(opt.seed) : opt.tlb != 0;
+    config.durability = opt.durability < 0 ? DeriveDurability(opt.seed) : opt.durability != 0;
 
     std::vector<ace::ConformOp> ops = ace::GenerateOps(config, opt.seed, opt.ops);
     ace::MachineStats stats;
@@ -147,28 +166,31 @@ int main(int argc, char** argv) {
                     ops.size());
         failed = true;
       } else if (!opt.quiet) {
-        std::printf("policy %s: %zu ops, no divergence (seed %llu, tlb %s)\n", name.c_str(),
-                    ops.size(), static_cast<unsigned long long>(opt.seed),
-                    config.tlb ? "on" : "off");
+        std::printf("policy %s: %zu ops, no divergence (seed %llu, tlb %s, durability %s)\n",
+                    name.c_str(), ops.size(), static_cast<unsigned long long>(opt.seed),
+                    config.tlb ? "on" : "off", config.durability ? "on" : "off");
         std::printf("  %s\n", ace::FormatProtocolCounters(stats).c_str());
       }
       continue;
     }
 
-    std::printf("policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, plan %s, tlb %s)\n",
-                name.c_str(), d->op_index, static_cast<unsigned long long>(opt.seed),
-                opt.threshold, opt.plan.empty() ? "-" : opt.plan.c_str(),
-                config.tlb ? "on" : "off");
+    std::printf(
+        "policy %s: DIVERGENCE at op %zu (seed %llu, threshold %d, plan %s, tlb %s, "
+        "durability %s)\n",
+        name.c_str(), d->op_index, static_cast<unsigned long long>(opt.seed), opt.threshold,
+        opt.plan.empty() ? "-" : opt.plan.c_str(), config.tlb ? "on" : "off",
+        config.durability ? "on" : "off");
     std::printf("  %s\n", d->what.c_str());
     std::vector<ace::ConformOp> repro = ace::ShrinkOps(config, std::move(ops));
     std::printf("shrunk repro (%zu ops):\n", repro.size());
     for (std::size_t i = 0; i < repro.size(); ++i) {
       std::printf("  [%zu] %s\n", i, ace::FormatOp(repro[i]).c_str());
     }
-    std::printf("rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d %s%s%s\n",
-                static_cast<unsigned long long>(opt.seed), opt.ops, name.c_str(), opt.threshold,
-                config.tlb ? "--tlb" : "--no-tlb", opt.plan.empty() ? "" : " --plan ",
-                opt.plan.empty() ? "" : opt.plan.c_str());
+    std::printf(
+        "rerun: ace_conform --seed %llu --ops %zu --policy %s --threshold %d %s %s%s%s\n",
+        static_cast<unsigned long long>(opt.seed), opt.ops, name.c_str(), opt.threshold,
+        config.tlb ? "--tlb" : "--no-tlb", config.durability ? "--durability" : "--no-durability",
+        opt.plan.empty() ? "" : " --plan ", opt.plan.empty() ? "" : opt.plan.c_str());
     if (!opt.expect_divergence) {
       failed = true;
     }

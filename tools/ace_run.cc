@@ -22,6 +22,7 @@
 
 #include "src/apps/app.h"
 #include "src/machine/chaos.h"
+#include "src/machine/recovery.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/table.h"
 #include "src/obs/export.h"
@@ -425,6 +426,21 @@ int main(int argc, char** argv) {
                 "%llu pages evacuated\n",
                 machine.chaos()->num_events(), (unsigned long long)s.chaos_events,
                 (unsigned long long)s.evacuated_pages);
+  }
+  if (machine.recovery() != nullptr) {
+    // Permanent chaos: split the outcome — evacuated pages (above) moved intact
+    // ahead of a drain; recovered pages were reconstructed from a mirror, journal
+    // or replica after the loss; lost pages had no mirror and degraded to GLOBAL
+    // over stale content.
+    std::printf("recovery:       %llu pages journaled (%llu B mirrored), "
+                "%llu recovered, %llu lost, %llu checksum failures, "
+                "dead nodes 0x%x\n",
+                (unsigned long long)s.replicated_pages,
+                (unsigned long long)s.journal_bytes,
+                (unsigned long long)s.recovered_pages,
+                (unsigned long long)s.lost_pages,
+                (unsigned long long)s.checksum_failures,
+                machine.recovery()->dead_nodes());
   }
   if (tlb_stats) {
     const ace::TlbStats t = machine.tlb_stats();

@@ -14,7 +14,11 @@
 //   * on clean runs (every 8th seed carries an empty plan), that every degradation
 //     counter stayed zero — injection must be zero-cost when unarmed,
 //   * on chaos-free runs (chaos events ride along only on every 4th seed), that the
-//     chaos counters stayed zero and no controller was built.
+//     chaos counters stayed zero and no controller was built,
+//   * on runs without a permanent failure (kill-node / corrupt-page plans ride the
+//     seed % 8 == 5 family, at most one kill each so survivors always remain), that
+//     the durability counters stayed zero and no replica/recovery manager was built;
+//     on permanent-failure runs, the journal and detection counter identities.
 //
 // A failing run's plan is shrunk to a minimal subset of schedules that still fails
 // and printed as a replayable `ace_soak --replay ...` command line (also written to
@@ -195,6 +199,27 @@ ace::ChaosEvent GenChaosEvent(Rng& rng, int threads) {
   return e;
 }
 
+// Permanent failures (kill-node / corrupt-page), survivable by construction: at
+// most one kill per plan — with threads >= 2 there is always a surviving node to
+// reconstruct into and re-home fibers onto — landing early (5–30 ms), while pages
+// are still locally owned and there is actually resident state to lose. Corruption
+// bursts scrub a whole permille band of a node's resident frames; every detection
+// must end in a repair or an accounted loss, never an abort.
+ace::ChaosEvent GenDurableChaosEvent(Rng& rng, int threads, bool allow_kill) {
+  ace::ChaosEvent e;
+  e.node = rng.Below(static_cast<std::uint32_t>(threads));
+  e.t_begin = 5'000'000 + static_cast<ace::TimeNs>(rng.Below(25)) * 1'000'000;
+  if (allow_kill && rng.Below(2) == 0) {
+    e.kind = ace::ChaosKind::kKillNode;
+    return e;  // one timestamp; no window end
+  }
+  e.kind = ace::ChaosKind::kCorruptPage;
+  e.t_end = e.t_begin + 1'000'000 + static_cast<ace::TimeNs>(rng.Below(5)) * 1'000'000;
+  static const std::uint32_t kPermille[] = {250, 500, 1000};
+  e.permille = kPermille[rng.Below(3)];
+  return e;
+}
+
 RunSpec DeriveRun(std::uint64_t seed) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   RunSpec spec;
@@ -235,6 +260,23 @@ RunSpec DeriveRun(std::uint64_t seed) {
     std::uint32_t count = 1 + rng.Below(2);
     for (std::uint32_t i = 0; i < count; ++i) {
       spec.plan.chaos.push_back(GenChaosEvent(rng, spec.threads));
+    }
+  }
+  // Every 8th seed (% 8 == 5: disjoint from both the clean family at % 8 == 0 and
+  // the transient-chaos family at % 4 == 2) rides a permanent-failure plan, so the
+  // soak continuously exercises journal restore, mirror reconstruction, fiber
+  // re-homing and the checksum scrub under every machine shape. All other seeds
+  // stay durable-free so RunInProcess can assert the durability counters' and the
+  // replica/recovery managers' zero-cost invariant.
+  if (seed % 8 == 5) {
+    std::uint32_t count = 1 + rng.Below(2);
+    bool allow_kill = true;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ace::ChaosEvent e = GenDurableChaosEvent(rng, spec.threads, allow_kill);
+      if (e.kind == ace::ChaosKind::kKillNode) {
+        allow_kill = false;  // at most one kill: survivors must always remain
+      }
+      spec.plan.chaos.push_back(e);
     }
   }
   return spec;
@@ -387,6 +429,30 @@ std::string RunInProcess(const RunSpec& spec) {
     if (s.chaos_events != 0 || s.evacuated_pages != 0 || machine.chaos() != nullptr) {
       return fail("chaos-free run must keep chaos counters zero",
                   s.chaos_events + s.evacuated_pages, 0);
+    }
+  }
+  std::uint64_t durability = s.replicated_pages + s.journal_bytes + s.recovered_pages +
+                             s.lost_pages + s.checksum_failures;
+  if (!spec.plan.has_durable_chaos()) {
+    // Plans without a permanent failure — transient chaos included — must never arm
+    // the durability subsystem: no replica or recovery manager, all five counters
+    // exactly zero. Durability, like chaos, is zero-cost when unarmed.
+    if (durability != 0 || machine.replica_manager() != nullptr ||
+        machine.recovery() != nullptr) {
+      return fail("durable-chaos-free run must keep durability counters zero", durability, 0);
+    }
+  } else {
+    // Every journal opens with a full-frame mirror write before any word-sized
+    // appends, so the byte count can never undercut the open count.
+    if (s.journal_bytes < s.replicated_pages * mo.config.page_size) {
+      return fail("journal_bytes >= replicated_pages * page_size", s.journal_bytes,
+                  s.replicated_pages * mo.config.page_size);
+    }
+    // Every detected corruption ends in a repair or an accounted loss; kills add
+    // recoveries and losses of their own, so detection can never exceed the sum.
+    if (s.checksum_failures > s.recovered_pages + s.lost_pages) {
+      return fail("checksum_failures <= recovered_pages + lost_pages", s.checksum_failures,
+                  s.recovered_pages + s.lost_pages);
     }
   }
   return "";

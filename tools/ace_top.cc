@@ -446,7 +446,7 @@ int RenderFromJsonl(const std::string& text, std::size_t top_n) {
   static const char* const kEventKeys[ace::kNumTraceEventTypes] = {
       "faults",  "zero_fills", "replicates", "migrates",    "syncs",
       "flushes", "unmaps",     "pins",       "pageouts",    "pageins",
-      "alloc_fails", "frees",  "bulk_migrates", "degrades"};
+      "alloc_fails", "frees",  "bulk_migrates", "degrades", "recovers"};
   for (const ace::JsonValue& v : heat_lines) {
     std::uint32_t lp = static_cast<std::uint32_t>(v.NumberOr("lp", pages));
     if (lp >= pages) {
